@@ -1,0 +1,143 @@
+//! Hop Distance: breadth-first traversal from a root ("Hop Dist:
+//! Breadth-first traversal from the root", Table 2). Level-synchronous
+//! frontier expansion with a `Min` push of `hops + 1`.
+
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, NodeId, Prop, ReduceOp,
+};
+
+/// Result of a hop-distance traversal.
+#[derive(Clone, Debug)]
+pub struct HopDistResult {
+    /// Hop count from the root per vertex (`i64::MAX` if unreachable).
+    pub hops: Vec<i64>,
+    /// BFS levels executed (== eccentricity of the root + 1).
+    pub iterations: usize,
+}
+
+struct Expand {
+    hops: Prop<i64>,
+    nxt: Prop<i64>,
+    frontier: Prop<bool>,
+}
+impl EdgeTask for Expand {
+    fn filter(&self, ctx: &mut NodeCtx<'_, '_>) -> bool {
+        ctx.get(self.frontier)
+    }
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        let h = ctx.get(self.hops) + 1;
+        ctx.write_nbr(self.nxt, ReduceOp::Min, h);
+    }
+}
+
+struct Advance {
+    hops: Prop<i64>,
+    nxt: Prop<i64>,
+    frontier: Prop<bool>,
+}
+impl NodeTask for Advance {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let cand = ctx.get(self.nxt);
+        if cand < ctx.get(self.hops) {
+            ctx.set(self.hops, cand);
+            ctx.set(self.frontier, true);
+        } else {
+            ctx.set(self.frontier, false);
+        }
+        ctx.set(self.nxt, i64::MAX);
+    }
+}
+
+/// Breadth-first hop distances from `root` along out-edges.
+pub fn hopdist(engine: &mut Engine, root: NodeId) -> HopDistResult {
+    let hops = engine.add_prop("hop_dist", i64::MAX);
+    let nxt = engine.add_prop("hop_nxt", i64::MAX);
+    let frontier = engine.add_prop("hop_frontier", false);
+
+    engine.set(hops, root, 0i64);
+    engine.set(frontier, root, true);
+
+    let mut iterations = 0;
+    while engine.count_true(frontier) > 0 {
+        iterations += 1;
+        engine.run_edge_job(
+            Dir::Out,
+            &JobSpec::new().reduce(nxt, ReduceOp::Min),
+            Expand {
+                hops,
+                nxt,
+                frontier,
+            },
+        );
+        engine.run_node_job(
+            &JobSpec::new(),
+            Advance {
+                hops,
+                nxt,
+                frontier,
+            },
+        );
+    }
+
+    let out = engine.gather(hops);
+    engine.drop_prop(hops);
+    engine.drop_prop(nxt);
+    engine.drop_prop(frontier);
+    HopDistResult {
+        hops: out,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
+        Engine::builder().machines(machines).build(g).unwrap()
+    }
+
+    #[test]
+    fn tree_levels() {
+        let g = generate::binary_tree(15);
+        let mut e = engine(2, &g);
+        let r = hopdist(&mut e, 0);
+        assert_eq!(r.hops[0], 0);
+        assert_eq!(r.hops[1], 1);
+        assert_eq!(r.hops[2], 1);
+        assert_eq!(r.hops[7], 3);
+        assert_eq!(r.hops[14], 3);
+        assert_eq!(r.iterations, 4, "3 levels + 1 empty frontier check");
+    }
+
+    #[test]
+    fn grid_manhattan_distance() {
+        let g = generate::grid(4, 5); // edges right and down only
+        let mut e = engine(3, &g);
+        let r = hopdist(&mut e, 0);
+        for row in 0..4i64 {
+            for col in 0..5i64 {
+                assert_eq!(r.hops[(row * 5 + col) as usize], row + col);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_max() {
+        let g = generate::path(3);
+        let mut e = engine(2, &g);
+        let r = hopdist(&mut e, 1);
+        assert_eq!(r.hops, vec![i64::MAX, 0, 1]);
+    }
+
+    #[test]
+    fn matches_single_machine() {
+        let g = generate::rmat(9, 4, generate::RmatParams::skewed(), 51);
+        let mut e1 = engine(1, &g);
+        let a = hopdist(&mut e1, 0);
+        let mut e4 = engine(4, &g);
+        let b = hopdist(&mut e4, 0);
+        assert_eq!(a.hops, b.hops);
+    }
+}

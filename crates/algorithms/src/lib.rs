@@ -1,0 +1,39 @@
+//! The paper's algorithm suite (Table 2), implemented on the PGX.D
+//! programming model.
+//!
+//! | Algorithm | Pattern | Module |
+//! |---|---|---|
+//! | PageRank (exact, pull) | data **pulling** over in-edges | [`mod@pagerank`] |
+//! | PageRank (exact, push) | data pushing over out-edges | [`mod@pagerank`] |
+//! | PageRank (approximate) | delta propagation + deactivation | [`mod@pagerank`] |
+//! | WCC | push `Min` labels both directions, reactivation | [`mod@wcc`] |
+//! | SSSP (Bellman-Ford) | push `Min` distances over weighted edges | [`mod@sssp`] |
+//! | Hop Dist (BFS) | push `Min` hop counts | [`mod@hopdist`] |
+//! | EigenVector centrality | pull + driver-side normalization | [`mod@eigenvector`] |
+//! | KCore (biggest k-core) | iterative peeling, many tiny steps | [`mod@kcore`] |
+//!
+//! Plus two algorithms beyond the paper's table, demonstrating the task
+//! framework's generality: [`mod@mis`] (Luby's maximal independent set)
+//! and [`mod@betweenness`] (Brandes, mixing push and pull per source).
+//!
+//! Every function takes a loaded [`pgxd::Engine`] and cleans up its
+//! temporary properties before returning, so algorithms can be chained on
+//! one engine (the §4.2 application model).
+
+pub mod betweenness;
+pub mod eigenvector;
+pub mod hopdist;
+pub mod kcore;
+pub mod mis;
+pub mod pagerank;
+pub mod sssp;
+pub mod wcc;
+
+pub use betweenness::betweenness;
+pub use eigenvector::eigenvector;
+pub use hopdist::hopdist;
+pub use kcore::kcore;
+pub use mis::mis;
+pub use pagerank::{pagerank_approx, pagerank_pull, pagerank_push};
+pub use sssp::sssp;
+pub use wcc::wcc;

@@ -1,0 +1,290 @@
+//! Maximal Independent Set (Luby's algorithm) — not part of the paper's
+//! Table 2, included to demonstrate that the task framework generalizes
+//! beyond neighborhood-sum kernels ("Our next goal is to extend the
+//! compiler so that it can even translate algorithms that are not
+//! neighborhood iterating", §4.3).
+//!
+//! Each round: every undecided vertex draws a deterministic pseudo-random
+//! priority, pushes it to its (undirected) neighbors with a `Max`
+//! reduction, and joins the MIS if its own priority strictly beats every
+//! undecided neighbor's; neighbors of new members drop out. Expected
+//! O(log n) rounds.
+
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp,
+};
+
+/// Result of the MIS computation.
+#[derive(Clone, Debug)]
+pub struct MisResult {
+    /// Membership flag per vertex.
+    pub in_set: Vec<bool>,
+    /// Luby rounds executed.
+    pub rounds: usize,
+}
+
+/// Vertex states: 0 = undecided, 1 = in MIS, 2 = excluded.
+const UNDECIDED: i64 = 0;
+const IN_SET: i64 = 1;
+const EXCLUDED: i64 = 2;
+
+fn priority(v: u32, round: u64) -> u64 {
+    // SplitMix64 over (vertex, round): deterministic, uncorrelated enough,
+    // and identical on every machine. Guaranteed non-zero so that a
+    // priority always beats the Max-bottom (0) of isolated comparisons.
+    let mut x = (v as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(round.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    (x | 1) << 1 // even-shifted, non-zero; low bit reserved
+}
+
+/// Draws this round's priority into `prio` for undecided vertices.
+struct Draw {
+    state: Prop<i64>,
+    prio: Prop<u64>,
+    round: u64,
+}
+impl NodeTask for Draw {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        if ctx.get(self.state) == UNDECIDED {
+            ctx.set(self.prio, priority(ctx.node(), self.round));
+        } else {
+            ctx.set(self.prio, 0u64);
+        }
+    }
+}
+
+/// Pushes the vertex's priority to neighbors (both directions — MIS is an
+/// undirected notion).
+struct PushPrio {
+    state: Prop<i64>,
+    prio: Prop<u64>,
+    nbr_max: Prop<u64>,
+}
+impl EdgeTask for PushPrio {
+    fn filter(&self, ctx: &mut NodeCtx<'_, '_>) -> bool {
+        ctx.get(self.state) == UNDECIDED
+    }
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        let p = ctx.get(self.prio);
+        ctx.write_nbr(self.nbr_max, ReduceOp::Max, p);
+    }
+}
+
+/// Joins the MIS when strictly dominating every undecided neighbor.
+struct Join {
+    state: Prop<i64>,
+    prio: Prop<u64>,
+    nbr_max: Prop<u64>,
+    joined: Prop<bool>,
+}
+impl NodeTask for Join {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let joins = ctx.get(self.state) == UNDECIDED
+            && ctx.get(self.prio) > ctx.get(self.nbr_max);
+        if joins {
+            ctx.set(self.state, IN_SET);
+        }
+        ctx.set(self.joined, joins);
+        ctx.set(self.nbr_max, 0u64);
+    }
+}
+
+/// New members exclude their still-undecided neighbors.
+struct Exclude {
+    joined: Prop<bool>,
+    excluded_flag: Prop<bool>,
+}
+impl EdgeTask for Exclude {
+    fn filter(&self, ctx: &mut NodeCtx<'_, '_>) -> bool {
+        ctx.get(self.joined)
+    }
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        ctx.write_nbr(self.excluded_flag, ReduceOp::Or, true);
+    }
+}
+
+/// Applies exclusions.
+struct ApplyExclusions {
+    state: Prop<i64>,
+    excluded_flag: Prop<bool>,
+    undecided: Prop<bool>,
+}
+impl NodeTask for ApplyExclusions {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        if ctx.get(self.excluded_flag) && ctx.get(self.state) == UNDECIDED {
+            ctx.set(self.state, EXCLUDED);
+        }
+        ctx.set(self.excluded_flag, false);
+        let still_undecided = ctx.get(self.state) == UNDECIDED;
+        ctx.set(self.undecided, still_undecided);
+    }
+}
+
+/// Computes a maximal independent set of the underlying undirected graph
+/// (edge directions ignored).
+pub fn mis(engine: &mut Engine) -> MisResult {
+    let state = engine.add_prop("mis_state", UNDECIDED);
+    let prio = engine.add_prop("mis_prio", 0u64);
+    let nbr_max = engine.add_prop("mis_nbr_max", 0u64);
+    let joined = engine.add_prop("mis_joined", false);
+    let excluded_flag = engine.add_prop("mis_excl", false);
+    let undecided = engine.add_prop("mis_undecided", true);
+
+    let mut rounds = 0;
+    while engine.count_true(undecided) > 0 {
+        rounds += 1;
+        engine.run_node_job(
+            &JobSpec::new(),
+            Draw {
+                state,
+                prio,
+                round: rounds as u64,
+            },
+        );
+        let push_spec = JobSpec::new().read(prio).reduce(nbr_max, ReduceOp::Max);
+        engine.run_edge_job(Dir::Out, &push_spec, PushPrio { state, prio, nbr_max });
+        engine.run_edge_job(Dir::In, &push_spec, PushPrio { state, prio, nbr_max });
+        engine.run_node_job(
+            &JobSpec::new(),
+            Join {
+                state,
+                prio,
+                nbr_max,
+                joined,
+            },
+        );
+        let excl_spec = JobSpec::new().reduce(excluded_flag, ReduceOp::Or);
+        engine.run_edge_job(Dir::Out, &excl_spec, Exclude { joined, excluded_flag });
+        engine.run_edge_job(Dir::In, &excl_spec, Exclude { joined, excluded_flag });
+        engine.run_node_job(
+            &JobSpec::new(),
+            ApplyExclusions {
+                state,
+                excluded_flag,
+                undecided,
+            },
+        );
+    }
+
+    let states = engine.gather::<i64>(state);
+    engine.drop_prop(state);
+    engine.drop_prop(prio);
+    engine.drop_prop(nbr_max);
+    engine.drop_prop(joined);
+    engine.drop_prop(excluded_flag);
+    engine.drop_prop(undecided);
+    MisResult {
+        in_set: states.into_iter().map(|s| s == IN_SET).collect(),
+        rounds,
+    }
+}
+
+/// Checks MIS validity against the graph: independence (no two members
+/// adjacent, self-loops ignored) and maximality (every non-member has a
+/// member neighbor). Shared by tests.
+pub fn validate_mis(g: &pgxd_graph::Graph, in_set: &[bool]) -> Result<(), String> {
+    for (s, _, d) in g.out_csr().iter_edges() {
+        if s != d && in_set[s as usize] && in_set[d as usize] {
+            return Err(format!("members {s} and {d} are adjacent"));
+        }
+    }
+    for v in 0..g.num_nodes() as u32 {
+        if in_set[v as usize] {
+            continue;
+        }
+        let covered = g
+            .out_neighbors(v)
+            .iter()
+            .chain(g.in_neighbors(v))
+            .any(|&t| t != v && in_set[t as usize]);
+        // A vertex whose only neighbors are itself (self loops) must join.
+        let has_real_neighbor = g
+            .out_neighbors(v)
+            .iter()
+            .chain(g.in_neighbors(v))
+            .any(|&t| t != v);
+        if !covered && has_real_neighbor {
+            return Err(format!("non-member {v} has no member neighbor"));
+        }
+        if !has_real_neighbor && !in_set[v as usize] {
+            return Err(format!("isolated vertex {v} must be a member"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
+        Engine::builder()
+            .machines(machines)
+            .ghost_threshold(Some(32))
+            .build(g)
+            .unwrap()
+    }
+
+    #[test]
+    fn mis_on_ring_is_valid() {
+        let g = generate::ring(20);
+        let mut e = engine(3, &g);
+        let r = mis(&mut e);
+        validate_mis(&g, &r.in_set).unwrap();
+        let members = r.in_set.iter().filter(|&&x| x).count();
+        // A 20-ring MIS has between ceil(20/3)=7 and 10 members.
+        assert!((7..=10).contains(&members), "{members} members");
+    }
+
+    #[test]
+    fn mis_on_complete_graph_is_single_vertex() {
+        let g = generate::complete(8);
+        let mut e = engine(2, &g);
+        let r = mis(&mut e);
+        validate_mis(&g, &r.in_set).unwrap();
+        assert_eq!(r.in_set.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn mis_on_edgeless_graph_is_everything() {
+        let g = pgxd_graph::builder::graph_from_edges(9, vec![]);
+        let mut e = engine(3, &g);
+        let r = mis(&mut e);
+        assert!(r.in_set.iter().all(|&x| x));
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn mis_valid_on_skewed_rmat() {
+        let g = generate::rmat(8, 5, generate::RmatParams::skewed(), 77);
+        let mut e = engine(4, &g);
+        let r = mis(&mut e);
+        validate_mis(&g, &r.in_set).unwrap();
+        assert!(r.rounds <= 40, "Luby should converge quickly: {}", r.rounds);
+    }
+
+    #[test]
+    fn mis_deterministic_across_machine_counts() {
+        let g = generate::rmat(7, 4, generate::RmatParams::mild(), 78);
+        let mut e1 = engine(1, &g);
+        let a = mis(&mut e1);
+        let mut e4 = engine(4, &g);
+        let b = mis(&mut e4);
+        assert_eq!(a.in_set, b.in_set, "priorities are deterministic");
+    }
+
+    #[test]
+    fn star_mis_is_all_spokes_or_hub() {
+        let g = generate::star(12);
+        let mut e = engine(2, &g);
+        let r = mis(&mut e);
+        validate_mis(&g, &r.in_set).unwrap();
+        let members = r.in_set.iter().filter(|&&x| x).count();
+        assert!(members == 1 || members == 12);
+    }
+}

@@ -1,0 +1,344 @@
+//! PageRank: the paper's running example (§5.2), in all three variants.
+
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReadDoneCtx, ReduceOp,
+};
+
+/// Result of a PageRank computation.
+#[derive(Clone, Debug)]
+pub struct PageRankResult {
+    /// Scores indexed by global vertex id; sums to ~1.
+    pub scores: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// `n.tmp = n.pr / n.out_degree()` — the local pre-scaling both exact
+/// variants use so the communicated value is a single f64.
+struct Scale {
+    pr: Prop<f64>,
+    tmp: Prop<f64>,
+}
+impl NodeTask for Scale {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let d = ctx.out_degree();
+        let pr = ctx.get(self.pr);
+        ctx.set(self.tmp, if d > 0 { pr / d as f64 } else { 0.0 });
+    }
+}
+
+/// Pull kernel: `foreach(t: n.inNbrs) n.pr_nxt += t.tmp` — the variant
+/// "expensive or even disallowed in distributed frameworks" that PGX.D
+/// supports natively. No atomics: all in-edges of `n` run on one worker.
+struct PullKernel {
+    tmp: Prop<f64>,
+    nxt: Prop<f64>,
+}
+impl EdgeTask for PullKernel {
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        ctx.read_nbr(self.tmp);
+    }
+    fn read_done(&self, ctx: &mut ReadDoneCtx<'_, '_>) {
+        let v: f64 = ctx.value();
+        let cur: f64 = ctx.get(self.nxt);
+        ctx.set(self.nxt, cur + v);
+    }
+}
+
+/// Push kernel: `foreach(t: n.outNbrs) t.pr_nxt += n.tmp` — the
+/// conventional form, which pays atomic accumulation.
+struct PushKernel {
+    tmp: Prop<f64>,
+    nxt: Prop<f64>,
+}
+impl EdgeTask for PushKernel {
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        let v = ctx.get(self.tmp);
+        ctx.write_nbr(self.nxt, ReduceOp::Sum, v);
+    }
+}
+
+/// `n.pr = (1-d)/N + d * n.pr_nxt; n.pr_nxt = 0`, accumulating the global
+/// score delta for convergence.
+struct Apply {
+    pr: Prop<f64>,
+    nxt: Prop<f64>,
+    diff: Prop<f64>,
+    base: f64,
+    damping: f64,
+}
+impl NodeTask for Apply {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let old = ctx.get(self.pr);
+        let new = self.base + self.damping * ctx.get(self.nxt);
+        ctx.set(self.pr, new);
+        ctx.set(self.nxt, 0.0);
+        ctx.set(self.diff, (new - old).abs());
+    }
+}
+
+fn pagerank_exact(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+    pull: bool,
+) -> PageRankResult {
+    let n = engine.num_nodes();
+    let pr = engine.add_prop("pr", 1.0 / n as f64);
+    let tmp = engine.add_prop("pr_tmp", 0.0f64);
+    let nxt = engine.add_prop("pr_nxt", 0.0f64);
+    let diff = engine.add_prop("pr_diff", 0.0f64);
+    let base = (1.0 - damping) / n as f64;
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        engine.run_node_job(&JobSpec::new(), Scale { pr, tmp });
+        if pull {
+            engine.run_edge_job(
+                Dir::In,
+                &JobSpec::new().read(tmp),
+                PullKernel { tmp, nxt },
+            );
+        } else {
+            engine.run_edge_job(
+                Dir::Out,
+                &JobSpec::new().reduce(nxt, ReduceOp::Sum),
+                PushKernel { tmp, nxt },
+            );
+        }
+        engine.run_node_job(
+            &JobSpec::new(),
+            Apply {
+                pr,
+                nxt,
+                diff,
+                base,
+                damping,
+            },
+        );
+        // Sequential region: convergence check (driver side).
+        if engine.reduce(diff, ReduceOp::Sum) < tol {
+            break;
+        }
+    }
+
+    let scores = engine.gather(pr);
+    engine.drop_prop(pr);
+    engine.drop_prop(tmp);
+    engine.drop_prop(nxt);
+    engine.drop_prop(diff);
+    PageRankResult { scores, iterations }
+}
+
+/// Exact PageRank with the *data pulling* pattern (in-neighbor reads).
+pub fn pagerank_pull(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> PageRankResult {
+    pagerank_exact(engine, damping, max_iters, tol, true)
+}
+
+/// Exact PageRank with the *data pushing* pattern (out-neighbor writes).
+pub fn pagerank_push(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> PageRankResult {
+    pagerank_exact(engine, damping, max_iters, tol, false)
+}
+
+/// Delta-push kernel of the approximate variant: only *active* vertices
+/// propagate, and a vertex deactivates once its delta falls under the
+/// threshold (§5.2: "this method performs a decreasing amount of
+/// computation and communication as the iteration continues").
+struct DeltaPush {
+    delta: Prop<f64>,
+    nxt: Prop<f64>,
+    active: Prop<bool>,
+}
+impl EdgeTask for DeltaPush {
+    fn filter(&self, ctx: &mut NodeCtx<'_, '_>) -> bool {
+        ctx.get(self.active)
+    }
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        let d = ctx.out_degree() as f64;
+        let delta = ctx.get(self.delta);
+        ctx.write_nbr(self.nxt, ReduceOp::Sum, delta / d);
+    }
+}
+
+struct DeltaApply {
+    pr: Prop<f64>,
+    delta: Prop<f64>,
+    nxt: Prop<f64>,
+    active: Prop<bool>,
+    damping: f64,
+    threshold: f64,
+}
+impl NodeTask for DeltaApply {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let nd = self.damping * ctx.get(self.nxt);
+        ctx.set(self.nxt, 0.0);
+        let pr = ctx.get(self.pr);
+        ctx.set(self.pr, pr + nd);
+        ctx.set(self.delta, nd);
+        ctx.set(self.active, nd >= self.threshold);
+    }
+}
+
+/// Approximate PageRank with delta propagation and vertex deactivation —
+/// the variant GraphLab and GraphX ship ("PageRank: Approx" in Table 2).
+/// Runs until every vertex is deactivated or `max_iters` is hit.
+pub fn pagerank_approx(
+    engine: &mut Engine,
+    damping: f64,
+    threshold: f64,
+    max_iters: usize,
+) -> PageRankResult {
+    let n = engine.num_nodes();
+    let init = (1.0 - damping) / n as f64;
+    let pr = engine.add_prop("apr", init);
+    let delta = engine.add_prop("apr_delta", init);
+    let nxt = engine.add_prop("apr_nxt", 0.0f64);
+    let active = engine.add_prop("apr_active", true);
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        engine.run_edge_job(
+            Dir::Out,
+            &JobSpec::new().reduce(nxt, ReduceOp::Sum),
+            DeltaPush { delta, nxt, active },
+        );
+        engine.run_node_job(
+            &JobSpec::new(),
+            DeltaApply {
+                pr,
+                delta,
+                nxt,
+                active,
+                damping,
+                threshold,
+            },
+        );
+        if engine.count_true(active) == 0 {
+            break;
+        }
+    }
+
+    let scores = engine.gather(pr);
+    engine.drop_prop(pr);
+    engine.drop_prop(delta);
+    engine.drop_prop(nxt);
+    engine.drop_prop(active);
+    PageRankResult { scores, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
+        Engine::builder().machines(machines).build(g).unwrap()
+    }
+
+    #[test]
+    fn pull_matches_reference_on_ring() {
+        // On a ring every node has the same score: 1/n.
+        let g = generate::ring(32);
+        let mut e = engine(2, &g);
+        let r = pagerank_pull(&mut e, 0.85, 50, 1e-12);
+        for &s in &r.scores {
+            assert!((s - 1.0 / 32.0).abs() < 1e-9, "score {s}");
+        }
+    }
+
+    #[test]
+    fn pull_and_push_agree() {
+        let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 21);
+        let mut e1 = engine(3, &g);
+        let r_pull = pagerank_pull(&mut e1, 0.85, 30, 0.0);
+        let mut e2 = engine(3, &g);
+        let r_push = pagerank_push(&mut e2, 0.85, 30, 0.0);
+        assert_eq!(r_pull.scores.len(), r_push.scores.len());
+        for (a, b) in r_pull.scores.iter().zip(&r_push.scores) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn distributed_matches_single_machine() {
+        let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 22);
+        let mut e1 = engine(1, &g);
+        let single = pagerank_pull(&mut e1, 0.85, 20, 0.0);
+        let mut e4 = engine(4, &g);
+        let multi = pagerank_pull(&mut e4, 0.85, 20, 0.0);
+        for (a, b) in single.scores.iter().zip(&multi.scores) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ghosts_do_not_change_result() {
+        let g = generate::rmat(8, 8, generate::RmatParams::skewed(), 23);
+        let mut plain = Engine::builder()
+            .machines(3)
+            .ghost_threshold(None)
+            .build(&g)
+            .unwrap();
+        let mut ghosted = Engine::builder()
+            .machines(3)
+            .ghost_threshold(Some(16))
+            .build(&g)
+            .unwrap();
+        assert!(!ghosted.cluster().ghosts().is_empty(), "test needs ghosts");
+        let a = pagerank_push(&mut plain, 0.85, 10, 0.0);
+        let b = pagerank_push(&mut ghosted, 0.85, 10, 0.0);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = generate::rmat(9, 4, generate::RmatParams::mild(), 24);
+        let mut e = engine(2, &g);
+        let r = pagerank_pull(&mut e, 0.85, 40, 1e-10);
+        let sum: f64 = r.scores.iter().sum();
+        // Dangling nodes leak mass in the simple formulation; allow slack.
+        assert!(sum > 0.5 && sum <= 1.0 + 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn approx_close_to_exact_and_terminates() {
+        let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 25);
+        let mut e1 = engine(2, &g);
+        let exact = pagerank_pull(&mut e1, 0.85, 100, 1e-12);
+        let mut e2 = engine(2, &g);
+        let approx = pagerank_approx(&mut e2, 0.85, 1e-9, 200);
+        assert!(approx.iterations < 200, "approx must deactivate everything");
+        let mut exact_rank: Vec<usize> = (0..exact.scores.len()).collect();
+        exact_rank.sort_by(|&a, &b| exact.scores[b].total_cmp(&exact.scores[a]));
+        let mut approx_rank: Vec<usize> = (0..approx.scores.len()).collect();
+        approx_rank.sort_by(|&a, &b| approx.scores[b].total_cmp(&approx.scores[a]));
+        // Top vertex must agree; values must be close.
+        assert_eq!(exact_rank[0], approx_rank[0]);
+        for (a, b) in exact.scores.iter().zip(&approx.scores) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn convergence_stops_early() {
+        let g = generate::ring(16);
+        let mut e = engine(2, &g);
+        let r = pagerank_pull(&mut e, 0.85, 1000, 1e-9);
+        assert!(r.iterations < 1000);
+    }
+}

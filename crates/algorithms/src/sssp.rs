@@ -1,0 +1,150 @@
+//! Single-Source Shortest Paths, Bellman-Ford style: active vertices relax
+//! their out-edges with a `Min` push ("The SSSP algorithm uses edge
+//! weights. We generated these values using a uniform random
+//! distribution", §5.2).
+
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, NodeId, Prop, ReduceOp,
+};
+
+/// Result of SSSP.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Distance from the root per vertex (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Relaxation rounds executed.
+    pub iterations: usize,
+}
+
+struct Relax {
+    dist: Prop<f64>,
+    nxt: Prop<f64>,
+    active: Prop<bool>,
+}
+impl EdgeTask for Relax {
+    fn filter(&self, ctx: &mut NodeCtx<'_, '_>) -> bool {
+        ctx.get(self.active)
+    }
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        let d = ctx.get(self.dist) + ctx.edge_weight();
+        ctx.write_nbr(self.nxt, ReduceOp::Min, d);
+    }
+}
+
+struct Settle {
+    dist: Prop<f64>,
+    nxt: Prop<f64>,
+    active: Prop<bool>,
+}
+impl NodeTask for Settle {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let cand = ctx.get(self.nxt);
+        if cand < ctx.get(self.dist) {
+            ctx.set(self.dist, cand);
+            ctx.set(self.active, true);
+        } else {
+            ctx.set(self.active, false);
+        }
+        ctx.set(self.nxt, f64::INFINITY);
+    }
+}
+
+/// Computes shortest-path distances from `root`. Unweighted graphs use
+/// weight 1 per edge (making this equivalent to [`fn@crate::hopdist`] with
+/// `f64` levels).
+pub fn sssp(engine: &mut Engine, root: NodeId) -> SsspResult {
+    let dist = engine.add_prop("sssp_dist", f64::INFINITY);
+    let nxt = engine.add_prop("sssp_nxt", f64::INFINITY);
+    let active = engine.add_prop("sssp_active", false);
+
+    engine.set(dist, root, 0.0f64);
+    engine.set(active, root, true);
+
+    let mut iterations = 0;
+    while engine.count_true(active) > 0 {
+        iterations += 1;
+        engine.run_edge_job(
+            Dir::Out,
+            &JobSpec::new().reduce(nxt, ReduceOp::Min),
+            Relax { dist, nxt, active },
+        );
+        engine.run_node_job(&JobSpec::new(), Settle { dist, nxt, active });
+    }
+
+    let out = engine.gather(dist);
+    engine.drop_prop(dist);
+    engine.drop_prop(nxt);
+    engine.drop_prop(active);
+    SsspResult {
+        dist: out,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::{generate, GraphBuilder};
+
+    fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
+        Engine::builder().machines(machines).build(g).unwrap()
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = generate::path(6);
+        let mut e = engine(2, &g);
+        let r = sssp(&mut e, 0);
+        assert_eq!(r.dist, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = generate::path(4); // 3 -> nothing; start from 2
+        let mut e = engine(2, &g);
+        let r = sssp(&mut e, 2);
+        assert_eq!(r.dist[2], 0.0);
+        assert_eq!(r.dist[3], 1.0);
+        assert!(r.dist[0].is_infinite());
+        assert!(r.dist[1].is_infinite());
+    }
+
+    #[test]
+    fn weighted_takes_cheaper_route() {
+        // 0->1 (10), 0->2 (1), 2->1 (2): best 0→1 is 3 via 2.
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 1, 10.0)
+            .add_weighted_edge(0, 2, 1.0)
+            .add_weighted_edge(2, 1, 2.0);
+        let g = b.build();
+        let mut e = engine(2, &g);
+        let r = sssp(&mut e, 0);
+        assert_eq!(r.dist, vec![0.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn matches_single_machine_on_weighted_rmat() {
+        let g = generate::rmat(8, 4, generate::RmatParams::skewed(), 41)
+            .with_uniform_weights(1.0, 10.0, 7);
+        let mut e1 = engine(1, &g);
+        let a = sssp(&mut e1, 0);
+        let mut e3 = engine(3, &g);
+        let b = sssp(&mut e3, 0);
+        for (x, y) in a.dist.iter().zip(&b.dist) {
+            assert!(
+                (x - y).abs() < 1e-9 || (x.is_infinite() && y.is_infinite()),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let g = generate::ring(10);
+        let mut e = engine(3, &g);
+        let r = sssp(&mut e, 7);
+        assert_eq!(r.dist[7], 0.0);
+        assert_eq!(r.dist[8], 1.0);
+        assert_eq!(r.dist[6], 9.0);
+    }
+}

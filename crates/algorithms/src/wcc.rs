@@ -1,0 +1,178 @@
+//! Weakly Connected Components: `Min`-label propagation in both edge
+//! directions with vertex reactivation ("In WCC, a deactivated node can
+//! later be active again", §5.2).
+
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp,
+};
+
+/// Result of WCC.
+#[derive(Clone, Debug)]
+pub struct WccResult {
+    /// Component label per vertex: the smallest vertex id in its weakly
+    /// connected component.
+    pub component: Vec<u32>,
+    /// Number of distinct components.
+    pub num_components: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Pushes this vertex's label to the neighbor with a `Min` reduction.
+struct PushLabel {
+    comp: Prop<u32>,
+    nxt: Prop<u32>,
+    active: Prop<bool>,
+}
+impl EdgeTask for PushLabel {
+    fn filter(&self, ctx: &mut NodeCtx<'_, '_>) -> bool {
+        ctx.get(self.active)
+    }
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+        let c = ctx.get(self.comp);
+        ctx.write_nbr(self.nxt, ReduceOp::Min, c);
+    }
+}
+
+/// Adopts a smaller incoming label; reactivates on change.
+struct Adopt {
+    comp: Prop<u32>,
+    nxt: Prop<u32>,
+    active: Prop<bool>,
+    changed: Prop<bool>,
+}
+impl NodeTask for Adopt {
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
+        let new = ctx.get(self.nxt);
+        let cur = ctx.get(self.comp);
+        if new < cur {
+            ctx.set(self.comp, new);
+            ctx.set(self.active, true);
+            ctx.set(self.changed, true);
+        } else {
+            ctx.set(self.active, false);
+            ctx.set(self.changed, false);
+        }
+        ctx.set(self.nxt, u32::MAX);
+    }
+}
+
+/// Computes weakly connected components by label propagation.
+pub fn wcc(engine: &mut Engine) -> WccResult {
+    let comp = engine.add_prop("wcc_comp", 0u32);
+    let nxt = engine.add_prop("wcc_nxt", u32::MAX);
+    let active = engine.add_prop("wcc_active", true);
+    let changed = engine.add_prop("wcc_changed", false);
+
+    // Sequential init region: comp[v] = v.
+    for v in 0..engine.num_nodes() as u32 {
+        engine.set(comp, v, v);
+    }
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let spec = JobSpec::new().reduce(nxt, ReduceOp::Min);
+        // Weak connectivity: propagate along out-edges AND in-edges.
+        engine.run_edge_job(Dir::Out, &spec, PushLabel { comp, nxt, active });
+        engine.run_edge_job(Dir::In, &spec, PushLabel { comp, nxt, active });
+        engine.run_node_job(
+            &JobSpec::new(),
+            Adopt {
+                comp,
+                nxt,
+                active,
+                changed,
+            },
+        );
+        if engine.count_true(changed) == 0 {
+            break;
+        }
+    }
+
+    let component = engine.gather(comp);
+    let mut labels = component.clone();
+    labels.sort_unstable();
+    labels.dedup();
+    let num_components = labels.len();
+
+    engine.drop_prop(comp);
+    engine.drop_prop(nxt);
+    engine.drop_prop(active);
+    engine.drop_prop(changed);
+    WccResult {
+        component,
+        num_components,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::{builder::graph_from_edges, generate};
+
+    fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
+        Engine::builder().machines(machines).build(g).unwrap()
+    }
+
+    #[test]
+    fn ring_is_one_component() {
+        let g = generate::ring(24);
+        let mut e = engine(3, &g);
+        let r = wcc(&mut e);
+        assert_eq!(r.num_components, 1);
+        assert!(r.component.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn disjoint_pieces_found() {
+        // Two directed paths and one isolated node: 3 components.
+        let g = graph_from_edges(7, vec![(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let mut e = engine(2, &g);
+        let r = wcc(&mut e);
+        assert_eq!(r.num_components, 3);
+        assert_eq!(r.component[0], r.component[2]);
+        assert_eq!(r.component[3], r.component[5]);
+        assert_ne!(r.component[0], r.component[3]);
+        assert_eq!(r.component[6], 6);
+    }
+
+    #[test]
+    fn direction_ignored_for_weak_connectivity() {
+        // 0 -> 1 <- 2: weakly connected even though not strongly.
+        let g = graph_from_edges(3, vec![(0, 1), (2, 1)]);
+        let mut e = engine(2, &g);
+        let r = wcc(&mut e);
+        assert_eq!(r.num_components, 1);
+    }
+
+    #[test]
+    fn matches_single_machine() {
+        let g = generate::rmat(8, 3, generate::RmatParams::skewed(), 31);
+        let mut e1 = engine(1, &g);
+        let a = wcc(&mut e1);
+        let mut e4 = engine(4, &g);
+        let b = wcc(&mut e4);
+        assert_eq!(a.component, b.component);
+        assert_eq!(a.num_components, b.num_components);
+    }
+
+    #[test]
+    fn ghosts_do_not_change_result() {
+        let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 32);
+        let mut plain = Engine::builder()
+            .machines(3)
+            .ghost_threshold(None)
+            .build(&g)
+            .unwrap();
+        let mut ghosted = Engine::builder()
+            .machines(3)
+            .ghost_threshold(Some(16))
+            .build(&g)
+            .unwrap();
+        let a = wcc(&mut plain);
+        let b = wcc(&mut ghosted);
+        assert_eq!(a.component, b.component);
+    }
+}

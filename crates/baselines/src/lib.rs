@@ -1,0 +1,25 @@
+//! Comparator systems for the PGX.D evaluation (§5.2).
+//!
+//! * [`seq`] — plain sequential reference implementations, used as ground
+//!   truth by the test suites of every other crate.
+//! * [`sa`] — the paper's "SA" baseline: standalone single-machine
+//!   implementations "using direct CSR arrays and OpenMP parallel loops",
+//!   here hand-rolled parallel loops over scoped threads. No framework
+//!   overhead at all; the bar PGX.D must approach.
+//! * [`gas`] — a GraphLab-class synchronous vertex-program engine
+//!   (push-only messages, per-edge message records, per-superstep thread
+//!   scheduling, combiner pass) standing in for GraphLab 2.1.
+//! * [`dataflow`] — a GraphX-class engine executing the same vertex
+//!   programs through materialized edge-triplet collections and a sort
+//!   shuffle per superstep, standing in for Spark/GraphX.
+//! * [`programs`] — the Table 2 algorithm suite as vertex programs, shared
+//!   by both comparator engines.
+//!
+//! DESIGN.md documents why these substitutions preserve the performance
+//! *classes* the paper compares against.
+
+pub mod dataflow;
+pub mod gas;
+pub mod programs;
+pub mod sa;
+pub mod seq;

@@ -1,0 +1,542 @@
+//! The Table 2 algorithm suite as vertex programs, shared by the
+//! GraphLab-class ([`crate::gas`]) and GraphX-class ([`crate::dataflow`])
+//! comparator engines. Only the *push* formulations exist here — these
+//! frameworks "only support the data pushing communication pattern" (§2).
+
+use crate::gas::VertexProgram;
+use pgxd_graph::{Graph, NodeId};
+
+/// Which comparator engine executes a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparator {
+    /// GraphLab-class engine.
+    Gas,
+    /// GraphX-class engine.
+    Dataflow,
+}
+
+fn run_fixed<P: VertexProgram>(
+    engine: Comparator,
+    g: &Graph,
+    machines: usize,
+    p: &P,
+    states: &mut [P::State],
+    steps: usize,
+) -> usize {
+    match engine {
+        Comparator::Gas => crate::gas::run_fixed(g, machines, p, states, steps),
+        Comparator::Dataflow => crate::dataflow::run_fixed(g, machines, p, states, steps),
+    }
+}
+
+fn run_quiescent<P: VertexProgram>(
+    engine: Comparator,
+    g: &Graph,
+    machines: usize,
+    p: &P,
+    states: &mut [P::State],
+    scheduled: Vec<bool>,
+    max_steps: usize,
+) -> usize {
+    match engine {
+        Comparator::Gas => {
+            crate::gas::run_until_quiescent(g, machines, p, states, scheduled, max_steps)
+        }
+        Comparator::Dataflow => {
+            crate::dataflow::run_until_quiescent(g, machines, p, states, scheduled, max_steps)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PageRank (exact, push)
+// ---------------------------------------------------------------------
+
+/// State: `(pr, incoming_sum_applied_next_round)` handled via messages.
+struct PrPush {
+    damping: f64,
+    base: f64,
+}
+impl VertexProgram for PrPush {
+    type State = f64;
+    type Msg = f64;
+    fn combine(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn compute(&self, v: NodeId, pr: &mut f64, incoming: Option<f64>, g: &Graph, step: usize) -> Option<f64> {
+        if step > 1 {
+            *pr = self.base + self.damping * incoming.unwrap_or(0.0);
+        }
+        let d = g.out_degree(v);
+        if d > 0 {
+            Some(*pr / d as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Exact push PageRank on a comparator engine. Runs `iters + 1` supersteps
+/// internally (messages land one step after they are sent).
+pub fn pagerank(
+    engine: Comparator,
+    g: &Graph,
+    machines: usize,
+    damping: f64,
+    iters: usize,
+) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let p = PrPush {
+        damping,
+        base: (1.0 - damping) / n as f64,
+    };
+    let mut states = vec![1.0 / n as f64; n];
+    run_fixed(engine, g, machines, &p, &mut states, iters + 1);
+    states
+}
+
+// ---------------------------------------------------------------------
+// PageRank (approximate, delta)
+// ---------------------------------------------------------------------
+
+struct PrApprox {
+    damping: f64,
+    threshold: f64,
+}
+/// State `(pr, delta)`.
+impl VertexProgram for PrApprox {
+    type State = (f64, f64);
+    type Msg = f64;
+    fn combine(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn compute(
+        &self,
+        v: NodeId,
+        state: &mut (f64, f64),
+        incoming: Option<f64>,
+        g: &Graph,
+        _step: usize,
+    ) -> Option<f64> {
+        if let Some(sum) = incoming {
+            let nd = self.damping * sum;
+            state.0 += nd;
+            state.1 = nd;
+        }
+        let d = g.out_degree(v);
+        if state.1 >= self.threshold && d > 0 {
+            Some(state.1 / d as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Approximate (delta) PageRank on a comparator engine.
+pub fn pagerank_approx(
+    engine: Comparator,
+    g: &Graph,
+    machines: usize,
+    damping: f64,
+    threshold: f64,
+    max_steps: usize,
+) -> (Vec<f64>, usize) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let init = (1.0 - damping) / n as f64;
+    let p = PrApprox { damping, threshold };
+    let mut states = vec![(init, init); n];
+    let steps = run_quiescent(engine, g, machines, &p, &mut states, vec![true; n], max_steps);
+    (states.into_iter().map(|(pr, _)| pr).collect(), steps)
+}
+
+// ---------------------------------------------------------------------
+// WCC
+// ---------------------------------------------------------------------
+
+struct MinLabel;
+impl VertexProgram for MinLabel {
+    type State = u32;
+    type Msg = u32;
+    fn combine(a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+    fn both_directions(&self) -> bool {
+        true
+    }
+    fn compute(&self, _v: NodeId, comp: &mut u32, incoming: Option<u32>, _g: &Graph, _step: usize) -> Option<u32> {
+        match incoming {
+            None => Some(*comp),
+            Some(m) if m < *comp => {
+                *comp = m;
+                Some(m)
+            }
+            Some(_) => None,
+        }
+    }
+}
+
+/// Weakly connected components on a comparator engine.
+pub fn wcc(engine: Comparator, g: &Graph, machines: usize) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut states: Vec<u32> = (0..n as u32).collect();
+    run_quiescent(engine, g, machines, &MinLabel, &mut states, vec![true; n], usize::MAX);
+    states
+}
+
+// ---------------------------------------------------------------------
+// SSSP (weights live in the graph; push dist + w per edge)
+// ---------------------------------------------------------------------
+
+/// SSSP on a comparator engine. Messages carry `dist + weight` per edge,
+/// so the scatter is edge-aware; each engine pays its characteristic
+/// exchange cost — per-record channel sends for the GAS engine,
+/// materialize-and-sort for the dataflow engine.
+pub fn sssp(engine: Comparator, g: &Graph, machines: usize, root: NodeId) -> (Vec<f64>, usize) {
+    let n = g.num_nodes();
+    let machines = machines.max(1);
+    let mut dist = vec![f64::INFINITY; n];
+    dist[root as usize] = 0.0;
+    let mut frontier = vec![false; n];
+    frontier[root as usize] = true;
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        let candidates: Vec<(u32, f64)> = match engine {
+            Comparator::Gas => {
+                // Per-record channel exchange, like the GAS superstep path.
+                type Chans = (
+                    Vec<crossbeam::channel::Sender<(u32, f64)>>,
+                    Vec<crossbeam::channel::Receiver<(u32, f64)>>,
+                );
+                let (tx, rx): Chans =
+                    (0..machines).map(|_| crossbeam::channel::unbounded()).unzip();
+                std::thread::scope(|s| {
+                    let dist_r = &dist;
+                    let frontier_r = &frontier;
+                    let tx_r = &tx;
+                    for m in 0..machines {
+                        let lo = n * m / machines;
+                        let hi = n * (m + 1) / machines;
+                        s.spawn(move || {
+                            for v in lo..hi {
+                                if !frontier_r[v] {
+                                    continue;
+                                }
+                                for (k, &t) in g.out_neighbors(v as NodeId).iter().enumerate() {
+                                    let e = g.out_csr().edge_start(v as NodeId) + k;
+                                    let owner =
+                                        (machines * t as usize / n.max(1)).min(machines - 1);
+                                    let _ = tx_r[owner].send((t, dist_r[v] + g.weight(e)));
+                                }
+                            }
+                        });
+                    }
+                });
+                drop(tx);
+                rx.into_iter().flat_map(|r| r.try_iter().collect::<Vec<_>>()).collect()
+            }
+            Comparator::Dataflow => {
+                // Materialize boxed candidate records, then sort by
+                // destination (the shuffle).
+                let mut recs: Vec<Box<(u32, f64)>> = std::thread::scope(|s| {
+                    let dist_r = &dist;
+                    let frontier_r = &frontier;
+                    (0..machines)
+                        .map(|m| {
+                            let lo = n * m / machines;
+                            let hi = n * (m + 1) / machines;
+                            s.spawn(move || {
+                                let mut out = Vec::new();
+                                for v in lo..hi {
+                                    if !frontier_r[v] {
+                                        continue;
+                                    }
+                                    for (k, &t) in
+                                        g.out_neighbors(v as NodeId).iter().enumerate()
+                                    {
+                                        let e = g.out_csr().edge_start(v as NodeId) + k;
+                                        out.push(Box::new((t, dist_r[v] + g.weight(e))));
+                                    }
+                                }
+                                out
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .flat_map(|h| h.join().unwrap())
+                        .collect()
+                });
+                recs.sort_by_key(|r| r.0);
+                recs.into_iter().map(|b| *b).collect()
+            }
+        };
+        // combine + apply
+        let mut any = false;
+        frontier.iter_mut().for_each(|f| *f = false);
+        for (t, cand) in candidates {
+            if cand < dist[t as usize] {
+                dist[t as usize] = cand;
+                frontier[t as usize] = true;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    (dist, steps)
+}
+
+// ---------------------------------------------------------------------
+// Hop Dist (BFS)
+// ---------------------------------------------------------------------
+
+struct Hop;
+/// State: hop count (i64).
+impl VertexProgram for Hop {
+    type State = i64;
+    type Msg = i64;
+    fn combine(a: i64, b: i64) -> i64 {
+        a.min(b)
+    }
+    fn compute(&self, _v: NodeId, hops: &mut i64, incoming: Option<i64>, _g: &Graph, _step: usize) -> Option<i64> {
+        match incoming {
+            None if *hops == 0 => Some(1), // root announces level 1
+            None => None,
+            Some(h) if h < *hops => {
+                *hops = h;
+                Some(h + 1)
+            }
+            Some(_) => None,
+        }
+    }
+}
+
+/// BFS hop counts on a comparator engine.
+pub fn hopdist(
+    engine: Comparator,
+    g: &Graph,
+    machines: usize,
+    root: NodeId,
+) -> (Vec<i64>, usize) {
+    let n = g.num_nodes();
+    let mut states = vec![i64::MAX; n];
+    states[root as usize] = 0;
+    let mut scheduled = vec![false; n];
+    scheduled[root as usize] = true;
+    let steps = run_quiescent(engine, g, machines, &Hop, &mut states, scheduled, usize::MAX);
+    (states, steps)
+}
+
+// ---------------------------------------------------------------------
+// EigenVector centrality (push form + periodic driver normalization)
+// ---------------------------------------------------------------------
+
+/// Eigenvector centrality on a comparator engine: each superstep pushes
+/// the current value along out-edges, then the driver normalizes.
+pub fn eigenvector(engine: Comparator, g: &Graph, machines: usize, iters: usize) -> Vec<f64> {
+    struct EvPush;
+    /// State `(ev, received_sum)`.
+    impl VertexProgram for EvPush {
+        type State = (f64, f64);
+        type Msg = f64;
+        fn combine(a: f64, b: f64) -> f64 {
+            a + b
+        }
+        fn compute(
+            &self,
+            _v: NodeId,
+            state: &mut (f64, f64),
+            incoming: Option<f64>,
+            _g: &Graph,
+            step: usize,
+        ) -> Option<f64> {
+            if step > 1 {
+                state.1 = incoming.unwrap_or(0.0);
+            }
+            Some(state.0)
+        }
+    }
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut states = vec![(1.0 / (n as f64).sqrt(), 0.0); n];
+    for _ in 0..iters {
+        // Two supersteps move values one hop; normalization between.
+        run_fixed(engine, g, machines, &EvPush, &mut states, 2);
+        let norm: f64 = states.iter().map(|(_, s)| s * s).sum::<f64>().sqrt();
+        let inv = if norm > 0.0 { 1.0 / norm } else { 0.0 };
+        for st in states.iter_mut() {
+            st.0 = st.1 * inv;
+            st.1 = 0.0;
+        }
+    }
+    states.into_iter().map(|(ev, _)| ev).collect()
+}
+
+// ---------------------------------------------------------------------
+// KCore
+// ---------------------------------------------------------------------
+
+struct Peel {
+    k: i64,
+}
+/// State `(degree, alive, core)`.
+impl VertexProgram for Peel {
+    type State = (i64, bool, i64);
+    type Msg = i64;
+    fn combine(a: i64, b: i64) -> i64 {
+        a + b
+    }
+    fn both_directions(&self) -> bool {
+        true
+    }
+    fn compute(
+        &self,
+        _v: NodeId,
+        state: &mut (i64, bool, i64),
+        incoming: Option<i64>,
+        _g: &Graph,
+        _step: usize,
+    ) -> Option<i64> {
+        if let Some(dec) = incoming {
+            state.0 += dec; // dec is a (negative) sum of -1s
+        }
+        if state.1 && state.0 < self.k {
+            state.1 = false;
+            state.2 = self.k - 1;
+            Some(-1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Biggest k-core number on a comparator engine.
+pub fn kcore(engine: Comparator, g: &Graph, machines: usize) -> (i64, Vec<i64>, usize) {
+    let n = g.num_nodes();
+    let mut states: Vec<(i64, bool, i64)> = (0..n as NodeId)
+        .map(|v| ((g.in_degree(v) + g.out_degree(v)) as i64, true, 0))
+        .collect();
+    let mut total_steps = 0usize;
+    let max_core;
+    let mut k = 1i64;
+    loop {
+        let scheduled: Vec<bool> = states.iter().map(|s| s.1).collect();
+        if !scheduled.iter().any(|&s| s) {
+            max_core = k - 1;
+            break;
+        }
+        let p = Peel { k };
+        total_steps += run_quiescent(engine, g, machines, &p, &mut states, scheduled, usize::MAX);
+        if states.iter().any(|s| s.1) {
+            k += 1;
+        } else {
+            max_core = k - 1;
+            break;
+        }
+    }
+    let core: Vec<i64> = states
+        .iter()
+        .map(|&(_, alive, c)| if alive { max_core } else { c })
+        .collect();
+    (max_core, core, total_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use pgxd_graph::generate;
+
+    fn graph() -> Graph {
+        generate::rmat(7, 4, generate::RmatParams::skewed(), 101)
+    }
+
+    #[test]
+    fn gas_pagerank_matches_seq() {
+        let g = graph();
+        let reference = seq::pagerank(&g, 0.85, 12);
+        let got = pagerank(Comparator::Gas, &g, 3, 0.85, 12);
+        for (r, x) in reference.iter().zip(&got) {
+            assert!((r - x).abs() < 1e-9, "{r} vs {x}");
+        }
+    }
+
+    #[test]
+    fn dataflow_pagerank_matches_seq() {
+        let g = graph();
+        let reference = seq::pagerank(&g, 0.85, 8);
+        let got = pagerank(Comparator::Dataflow, &g, 2, 0.85, 8);
+        for (r, x) in reference.iter().zip(&got) {
+            assert!((r - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gas_approx_pagerank_close() {
+        let g = graph();
+        let reference = seq::pagerank(&g, 0.85, 60);
+        let (got, steps) = pagerank_approx(Comparator::Gas, &g, 2, 0.85, 1e-10, 10_000);
+        assert!(steps < 10_000);
+        for (r, x) in reference.iter().zip(&got) {
+            assert!((r - x).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn wcc_matches_seq_on_both_engines() {
+        let g = graph();
+        let reference = seq::wcc(&g);
+        assert_eq!(wcc(Comparator::Gas, &g, 3), reference);
+        assert_eq!(wcc(Comparator::Dataflow, &g, 3), reference);
+    }
+
+    #[test]
+    fn sssp_matches_seq() {
+        let g = graph().with_uniform_weights(1.0, 4.0, 5);
+        let reference = seq::sssp(&g, 0);
+        let (got, _) = sssp(Comparator::Gas, &g, 2, 0);
+        for (r, x) in reference.iter().zip(&got) {
+            assert!((r - x).abs() < 1e-9 || (r.is_infinite() && x.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn hopdist_matches_seq_on_both_engines() {
+        let g = graph();
+        let reference = seq::bfs(&g, 0);
+        assert_eq!(hopdist(Comparator::Gas, &g, 2, 0).0, reference);
+        assert_eq!(hopdist(Comparator::Dataflow, &g, 2, 0).0, reference);
+    }
+
+    #[test]
+    fn eigenvector_matches_seq() {
+        let g = graph();
+        let reference = seq::eigenvector(&g, 6);
+        let got = eigenvector(Comparator::Gas, &g, 2, 6);
+        for (r, x) in reference.iter().zip(&got) {
+            assert!((r - x).abs() < 1e-9, "{r} vs {x}");
+        }
+    }
+
+    #[test]
+    fn kcore_matches_seq_on_both_engines() {
+        let g = graph();
+        let (rk, rc) = seq::kcore(&g);
+        let (gk, gc, steps) = kcore(Comparator::Gas, &g, 2);
+        assert_eq!(gk, rk);
+        assert_eq!(gc, rc);
+        assert!(steps > rk as usize, "peeling takes many steps");
+        let (dk, dc, _) = kcore(Comparator::Dataflow, &g, 2);
+        assert_eq!(dk, rk);
+        assert_eq!(dc, rc);
+    }
+}

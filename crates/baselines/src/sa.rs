@@ -1,0 +1,515 @@
+//! The "SA" baseline: standalone single-machine implementations over
+//! direct CSR arrays with hand-rolled parallel loops (the paper's
+//! OpenMP-style standalone applications, §5.2).
+//!
+//! No framework: no tasks, no messages, no properties — just slices,
+//! atomics, and scoped threads. This is the performance bar that Table 3's
+//! `SA` row sets for every distributed system.
+
+use pgxd_graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// Splits `0..n` into `threads` contiguous ranges and runs `f(range)` on
+/// scoped threads — the moral equivalent of `#pragma omp parallel for`.
+pub fn parallel_for<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        f(0..n);
+        return;
+    }
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let f = &f;
+            let lo = n * t / threads;
+            let hi = n * (t + 1) / threads;
+            s.spawn(move || f(lo..hi));
+        }
+    });
+}
+
+/// Fills `dst[i] = f(i)` in parallel by handing each thread a disjoint
+/// chunk — the no-atomics owner-computes pattern of the OpenMP originals.
+pub fn parallel_map_into<T: Send, F>(dst: &mut [T], threads: usize, f: F)
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let n = dst.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest = dst;
+        let mut offset = 0usize;
+        for t in 0..threads {
+            let hi = n * (t + 1) / threads;
+            let size = hi - offset;
+            let (chunk, r) = rest.split_at_mut(size);
+            rest = r;
+            let f = &f;
+            let base = offset;
+            s.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(base + i);
+                }
+            });
+            offset = hi;
+        }
+    });
+}
+
+#[inline]
+fn atomic_add_f64(cell: &AtomicU64, add: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + add).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+#[inline]
+fn atomic_min_f64(cell: &AtomicU64, cand: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while cand < f64::from_bits(cur) {
+        match cell.compare_exchange_weak(
+            cur,
+            cand.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+#[inline]
+fn atomic_min_i64(cell: &AtomicI64, cand: i64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while cand < cur {
+        match cell.compare_exchange_weak(cur, cand, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Raw edge-iteration speed probe (Figure 5a's OpenMP line): sums the
+/// destination ids of every edge, in parallel, and returns the sum so the
+/// traversal cannot be optimized away.
+pub fn edge_iteration(g: &Graph, threads: usize) -> u64 {
+    let total = AtomicU64::new(0);
+    parallel_for(g.num_nodes(), threads, |range| {
+        let mut local = 0u64;
+        for v in range {
+            for &t in g.out_neighbors(v as NodeId) {
+                local = local.wrapping_add(t as u64);
+            }
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    total.into_inner()
+}
+
+/// Pull-mode exact PageRank (no atomics — each vertex is written by one
+/// thread).
+pub fn pagerank_pull(g: &Graph, damping: f64, iters: usize, threads: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f64;
+    let mut pr = vec![1.0 / n as f64; n];
+    let mut tmp = vec![0.0f64; n];
+    let mut nxt = vec![0.0f64; n];
+    for _ in 0..iters {
+        {
+            let pr_r = &pr;
+            parallel_map_into(&mut tmp, threads, |v| {
+                let d = g.out_degree(v as NodeId);
+                if d > 0 {
+                    pr_r[v] / d as f64
+                } else {
+                    0.0
+                }
+            });
+        }
+        {
+            let tmp_r = &tmp;
+            parallel_map_into(&mut nxt, threads, |v| {
+                let sum: f64 = g
+                    .in_neighbors(v as NodeId)
+                    .iter()
+                    .map(|&t| tmp_r[t as usize])
+                    .sum();
+                base + damping * sum
+            });
+        }
+        std::mem::swap(&mut pr, &mut nxt);
+    }
+    pr
+}
+
+/// Push-mode exact PageRank (atomic accumulation, like the distributed
+/// push variant).
+pub fn pagerank_push(g: &Graph, damping: f64, iters: usize, threads: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f64;
+    let mut pr = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let acc: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        {
+            let pr_r = &pr;
+            let acc_r = &acc;
+            parallel_for(n, threads, |range| {
+                for v in range {
+                    let d = g.out_degree(v as NodeId);
+                    if d == 0 {
+                        continue;
+                    }
+                    let share = pr_r[v] / d as f64;
+                    for &t in g.out_neighbors(v as NodeId) {
+                        atomic_add_f64(&acc_r[t as usize], share);
+                    }
+                }
+            });
+        }
+        for (v, cell) in acc.into_iter().enumerate() {
+            pr[v] = base + damping * f64::from_bits(cell.into_inner());
+        }
+    }
+    pr
+}
+
+/// Approximate PageRank with delta propagation and deactivation.
+pub fn pagerank_approx(g: &Graph, damping: f64, threshold: f64, threads: usize) -> (Vec<f64>, usize) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let init = (1.0 - damping) / n as f64;
+    let mut pr = vec![init; n];
+    let mut delta = vec![init; n];
+    let mut active = vec![true; n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let acc: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        {
+            let delta_r = &delta;
+            let active_r = &active;
+            let acc_r = &acc;
+            parallel_for(n, threads, |range| {
+                for v in range {
+                    if !active_r[v] {
+                        continue;
+                    }
+                    let d = g.out_degree(v as NodeId);
+                    if d == 0 {
+                        continue;
+                    }
+                    let share = delta_r[v] / d as f64;
+                    for &t in g.out_neighbors(v as NodeId) {
+                        atomic_add_f64(&acc_r[t as usize], share);
+                    }
+                }
+            });
+        }
+        let mut any = false;
+        for v in 0..n {
+            let nd = damping * f64::from_bits(acc[v].load(Ordering::Relaxed));
+            pr[v] += nd;
+            delta[v] = nd;
+            active[v] = nd >= threshold;
+            any |= active[v];
+        }
+        if !any {
+            break;
+        }
+    }
+    (pr, iterations)
+}
+
+/// Weakly connected components by parallel min-label propagation.
+pub fn wcc(g: &Graph, threads: usize) -> Vec<u32> {
+    let n = g.num_nodes();
+    let comp: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        let comp_r = &comp;
+        let changed_r = &changed;
+        parallel_for(n, threads, |range| {
+            for v in range {
+                let mine = comp_r[v].load(Ordering::Relaxed);
+                let mut best = mine;
+                for &t in g
+                    .out_neighbors(v as NodeId)
+                    .iter()
+                    .chain(g.in_neighbors(v as NodeId))
+                {
+                    best = best.min(comp_r[t as usize].load(Ordering::Relaxed));
+                }
+                if best < mine {
+                    comp_r[v].store(best, Ordering::Relaxed);
+                    changed_r.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    comp.into_iter().map(|c| c.into_inner() as u32).collect()
+}
+
+/// Parallel Bellman-Ford from `root`.
+pub fn sssp(g: &Graph, root: NodeId, threads: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
+    dist[root as usize].store(0f64.to_bits(), Ordering::Relaxed);
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        let dist_r = &dist;
+        let changed_r = &changed;
+        parallel_for(n, threads, |range| {
+            for v in range {
+                let dv = f64::from_bits(dist_r[v].load(Ordering::Relaxed));
+                if !dv.is_finite() {
+                    continue;
+                }
+                for (k, &t) in g.out_neighbors(v as NodeId).iter().enumerate() {
+                    let e = g.out_csr().edge_start(v as NodeId) + k;
+                    let cand = dv + g.weight(e);
+                    let cell = &dist_r[t as usize];
+                    if cand < f64::from_bits(cell.load(Ordering::Relaxed)) {
+                        atomic_min_f64(cell, cand);
+                        changed_r.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+    }
+    dist.into_iter()
+        .map(|c| f64::from_bits(c.into_inner()))
+        .collect()
+}
+
+/// Parallel level-synchronous BFS hop counts.
+pub fn hopdist(g: &Graph, root: NodeId, threads: usize) -> Vec<i64> {
+    let n = g.num_nodes();
+    let hops: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(i64::MAX)).collect();
+    hops[root as usize].store(0, Ordering::Relaxed);
+    let mut level = 0i64;
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::Relaxed) {
+        let hops_r = &hops;
+        let changed_r = &changed;
+        parallel_for(n, threads, |range| {
+            for v in range {
+                if hops_r[v].load(Ordering::Relaxed) != level {
+                    continue;
+                }
+                for &t in g.out_neighbors(v as NodeId) {
+                    let cell = &hops_r[t as usize];
+                    if level + 1 < cell.load(Ordering::Relaxed) {
+                        atomic_min_i64(cell, level + 1);
+                        changed_r.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        level += 1;
+    }
+    hops.into_iter().map(|c| c.into_inner()).collect()
+}
+
+/// Parallel eigenvector centrality (pull + L2 normalization).
+pub fn eigenvector(g: &Graph, iters: usize, threads: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ev = vec![1.0 / (n as f64).sqrt(); n];
+    let mut nxt = vec![0.0f64; n];
+    for _ in 0..iters {
+        {
+            let ev_r = &ev;
+            parallel_map_into(&mut nxt, threads, |v| {
+                g.in_neighbors(v as NodeId)
+                    .iter()
+                    .map(|&t| ev_r[t as usize])
+                    .sum()
+            });
+        }
+        let norm: f64 = nxt.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let inv = if norm > 0.0 { 1.0 / norm } else { 0.0 };
+        for (e, &v) in ev.iter_mut().zip(&nxt) {
+            *e = v * inv;
+        }
+    }
+    ev
+}
+
+/// Parallel k-core peeling (same degree convention as [`crate::seq::kcore`]).
+pub fn kcore(g: &Graph, threads: usize) -> (i64, Vec<i64>) {
+    let n = g.num_nodes();
+    let deg: Vec<AtomicI64> = (0..n as NodeId)
+        .map(|v| AtomicI64::new((g.in_degree(v) + g.out_degree(v)) as i64))
+        .collect();
+    let alive: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+    let mut core = vec![0i64; n];
+    let mut remaining = n;
+    let mut max_core = 0i64;
+    let mut k = 1i64;
+    while remaining > 0 {
+        loop {
+            let dying: Vec<usize> = (0..n)
+                .filter(|&v| alive[v].load(Ordering::Relaxed) && deg[v].load(Ordering::Relaxed) < k)
+                .collect();
+            if dying.is_empty() {
+                break;
+            }
+            for &v in &dying {
+                alive[v].store(false, Ordering::Relaxed);
+                core[v] = k - 1;
+                remaining -= 1;
+            }
+            let deg_r = &deg;
+            parallel_for(dying.len(), threads, |range| {
+                for i in range {
+                    let v = dying[i] as NodeId;
+                    for &t in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+                        deg_r[t as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        if remaining == 0 {
+            max_core = k - 1;
+            break;
+        }
+        max_core = k;
+        k += 1;
+    }
+    for v in 0..n {
+        if alive[v].load(Ordering::Relaxed) {
+            core[v] = max_core;
+        }
+    }
+    (max_core, core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use pgxd_graph::generate;
+
+    fn skewed() -> Graph {
+        generate::rmat(8, 5, generate::RmatParams::skewed(), 81)
+    }
+
+    #[test]
+    fn parallel_for_covers_range() {
+        let hits: Vec<AtomicI64> = (0..100).map(|_| AtomicI64::new(0)).collect();
+        parallel_for(100, 4, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_and_single() {
+        parallel_for(0, 4, |r| assert!(r.is_empty()));
+        let hit = AtomicI64::new(0);
+        parallel_for(1, 8, |r| {
+            hit.fetch_add(r.len() as i64, Ordering::Relaxed);
+        });
+        assert_eq!(hit.into_inner(), 1);
+    }
+
+    #[test]
+    fn edge_iteration_deterministic() {
+        let g = skewed();
+        let a = edge_iteration(&g, 1);
+        let b = edge_iteration(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pagerank_variants_match_seq() {
+        let g = skewed();
+        let reference = seq::pagerank(&g, 0.85, 15);
+        let pull = pagerank_pull(&g, 0.85, 15, 3);
+        let push = pagerank_push(&g, 0.85, 15, 3);
+        for ((r, a), b) in reference.iter().zip(&pull).zip(&push) {
+            assert!((r - a).abs() < 1e-9);
+            assert!((r - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn approx_close_to_exact() {
+        let g = skewed();
+        let exact = seq::pagerank(&g, 0.85, 60);
+        let (approx, iters) = pagerank_approx(&g, 0.85, 1e-10, 3);
+        assert!(iters > 1);
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 1e-5, "{e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn wcc_matches_seq() {
+        let g = skewed();
+        assert_eq!(wcc(&g, 3), seq::wcc(&g));
+    }
+
+    #[test]
+    fn sssp_matches_seq() {
+        let g = skewed().with_uniform_weights(1.0, 5.0, 3);
+        let a = sssp(&g, 0, 3);
+        let b = seq::sssp(&g, 0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9 || (x.is_infinite() && y.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn hopdist_matches_seq() {
+        let g = skewed();
+        assert_eq!(hopdist(&g, 0, 3), seq::bfs(&g, 0));
+    }
+
+    #[test]
+    fn eigenvector_matches_seq() {
+        let g = skewed();
+        let a = eigenvector(&g, 10, 3);
+        let b = seq::eigenvector(&g, 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kcore_matches_seq() {
+        let g = skewed();
+        let (ka, ca) = kcore(&g, 3);
+        let (kb, cb) = seq::kcore(&g);
+        assert_eq!(ka, kb);
+        assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion benches backing Figure 5: framework overhead (edge-iteration
+//! speed) and barrier latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgxd::Engine;
+use pgxd_bench::experiments::fig5;
+use pgxd_graph::generate::{rmat, RmatParams};
+
+fn bench_edge_iteration(c: &mut Criterion) {
+    let g = rmat(12, 16, RmatParams::skewed(), 0xF165A);
+    let edges = g.num_edges() as u64;
+
+    let mut group = c.benchmark_group("fig5a_edge_iteration");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+
+    group.bench_function("sa_2threads", |b| {
+        b.iter(|| std::hint::black_box(pgxd_baselines::sa::edge_iteration(&g, 2)))
+    });
+    group.bench_function("gas_2threads", |b| {
+        b.iter(|| std::hint::black_box(pgxd_baselines::gas::edge_iteration(&g, 2)))
+    });
+    group.bench_function("pgx_2workers", |b| {
+        b.iter(|| std::hint::black_box(fig5::pgx_edge_iteration_meps(&g, 2)))
+    });
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let g = pgxd_graph::generate::ring(64);
+    let mut group = c.benchmark_group("fig5b_barrier");
+    group.sample_size(20);
+    for machines in [2usize, 4] {
+        let mut engine = Engine::builder()
+            .machines(machines)
+            .workers(1)
+            .copiers(1)
+            .ghost_threshold(None)
+            .build(&g)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("shared", machines),
+            &machines,
+            |b, _| b.iter(|| engine.barrier_roundtrip()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("message_based", machines),
+            &machines,
+            |b, _| b.iter(|| engine.dist_barrier_roundtrip()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_iteration, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches backing Figure 6: ghost nodes, partitioning modes,
+//! and chunking modes — the ablations DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd::{ChunkingMode, Engine, PartitioningMode};
+use pgxd_bench::experiments::fig6::top_degree_nodes;
+use pgxd_bench::systems::{run_pgx, Algo};
+use pgxd_graph::generate::{rmat, RmatParams};
+use pgxd_graph::Graph;
+
+fn engine_with(
+    g: &Graph,
+    ghosts: usize,
+    part: PartitioningMode,
+    chunk: ChunkingMode,
+) -> Engine {
+    Engine::builder()
+        .machines(2)
+        .workers(2)
+        .copiers(1)
+        .chunk_edges(4 * 1024)
+        .partitioning(part)
+        .chunking(chunk)
+        .build_with_ghosts(g, top_degree_nodes(g, ghosts))
+        .unwrap()
+}
+
+fn bench_ghosts(c: &mut Criterion) {
+    let g = rmat(11, 12, RmatParams::skewed(), 0xF166A);
+    let mut group = c.benchmark_group("fig6a_ghosts");
+    group.sample_size(10);
+    for ghosts in [0usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("pr_pull", ghosts), &ghosts, |b, &k| {
+            let mut engine = engine_with(&g, k, PartitioningMode::Edge, ChunkingMode::Edge);
+            b.iter(|| std::hint::black_box(run_pgx(&mut engine, Algo::PrPull).checksum))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning_and_chunking(c: &mut Criterion) {
+    let g = rmat(11, 12, RmatParams::skewed(), 0xF166B);
+    let mut group = c.benchmark_group("fig6bc_balance");
+    group.sample_size(10);
+    let configs: [(&str, PartitioningMode, ChunkingMode); 3] = [
+        ("vertex_node", PartitioningMode::Vertex, ChunkingMode::Node),
+        ("edge_node", PartitioningMode::Edge, ChunkingMode::Node),
+        ("edge_edge", PartitioningMode::Edge, ChunkingMode::Edge),
+    ];
+    for (name, part, chunk) in configs {
+        group.bench_function(name, |b| {
+            let mut engine = engine_with(&g, 256, part, chunk);
+            b.iter(|| std::hint::black_box(run_pgx(&mut engine, Algo::PrPull).checksum))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: ghost privatization on/off (the §3.3 "Ghost Privatization"
+/// design choice — private copies trade memory for atomic-free reduction).
+fn bench_privatization(c: &mut Criterion) {
+    let g = rmat(11, 12, RmatParams::skewed(), 0xF166C);
+    let mut group = c.benchmark_group("ablation_ghost_privatization");
+    group.sample_size(10);
+    for privatize in [false, true] {
+        let name = if privatize { "private_copies" } else { "shared_atomics" };
+        group.bench_function(name, |b| {
+            let mut engine = Engine::builder()
+                .machines(2)
+                .workers(2)
+                .copiers(1)
+                .ghost_threshold(Some(64))
+                .ghost_privatization(privatize)
+                .build(&g)
+                .unwrap();
+            b.iter(|| std::hint::black_box(run_pgx(&mut engine, Algo::PrPush).checksum))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the pull-vs-push headline (Table 3's PR(pull) vs PR(push)
+/// columns, isolated).
+fn bench_pull_vs_push(c: &mut Criterion) {
+    let g = rmat(11, 12, RmatParams::skewed(), 0xF166D);
+    let mut group = c.benchmark_group("ablation_pull_vs_push");
+    group.sample_size(10);
+    for (name, algo) in [("pull", Algo::PrPull), ("push", Algo::PrPush)] {
+        group.bench_function(name, |b| {
+            let mut engine = engine_with(&g, 256, PartitioningMode::Edge, ChunkingMode::Edge);
+            b.iter(|| std::hint::black_box(run_pgx(&mut engine, algo).checksum))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ghosts,
+    bench_partitioning_and_chunking,
+    bench_privatization,
+    bench_pull_vs_push
+);
+criterion_main!(benches);

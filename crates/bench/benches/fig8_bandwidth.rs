@@ -1,0 +1,40 @@
+//! Criterion benches backing Figure 8: remote random-read bandwidth and
+//! the buffer-size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgxd_bench::experiments::fig8;
+
+fn bench_remote_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_remote_reads");
+    group.sample_size(10);
+    const READS: usize = 50_000;
+    group.throughput(Throughput::Bytes(8 * READS as u64));
+    for copiers in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("random_read", copiers),
+            &copiers,
+            |b, &cop| {
+                b.iter(|| {
+                    std::hint::black_box(fig8::remote_read_bandwidth(cop, READS, 1).effective_gbps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_buffer_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_buffer_size");
+    group.sample_size(10);
+    const TOTAL: usize = 4 << 20;
+    group.throughput(Throughput::Bytes(2 * TOTAL as u64));
+    for buf in [4usize << 10, 64 << 10, 256 << 10] {
+        group.bench_with_input(BenchmarkId::new("flood_2machines", buf), &buf, |b, &bs| {
+            b.iter(|| std::hint::black_box(fig8::flood_bandwidth_gbps(2, bs, TOTAL)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_reads, bench_buffer_sizes);
+criterion_main!(benches);

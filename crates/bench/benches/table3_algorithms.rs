@@ -1,0 +1,42 @@
+//! Criterion benches backing Table 3: per-iteration algorithm kernels on
+//! each system, on a small TWT-like instance.
+//!
+//! The `repro` binary runs the full sweep; these benches give
+//! statistically sound point measurements of the head-to-head kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgxd_bench::systems::{run, weighted, Algo, System};
+use pgxd_graph::generate::{rmat, RmatParams};
+
+fn bench_table3(c: &mut Criterion) {
+    let g = rmat(11, 12, RmatParams::skewed(), 0x7AB1E3);
+    let wg = weighted(&g);
+    let machines = 2usize;
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+
+    for algo in [Algo::PrPull, Algo::PrPush, Algo::Wcc, Algo::Sssp, Algo::HopDist] {
+        for sys in System::all() {
+            // Skip unsupported combinations (pull on push-only systems).
+            let input = if algo.needs_weights() { &wg } else { &g };
+            if run(sys, algo, input, machines).is_none() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), sys.name()),
+                &(sys, algo),
+                |b, &(sys, algo)| {
+                    b.iter(|| {
+                        let r = run(sys, algo, input, machines).unwrap();
+                        std::hint::black_box(r.checksum)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

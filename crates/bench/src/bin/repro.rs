@@ -1,0 +1,88 @@
+//! `repro` — regenerates every table and figure of the PGX.D paper.
+//!
+//! ```text
+//! cargo run -p pgxd-bench --release --bin repro -- all            # quick scale
+//! cargo run -p pgxd-bench --release --bin repro -- table3 --full # 8× larger graphs
+//! cargo run -p pgxd-bench --release --bin repro -- fig6 fig8 -v
+//! ```
+//!
+//! Text tables print to stdout; machine-readable JSON lands in `results/`.
+
+use pgxd_bench::datasets::Scale;
+use pgxd_bench::experiments::*;
+use pgxd_bench::report::{results_dir, Table};
+
+fn emit(tables: &[Table], slug: &str) {
+    let dir = results_dir();
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.render());
+        let name = if tables.len() == 1 {
+            slug.to_string()
+        } else {
+            format!("{slug}_{i}")
+        };
+        if let Some(p) = t.save_json(&dir, &name) {
+            eprintln!("[saved {}]", p.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        vec![
+            "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        ]
+    } else {
+        wanted
+    };
+
+    eprintln!(
+        "# PGX.D reproduction harness — scale: {scale:?}, experiments: {wanted:?}"
+    );
+    for exp in wanted {
+        let t0 = std::time::Instant::now();
+        eprintln!("== {exp} ==");
+        match exp {
+            "table3" => emit(&table3::run_experiment(scale, verbose), "table3"),
+            "table4" => emit(&[table4::run_experiment(scale)], "table4"),
+            "fig3" => emit(&fig3::run_experiment(scale, verbose), "fig3"),
+            "fig4" => emit(&fig4::run_experiment(scale, verbose), "fig4"),
+            "fig5" => {
+                emit(&[fig5::run_fig5a(scale)], "fig5a");
+                emit(&[fig5::run_fig5b()], "fig5b");
+            }
+            "fig6" => {
+                emit(&[fig6::run_fig6a(scale, 4)], "fig6a");
+                emit(&[fig6::run_fig6b(scale)], "fig6b");
+                emit(&[fig6::run_fig6c(scale, 2)], "fig6c");
+            }
+            "fig7" => emit(&[fig7::run_experiment(scale, 2)], "fig7"),
+            "fig8" => {
+                emit(&[fig8::run_fig8a()], "fig8a");
+                emit(&[fig8::run_fig8b()], "fig8b");
+            }
+            "verify" => {
+                let checks = verify::run_checks(scale);
+                let (text, all) = verify::report(&checks);
+                println!("{text}");
+                if !all {
+                    std::process::exit(1);
+                }
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 verify all");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("== {exp} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,133 @@
+//! Scaled-down stand-ins for the paper's Table 4 datasets.
+//!
+//! Edge/node ratios track the originals (TWT ≈ 35, WEB ≈ 38, LJ ≈ 14,
+//! WIK ≈ 8.6); absolute sizes are chosen so the whole Table 3 sweep runs
+//! on a single host. `Scale::Quick` is the default for CI-style runs;
+//! `Scale::Full` multiplies node counts by 8 for overnight runs.
+
+use pgxd_graph::generate::{rmat, uniform, RmatParams};
+use pgxd_graph::Graph;
+
+/// Benchmark size preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances (~100–500 K edges): minutes for the full suite.
+    Quick,
+    /// 8× nodes (~1–4 M edges): for longer runs.
+    Full,
+}
+
+impl Scale {
+    fn bump(self) -> u32 {
+        match self {
+            Scale::Quick => 0,
+            Scale::Full => 3,
+        }
+    }
+
+    /// Parses `--full` style flags.
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// The benchmark dataset catalog (Table 4 stand-ins plus the §5.3.1
+/// uniform graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchGraph {
+    /// Twitter-like: strongly skewed RMAT, densest of the set.
+    Twt,
+    /// Web-UK-like: larger, mildly skewed RMAT.
+    Web,
+    /// LiveJournal-like: small skewed RMAT.
+    Lj,
+    /// Wikipedia-like: small sparse RMAT.
+    Wik,
+    /// Uniform Erdős–Rényi at TWT scale (Figure 4's `UNI`).
+    Uni,
+}
+
+impl BenchGraph {
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchGraph::Twt => "TWT-S",
+            BenchGraph::Web => "WEB-S",
+            BenchGraph::Lj => "LJ-S",
+            BenchGraph::Wik => "WIK-S",
+            BenchGraph::Uni => "UNI-S",
+        }
+    }
+
+    /// The two large instances used for most of Table 3.
+    pub fn main_pair() -> [BenchGraph; 2] {
+        [BenchGraph::Twt, BenchGraph::Web]
+    }
+
+    /// The two small instances used for KCore (the originals being
+    /// "prohibitively large" for the comparators).
+    pub fn kcore_pair() -> [BenchGraph; 2] {
+        [BenchGraph::Lj, BenchGraph::Wik]
+    }
+
+    /// Generates the instance at `scale`.
+    pub fn generate(self, scale: Scale) -> Graph {
+        let b = scale.bump();
+        match self {
+            BenchGraph::Twt => rmat(13 + b, 16, RmatParams::skewed(), 0xBE11_0001),
+            BenchGraph::Web => rmat(14 + b, 18, RmatParams::mild(), 0xBE11_0002),
+            BenchGraph::Lj => rmat(12 + b, 7, RmatParams::skewed(), 0xBE11_0003),
+            BenchGraph::Wik => rmat(12 + b, 4, RmatParams::mild(), 0xBE11_0004),
+            BenchGraph::Uni => {
+                let n = 1usize << (13 + b);
+                uniform(n, n * 16, 0xBE11_0005)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sizes_reasonable() {
+        let g = BenchGraph::Twt.generate(Scale::Quick);
+        assert_eq!(g.num_nodes(), 8192);
+        assert!(g.num_edges() > 100_000);
+        let s = pgxd_graph::stats::degree_stats(&g);
+        assert!(s.top1pct_share > 0.2, "TWT stand-in must be skewed");
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let g = BenchGraph::Uni.generate(Scale::Quick);
+        let s = pgxd_graph::stats::degree_stats(&g);
+        assert!(s.top1pct_share < 0.1);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names = [
+            BenchGraph::Twt.name(),
+            BenchGraph::Web.name(),
+            BenchGraph::Lj.name(),
+            BenchGraph::Wik.name(),
+            BenchGraph::Uni.name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn scale_flag_parsing() {
+        assert_eq!(Scale::from_args(&[]), Scale::Quick);
+        assert_eq!(Scale::from_args(&["--full".into()]), Scale::Full);
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 3: relative performance, normalized to GraphLab's execution on
+//! two machines, with the SA line as the dotted reference.
+//!
+//! Derived from the same measurements as Table 3 — the figure plots
+//! `GL@2 / system` per (algorithm, graph).
+
+use crate::datasets::{BenchGraph, Scale};
+use crate::experiments::machine_counts;
+use crate::experiments::table3::{measure_graph, Table3Data};
+use crate::report::Table;
+use crate::systems::{Algo, System};
+
+/// Converts Table 3 measurements into Figure 3's relative series for one
+/// algorithm: rows = system@machines (+ SA), cells = speedup over GL@2.
+pub fn relative_series(data: &Table3Data, algo: Algo) -> Option<Table> {
+    let baseline = data
+        .cells
+        .iter()
+        .find(|&&(s, m, a, _)| s == System::Gl && m == 2 && a == algo)
+        .and_then(|&(_, _, _, v)| v)?;
+    let mut t = Table::new(
+        &format!("Figure 3 — {} on {} (relative to GL@2)", algo.name(), data.graph),
+        vec!["relative".into()],
+        "speedup over GraphLab on 2 machines; higher is better",
+    );
+    for &(sys, m, a, v) in &data.cells {
+        if a != algo {
+            continue;
+        }
+        let label = if sys == System::Sa {
+            "SA (dotted line)".to_string()
+        } else {
+            format!("{}@{m}", sys.name())
+        };
+        t.push_row(&label, vec![v.map(|x| baseline / x)]);
+    }
+    Some(t)
+}
+
+/// Full Figure 3: every algorithm × both main graphs.
+pub fn run_experiment(scale: Scale, verbose: bool) -> Vec<Table> {
+    let machines = machine_counts(scale);
+    let algos = crate::experiments::table3::main_algos();
+    let mut out = Vec::new();
+    for bg in BenchGraph::main_pair() {
+        let g = bg.generate(scale);
+        let data = measure_graph(bg.name(), &g, &algos, &machines, verbose);
+        for &algo in &algos {
+            if let Some(t) = relative_series(&data, algo) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    #[test]
+    fn relative_series_normalizes_gl2_to_one() {
+        let g = generate::rmat(6, 4, generate::RmatParams::skewed(), 9);
+        let data = measure_graph("tiny", &g, &[Algo::PrPush], &[2], false);
+        let t = relative_series(&data, Algo::PrPush).unwrap();
+        let gl_row = t.rows.iter().position(|r| r == "GL@2").unwrap();
+        let v = t.cells[gl_row][0].unwrap();
+        assert!((v - 1.0).abs() < 1e-9);
+        // PGX should be at least as fast as GL on the same graph.
+        let pgx_row = t.rows.iter().position(|r| r == "PGX@2").unwrap();
+        assert!(t.cells[pgx_row][0].unwrap() > 0.0);
+    }
+}

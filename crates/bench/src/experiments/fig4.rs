@@ -1,0 +1,55 @@
+//! Figure 4: PageRank (exact) on the uniform random graph vs TWT.
+//!
+//! §5.3.1: on an Erdős–Rényi graph "(P−1)/P of the edges would remain as
+//! crossing edges for every partition" and the workload is inherently
+//! balanced, so this isolates communication efficiency from balance. The
+//! TWT series is included for comparison; its larger PGX-vs-GL gap is the
+//! balance contribution.
+
+use crate::datasets::{BenchGraph, Scale};
+use crate::experiments::machine_counts;
+use crate::report::Table;
+use crate::systems::{run, Algo, System};
+
+/// Runs the Figure 4 sweep: {GL push, PGX push, PGX pull} × machines ×
+/// {UNI, TWT}, normalized to GL@2 per graph.
+pub fn run_experiment(scale: Scale, verbose: bool) -> Vec<Table> {
+    let machines = machine_counts(scale);
+    let mut out = Vec::new();
+    for bg in [BenchGraph::Uni, BenchGraph::Twt] {
+        let g = bg.generate(scale);
+        let mut rows: Vec<(String, Option<f64>)> = Vec::new();
+        let mut gl2: Option<f64> = None;
+        for &m in &machines {
+            let gl = run(System::Gl, Algo::PrPush, &g, m).map(|r| r.reported());
+            if m == 2 {
+                gl2 = gl;
+            }
+            let pgx_push = run(System::Pgx, Algo::PrPush, &g, m).map(|r| r.reported());
+            let pgx_pull = run(System::Pgx, Algo::PrPull, &g, m).map(|r| r.reported());
+            if verbose {
+                eprintln!(
+                    "  {} m={m}: GL={:?} PGXpush={:?} PGXpull={:?}",
+                    bg.name(),
+                    gl,
+                    pgx_push,
+                    pgx_pull
+                );
+            }
+            rows.push((format!("GL@{m}"), gl));
+            rows.push((format!("PGX(push)@{m}"), pgx_push));
+            rows.push((format!("PGX(pull)@{m}"), pgx_pull));
+        }
+        let base = gl2.expect("GL@2 baseline");
+        let mut t = Table::new(
+            &format!("Figure 4 — PageRank(exact) on {} (relative to GL@2)", bg.name()),
+            vec!["relative".into()],
+            "speedup over GraphLab on 2 machines",
+        );
+        for (label, v) in rows {
+            t.push_row(&label, vec![v.map(|x| base / x)]);
+        }
+        out.push(t);
+    }
+    out
+}

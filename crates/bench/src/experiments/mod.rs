@@ -1,0 +1,23 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table3;
+pub mod table4;
+pub mod verify;
+
+use crate::datasets::Scale;
+
+/// Machine counts swept by the distributed experiments. The paper goes to
+/// 32 physical machines; the simulation sweeps fewer since all simulated
+/// machines share one host.
+pub fn machine_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![2, 4],
+        Scale::Full => vec![2, 4, 8],
+    }
+}

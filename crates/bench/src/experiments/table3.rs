@@ -1,0 +1,159 @@
+//! Table 3: execution time of every algorithm on every system with
+//! different numbers of machines, on TWT-S and WEB-S (LJ-S and WIK-S for
+//! KCore, as in the paper).
+
+use crate::datasets::{BenchGraph, Scale};
+use crate::experiments::machine_counts;
+use crate::report::Table;
+use crate::systems::{run, weighted, Algo, System};
+use pgxd_graph::Graph;
+
+/// Raw measurements, one cell per (system, machines, algorithm, graph).
+#[derive(Clone, Debug)]
+pub struct Table3Data {
+    /// Graph label.
+    pub graph: &'static str,
+    /// `(system, machines, algo, reported_seconds)`.
+    pub cells: Vec<(System, usize, Algo, Option<f64>)>,
+}
+
+/// Algorithms measured on the main (TWT/WEB) pair.
+pub fn main_algos() -> Vec<Algo> {
+    vec![
+        Algo::PrPull,
+        Algo::PrPush,
+        Algo::PrApprox,
+        Algo::Wcc,
+        Algo::Sssp,
+        Algo::HopDist,
+        Algo::Ev,
+    ]
+}
+
+/// Runs all systems × machine counts × algorithms on one graph.
+pub fn measure_graph(
+    label: &'static str,
+    g: &Graph,
+    algos: &[Algo],
+    machines: &[usize],
+    verbose: bool,
+) -> Table3Data {
+    let weighted_g = if algos.iter().any(|a| a.needs_weights()) {
+        Some(weighted(g))
+    } else {
+        None
+    };
+    let mut cells = Vec::new();
+    for sys in System::all() {
+        let machine_list: Vec<usize> = if sys == System::Sa {
+            vec![1]
+        } else {
+            machines.to_vec()
+        };
+        for &m in &machine_list {
+            for &algo in algos {
+                let input = if algo.needs_weights() {
+                    weighted_g.as_ref().unwrap()
+                } else {
+                    g
+                };
+                let reported = run(sys, algo, input, m).map(|r| r.reported());
+                if verbose {
+                    eprintln!(
+                        "  {label} {:>4} m={m} {:<10} -> {}",
+                        sys.name(),
+                        algo.name(),
+                        crate::report::fmt_cell(reported)
+                    );
+                }
+                cells.push((sys, m, algo, reported));
+            }
+        }
+    }
+    Table3Data { graph: label, cells }
+}
+
+/// Renders one graph's measurements in the paper's layout: rows =
+/// system × machines, columns = algorithms.
+pub fn render(data: &Table3Data, algos: &[Algo]) -> Table {
+    let columns = algos.iter().map(|a| a.name().to_string()).collect();
+    let mut t = Table::new(
+        &format!("Table 3 — {} (per-iter for PR/EV, total otherwise)", data.graph),
+        columns,
+        "seconds",
+    );
+    let mut seen: Vec<(System, usize)> = Vec::new();
+    for &(sys, m, _, _) in &data.cells {
+        if !seen.contains(&(sys, m)) {
+            seen.push((sys, m));
+        }
+    }
+    for (sys, m) in seen {
+        let row: Vec<Option<f64>> = algos
+            .iter()
+            .map(|&a| {
+                data.cells
+                    .iter()
+                    .find(|&&(s, mm, aa, _)| s == sys && mm == m && aa == a)
+                    .and_then(|&(_, _, _, v)| v)
+            })
+            .collect();
+        t.push_row(&format!("{} {m}", sys.name()), row);
+    }
+    t
+}
+
+/// Full Table 3 reproduction: the main pair with seven algorithms plus the
+/// KCore pair.
+pub fn run_experiment(scale: Scale, verbose: bool) -> Vec<Table> {
+    let machines = machine_counts(scale);
+    let mut tables = Vec::new();
+    for bg in BenchGraph::main_pair() {
+        let g = bg.generate(scale);
+        let data = measure_graph(bg.name(), &g, &main_algos(), &machines, verbose);
+        tables.push(render(&data, &main_algos()));
+    }
+    for bg in BenchGraph::kcore_pair() {
+        let g = bg.generate(scale);
+        let data = measure_graph(bg.name(), &g, &[Algo::KCore], &machines, verbose);
+        tables.push(render(&data, &[Algo::KCore]));
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    #[test]
+    fn measure_and_render_tiny() {
+        let g = generate::rmat(6, 4, generate::RmatParams::skewed(), 7);
+        let data = measure_graph("tiny", &g, &[Algo::PrPush, Algo::Wcc], &[2], false);
+        // 4 systems × 1 machine-count × 2 algos.
+        assert_eq!(data.cells.len(), 8);
+        let t = render(&data, &[Algo::PrPush, Algo::Wcc]);
+        let s = t.render();
+        assert!(s.contains("SA 1"));
+        assert!(s.contains("PGX 2"));
+        assert!(!s.contains("n/a"), "all cells supported here:\n{s}");
+    }
+
+    #[test]
+    fn pull_na_for_comparators() {
+        let g = generate::rmat(6, 4, generate::RmatParams::skewed(), 8);
+        let data = measure_graph("tiny", &g, &[Algo::PrPull], &[2], false);
+        let gl = data
+            .cells
+            .iter()
+            .find(|&&(s, _, _, _)| s == System::Gl)
+            .unwrap();
+        assert!(gl.3.is_none());
+        let pgx = data
+            .cells
+            .iter()
+            .find(|&&(s, _, _, _)| s == System::Pgx)
+            .unwrap();
+        assert!(pgx.3.is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! Table 4: dataset sizes and per-system loading time.
+//!
+//! "PGX loads from a binary file format while GraphX and GraphLab load
+//! from a text file." The comparators here read the text edge list and
+//! build their in-memory adjacency; PGX.D reads the binary format and
+//! additionally partitions/distributes the graph (edge partitioning, ghost
+//! selection, fragment encoding — the §3.3 loading pipeline).
+
+use crate::datasets::{BenchGraph, Scale};
+use crate::report::Table;
+use pgxd_graph::{io, Graph};
+use pgxd_runtime::{Cluster, Config};
+use std::time::Instant;
+
+/// One loading measurement.
+#[derive(Clone, Debug)]
+pub struct LoadRow {
+    pub graph: &'static str,
+    pub nodes: usize,
+    pub edges: usize,
+    pub text_load_secs: f64,
+    pub binary_load_secs: f64,
+    pub pgx_total_secs: f64,
+}
+
+/// Measures loading for one dataset through temporary files.
+pub fn measure(bg: BenchGraph, scale: Scale, machines: usize) -> std::io::Result<LoadRow> {
+    let g = bg.generate(scale);
+    let dir = std::env::temp_dir().join("pgxd-table4");
+    std::fs::create_dir_all(&dir)?;
+    let text_path = dir.join(format!("{}.txt", bg.name()));
+    let bin_path = dir.join(format!("{}.bin", bg.name()));
+    io::write_text_edge_list(&g, std::fs::File::create(&text_path)?)?;
+    io::write_binary(&g, std::fs::File::create(&bin_path)?)?;
+
+    // Comparator-style load: parse text, build CSR + reverse view.
+    let t0 = Instant::now();
+    let loaded_text: Graph = io::read_text_edge_list(std::fs::File::open(&text_path)?)?;
+    let text_load_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(loaded_text.num_edges(), g.num_edges());
+
+    // PGX.D-style load: binary read + full distributed setup.
+    let t1 = Instant::now();
+    let loaded_bin = io::read_binary(std::fs::File::open(&bin_path)?)?;
+    let binary_load_secs = t1.elapsed().as_secs_f64();
+    let cluster = Cluster::load(&loaded_bin, Config::bench(machines)).expect("cluster load");
+    let pgx_total_secs = t1.elapsed().as_secs_f64();
+    drop(cluster);
+
+    let _ = std::fs::remove_file(&text_path);
+    let _ = std::fs::remove_file(&bin_path);
+    Ok(LoadRow {
+        graph: bg.name(),
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        text_load_secs,
+        binary_load_secs,
+        pgx_total_secs,
+    })
+}
+
+/// Runs Table 4 over the four dataset stand-ins.
+pub fn run_experiment(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 4 — graph sizes and loading time",
+        vec![
+            "nodes".into(),
+            "edges".into(),
+            "text(GL/GX)".into(),
+            "binary".into(),
+            "PGX total".into(),
+        ],
+        "counts / seconds; PGX total = binary read + partition + distribute",
+    );
+    for bg in [
+        BenchGraph::Lj,
+        BenchGraph::Wik,
+        BenchGraph::Twt,
+        BenchGraph::Web,
+    ] {
+        let row = measure(bg, scale, 4).expect("table4 measurement");
+        t.push_row(
+            row.graph,
+            vec![
+                Some(row.nodes as f64),
+                Some(row.edges as f64),
+                Some(row.text_load_secs),
+                Some(row.binary_load_secs),
+                Some(row.pgx_total_secs),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_load_beats_text() {
+        let row = measure(BenchGraph::Lj, Scale::Quick, 2).unwrap();
+        assert!(row.nodes > 0 && row.edges > 0);
+        assert!(
+            row.binary_load_secs < row.text_load_secs,
+            "binary {} vs text {}",
+            row.binary_load_secs,
+            row.text_load_secs
+        );
+        assert!(row.pgx_total_secs >= row.binary_load_secs);
+    }
+}

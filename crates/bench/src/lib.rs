@@ -1,0 +1,16 @@
+//! Benchmark harness regenerating every table and figure of the PGX.D
+//! paper's evaluation (§5).
+//!
+//! The heavyweight sweeps live in the `repro` binary (`cargo run -p
+//! pgxd-bench --release --bin repro -- <experiment>`); the Criterion
+//! benches under `benches/` provide statistically sound micro-measurements
+//! of the same quantities. DESIGN.md maps each experiment to the modules
+//! it exercises; EXPERIMENTS.md records paper-vs-measured outcomes.
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod systems;
+
+pub use datasets::{BenchGraph, Scale};
+pub use systems::{Algo, System};

@@ -1,0 +1,165 @@
+//! Table formatting and machine-readable result output.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A generic results table: row labels × column labels, `Option<f64>`
+/// cells (`None` prints as `n/a`, matching Table 3's convention).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Table 3 — TWT-S").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `cells[r][c]`.
+    pub cells: Vec<Vec<Option<f64>>>,
+    /// Unit note printed under the table.
+    pub unit: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, columns: Vec<String>, unit: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            columns,
+            rows: Vec::new(),
+            cells: Vec::new(),
+            unit: unit.to_string(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: &str, cells: Vec<Option<f64>>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(label.to_string());
+        self.cells.push(cells);
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut label_w = self.rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        label_w = label_w.max(4);
+        let col_w: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                let max_cell = self
+                    .cells
+                    .iter()
+                    .map(|row| fmt_cell(row[c]).len())
+                    .max()
+                    .unwrap_or(0);
+                h.len().max(max_cell).max(6)
+            })
+            .collect();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for (h, w) in self.columns.iter().zip(&col_w) {
+            let _ = write!(out, "  {h:>w$}");
+        }
+        let _ = writeln!(out);
+        for (label, row) in self.rows.iter().zip(&self.cells) {
+            let _ = write!(out, "{label:<label_w$}");
+            for (cell, w) in row.iter().zip(&col_w) {
+                let _ = write!(out, "  {:>w$}", fmt_cell(*cell));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "({})", self.unit);
+        out
+    }
+
+    /// Writes the table as JSON under `dir/<slug>.json` and returns the
+    /// path. Errors are reported, not fatal (benches still print).
+    pub fn save_json(&self, dir: &Path, slug: &str) -> Option<std::path::PathBuf> {
+        std::fs::create_dir_all(dir).ok()?;
+        let path = dir.join(format!("{slug}.json"));
+        let json = serde_json::to_string_pretty(self).ok()?;
+        std::fs::write(&path, json).ok()?;
+        Some(path)
+    }
+}
+
+/// Formats seconds compactly: 3 significant-ish digits like the paper.
+pub fn fmt_cell(v: Option<f64>) -> String {
+    match v {
+        None => "n/a".to_string(),
+        Some(0.0) => "0".to_string(),
+        Some(x) => {
+            let ax = x.abs();
+            if ax >= 100.0 {
+                format!("{x:.0}")
+            } else if ax >= 10.0 {
+                format!("{x:.1}")
+            } else if ax >= 1.0 {
+                format!("{x:.2}")
+            } else if ax >= 0.001 {
+                format!("{x:.4}")
+            } else {
+                format!("{x:.2e}")
+            }
+        }
+    }
+}
+
+/// Default output directory for JSON results.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_basic() {
+        let mut t = Table::new(
+            "Demo",
+            vec!["a".into(), "b".into()],
+            "seconds",
+        );
+        t.push_row("r1", vec![Some(1.234), None]);
+        t.push_row("row2", vec![Some(123.4), Some(0.00042)]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("n/a"));
+        assert!(s.contains("1.23"));
+        assert!(s.contains("123"));
+        assert!(s.contains("row2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", vec!["a".into()], "s");
+        t.push_row("r", vec![Some(1.0), Some(2.0)]);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(fmt_cell(None), "n/a");
+        assert_eq!(fmt_cell(Some(0.0)), "0");
+        assert_eq!(fmt_cell(Some(1234.0)), "1234");
+        assert_eq!(fmt_cell(Some(56.78)), "56.8");
+        assert_eq!(fmt_cell(Some(3.456)), "3.46");
+        assert_eq!(fmt_cell(Some(0.0123)), "0.0123");
+        assert!(fmt_cell(Some(1e-6)).contains('e'));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("pgxd-report-test");
+        let mut t = Table::new("J", vec!["c".into()], "s");
+        t.push_row("r", vec![Some(2.0)]);
+        let p = t.save_json(&dir, "demo").unwrap();
+        let s = std::fs::read_to_string(p).unwrap();
+        assert!(s.contains("\"title\": \"J\""));
+    }
+}

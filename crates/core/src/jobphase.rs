@@ -1,0 +1,202 @@
+//! The main parallel phase: the run-to-completion worker loop over the
+//! chunk queue (§3.2).
+//!
+//! Each worker: grab a chunk → for each active vertex run the task over
+//! its edges → invoke locally-satisfied continuations → opportunistically
+//! drain responses → repeat; once the queue is empty, flush the request
+//! buffers and keep draining responses until the job is globally complete
+//! ("a particular job completes when the task list is empty and there are
+//! no unfinished remote requests").
+
+use crate::scope::TaskScope;
+use crate::task::{Dir, EdgeCtx, EdgeTask, NodeCtx, NodeTask, ReadDoneCtx};
+use pgxd_runtime::chunk::ChunkQueue;
+use pgxd_runtime::message::MsgKind;
+use pgxd_runtime::phase::{JobState, Phase, WorkerEnv};
+use pgxd_runtime::props::{PropId, ReduceOp};
+use std::sync::Arc;
+
+/// Invokes the pending locally-satisfied `read_done` continuations.
+fn drain_local<F: Fn(&mut ReadDoneCtx<'_, '_>)>(scope: &mut TaskScope<'_>, read_done: &F) {
+    while let Some((rec, bits)) = scope.local_reads.pop() {
+        let mut ctx = ReadDoneCtx {
+            scope,
+            node: rec.node as usize,
+            aux: rec.aux,
+            bits,
+        };
+        read_done(&mut ctx);
+    }
+}
+
+/// Drains the worker's response queue once; returns whether anything was
+/// processed.
+fn drain_responses<F: Fn(&mut ReadDoneCtx<'_, '_>)>(
+    scope: &mut TaskScope<'_>,
+    read_done: &F,
+) -> bool {
+    let mut worked = false;
+    while let Some(resp) = scope.comm.try_pop_response() {
+        worked = true;
+        match resp.env.kind {
+            MsgKind::ReadResp => {
+                for (i, rec) in resp.recs.iter().enumerate() {
+                    let bits = pgxd_runtime::message::resp_entry(&resp.env.payload, i);
+                    let mut ctx = ReadDoneCtx {
+                        scope,
+                        node: rec.node as usize,
+                        aux: rec.aux,
+                        bits,
+                    };
+                    read_done(&mut ctx);
+                }
+            }
+            MsgKind::RmiResp => {
+                for (bytes, rec) in pgxd_runtime::message::rmi_resp_entries(&resp.env.payload)
+                    .zip(resp.recs.iter())
+                {
+                    let mut first = [0u8; 8];
+                    let n = bytes.len().min(8);
+                    first[..n].copy_from_slice(&bytes[..n]);
+                    let mut ctx = ReadDoneCtx {
+                        scope,
+                        node: rec.node as usize,
+                        aux: rec.aux,
+                        bits: u64::from_le_bytes(first),
+                    };
+                    read_done(&mut ctx);
+                }
+            }
+            _ => unreachable!("worker queues carry only responses"),
+        }
+        scope.comm.finish_response(resp);
+        drain_local(scope, read_done);
+    }
+    worked
+}
+
+/// Flush + drain until the phase is globally complete, then merge
+/// privatized ghosts. Shared tail of both job phase kinds.
+fn finish_phase<F: Fn(&mut ReadDoneCtx<'_, '_>)>(
+    scope: &mut TaskScope<'_>,
+    job: &JobState,
+    machine_id: usize,
+    worker_idx: usize,
+    read_done: &F,
+) {
+    job.mark_tasks_done(machine_id, worker_idx);
+    scope.comm.flush();
+    loop {
+        if drain_responses(scope, read_done) {
+            scope.comm.flush();
+            continue;
+        }
+        if job.is_complete() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    job.mark_drained(machine_id, worker_idx);
+    scope.merge_privs();
+    scope.publish_stats();
+}
+
+/// The main phase of an edge-iterator job.
+pub(crate) struct EdgeJobPhase<T: EdgeTask> {
+    pub task: Arc<T>,
+    pub dir: Dir,
+    pub reduces: Vec<(PropId, ReduceOp)>,
+    pub privatize: bool,
+    /// One chunk queue per machine.
+    pub queues: Vec<Arc<ChunkQueue>>,
+    pub job: Arc<JobState>,
+}
+
+impl<T: EdgeTask> Phase for EdgeJobPhase<T> {
+    fn execute(&self, env: &mut WorkerEnv<'_>) {
+        let machine = env.machine;
+        let machine_id = machine.id as usize;
+        let worker_idx = env.worker_idx;
+        let mut scope = TaskScope::new(machine, env.comm, &self.reduces, self.privatize);
+        let task = &*self.task;
+        let read_done = |ctx: &mut ReadDoneCtx<'_, '_>| task.read_done(ctx);
+        let queue = &self.queues[machine_id];
+
+        while let Some(chunk) = queue.pop() {
+            for node in chunk {
+                {
+                    let mut nctx = NodeCtx {
+                        scope: &mut scope,
+                        node,
+                    };
+                    if !task.filter(&mut nctx) {
+                        continue;
+                    }
+                }
+                let frag = match self.dir {
+                    Dir::Out => &machine.graph.out,
+                    Dir::In => &machine.graph.inn,
+                };
+                for edge in frag.edge_range(node) {
+                    let target = frag.targets[edge];
+                    let mut ctx = EdgeCtx {
+                        scope: &mut scope,
+                        node,
+                        edge,
+                        target,
+                        dir: self.dir,
+                    };
+                    task.run(&mut ctx);
+                }
+                drain_local(&mut scope, &read_done);
+            }
+            self.job.retire();
+            drain_responses(&mut scope, &read_done);
+        }
+        finish_phase(&mut scope, &self.job, machine_id, worker_idx, &read_done);
+    }
+}
+
+/// The main phase of a node-iterator job.
+pub(crate) struct NodeJobPhase<T: NodeTask> {
+    pub task: Arc<T>,
+    pub reduces: Vec<(PropId, ReduceOp)>,
+    pub privatize: bool,
+    pub queues: Vec<Arc<ChunkQueue>>,
+    pub job: Arc<JobState>,
+}
+
+impl<T: NodeTask> Phase for NodeJobPhase<T> {
+    fn execute(&self, env: &mut WorkerEnv<'_>) {
+        let machine = env.machine;
+        let machine_id = machine.id as usize;
+        let worker_idx = env.worker_idx;
+        let mut scope = TaskScope::new(machine, env.comm, &self.reduces, self.privatize);
+        let task = &*self.task;
+        let read_done = |ctx: &mut ReadDoneCtx<'_, '_>| task.read_done(ctx);
+        let queue = &self.queues[machine_id];
+
+        while let Some(chunk) = queue.pop() {
+            for node in chunk {
+                let skip = {
+                    let mut nctx = NodeCtx {
+                        scope: &mut scope,
+                        node,
+                    };
+                    if task.filter(&mut nctx) {
+                        task.run(&mut nctx);
+                        false
+                    } else {
+                        true
+                    }
+                };
+                if !skip {
+                    drain_local(&mut scope, &read_done);
+                }
+            }
+            self.job.retire();
+            drain_responses(&mut scope, &read_done);
+        }
+        finish_phase(&mut scope, &self.job, machine_id, worker_idx, &read_done);
+    }
+}

@@ -1,0 +1,79 @@
+//! PGX.D programming model — the public API of the reproduction.
+//!
+//! This crate implements §4 of the paper on top of `pgxd-runtime`:
+//!
+//! * [`Engine`] — the driver-side facade: load a graph into the simulated
+//!   cluster, create properties, run jobs, inspect results (§4.2's
+//!   top-level execution model: sequential regions on the driver,
+//!   parallel regions as jobs).
+//! * [`EdgeTask`] / [`NodeTask`] — the run-to-completion task interface
+//!   (§4.1.2): implement `run()` (and `read_done()` for *data pulling*)
+//!   and the engine invokes it for every edge (or node) of the graph in
+//!   parallel, across machines.
+//! * [`EdgeCtx`] / [`ReadDoneCtx`] / [`NodeCtx`] — the accessors the paper
+//!   exposes as `get_local` / `set_local` / `write_remote<OP>` /
+//!   `read_remote`, plus neighbor/degree/weight helpers.
+//! * [`JobSpec`] — the per-job property declaration ("the program needs to
+//!   define what properties are used in the region as well as how they are
+//!   used — to be read or to be written (reduced)"), which drives the
+//!   automatic ghost synchronization.
+//!
+//! # Example: pull-mode PageRank kernel
+//!
+//! ```
+//! use pgxd::{Engine, EdgeTask, EdgeCtx, ReadDoneCtx, Dir, JobSpec, Prop, ReduceOp};
+//! use pgxd_graph::generate;
+//!
+//! struct PullSum { src: Prop<f64>, dst: Prop<f64> }
+//! impl EdgeTask for PullSum {
+//!     fn run(&self, ctx: &mut EdgeCtx<'_, '_>) {
+//!         ctx.read_nbr(self.src); // continues in read_done, even cross-machine
+//!     }
+//!     fn read_done(&self, ctx: &mut ReadDoneCtx<'_, '_>) {
+//!         let v: f64 = ctx.value();
+//!         let cur: f64 = ctx.get(self.dst);
+//!         ctx.set(self.dst, cur + v); // same worker per node: no atomics
+//!     }
+//! }
+//!
+//! let g = generate::ring(64);
+//! let mut engine = Engine::builder().machines(2).build(&g).unwrap();
+//! let src = engine.add_prop("src", 1.0f64);
+//! let dst = engine.add_prop("dst", 0.0f64);
+//! engine.run_edge_job(
+//!     Dir::In,
+//!     &JobSpec::new().read(src).reduce(dst, ReduceOp::Sum),
+//!     PullSum { src, dst },
+//! );
+//! // Every ring node has exactly one in-neighbor with src == 1.0.
+//! assert_eq!(engine.gather(dst), vec![1.0f64; 64]);
+//! ```
+
+mod closure_tasks;
+mod engine;
+mod jobphase;
+mod prop;
+mod scope;
+mod spec;
+mod task;
+pub mod vector;
+pub mod tune;
+
+pub use engine::{Engine, EngineBuilder, JobReport};
+pub use prop::Prop;
+pub use spec::JobSpec;
+pub use task::{Dir, EdgeCtx, EdgeTask, NodeCtx, NodeTask, ReadDoneCtx};
+
+/// Closure-based ad-hoc kernels (see [`tasks::on_edge`]).
+pub mod tasks {
+    pub use crate::closure_tasks::{
+        on_edge, on_edge_filtered, on_edge_pull, on_node, EdgeClosure, EdgePullClosure,
+        FilteredEdgeClosure, NodeClosure,
+    };
+}
+
+// Re-exports so algorithm code only needs `pgxd`.
+pub use pgxd_runtime::config::{ChunkingMode, Config, NetConfig, PartitioningMode};
+pub use pgxd_runtime::props::{PropValue, ReduceOp};
+pub use pgxd_runtime::stats::{Breakdown, StatsSnapshot};
+pub use pgxd_graph::NodeId;

@@ -1,0 +1,55 @@
+//! Typed property handles.
+
+use pgxd_runtime::props::{PropId, PropValue};
+use std::marker::PhantomData;
+
+/// A typed handle to a distributed node property.
+///
+/// `Prop<T>` is a 2-byte id plus a phantom type: copying it around is free,
+/// and the type parameter statically prevents reading an `f64` column as
+/// `i64`. Handles are created by [`crate::Engine::add_prop`].
+pub struct Prop<T: PropValue> {
+    pub(crate) id: PropId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: PropValue> Prop<T> {
+    pub(crate) fn new(id: PropId) -> Self {
+        Prop {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The untyped runtime id.
+    pub fn id(&self) -> PropId {
+        self.id
+    }
+}
+
+impl<T: PropValue> Clone for Prop<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: PropValue> Copy for Prop<T> {}
+
+impl<T: PropValue> std::fmt::Debug for Prop<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Prop#{}", self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_copy_and_cheap() {
+        let p: Prop<f64> = Prop::new(PropId(3));
+        let q = p;
+        assert_eq!(p.id(), q.id());
+        assert_eq!(std::mem::size_of::<Prop<f64>>(), 2);
+        assert_eq!(format!("{p:?}"), "Prop#3");
+    }
+}

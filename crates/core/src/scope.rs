@@ -1,0 +1,189 @@
+//! Worker-local execution scope shared by all task contexts of one phase.
+//!
+//! The scope is where the Data Manager decisions of §3.3 happen at
+//! runtime: a property access against an [`EncTarget`] is resolved to a
+//! plain local load/store, a (possibly privatized) ghost-slot reduction, or
+//! a buffered remote request.
+
+use pgxd_runtime::ids::MachineId;
+use pgxd_runtime::localgraph::EncTarget;
+use pgxd_runtime::machine::MachineState;
+use pgxd_runtime::props::{bottom_bits, reduce_bits, Column, PropId, ReduceOp, TypeTag};
+use pgxd_runtime::worker::{SideRec, WorkerComm};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A thread-private ghost copy of one reduced property (§3.3 "Ghost
+/// Privatization": "during the parallel region, reductions to the
+/// properties are applied to the thread-private copies without using
+/// atomic instructions").
+struct PrivGhost {
+    prop: PropId,
+    op: ReduceOp,
+    tag: TypeTag,
+    bottom: u64,
+    vals: Vec<u64>,
+}
+
+/// Per-worker, per-phase execution state.
+pub(crate) struct TaskScope<'a> {
+    pub machine: &'a Arc<MachineState>,
+    pub comm: &'a mut WorkerComm,
+    /// Lazily resolved property columns, indexed by prop id.
+    cols: Vec<Option<Arc<Column>>>,
+    /// Thread-private ghost copies (empty when privatization is off or the
+    /// job reduces nothing).
+    privs: Vec<PrivGhost>,
+    /// Locally satisfied reads waiting for their `read_done` callback
+    /// ("if the other node is in the same machine, read_done() is
+    /// immediately invoked with the pointer to the local data").
+    pub(crate) local_reads: Vec<(SideRec, u64)>,
+    /// Batched local-access statistics, published at phase end.
+    stat_local_reads: u64,
+    stat_local_writes: u64,
+}
+
+impl<'a> TaskScope<'a> {
+    pub fn new(
+        machine: &'a Arc<MachineState>,
+        comm: &'a mut WorkerComm,
+        reduces: &[(PropId, ReduceOp)],
+        privatize: bool,
+    ) -> Self {
+        let num_ghosts = machine.graph.num_ghosts();
+        let privs = if privatize && num_ghosts > 0 {
+            reduces
+                .iter()
+                .map(|&(prop, op)| {
+                    let tag = machine.props.column(prop).tag();
+                    let bottom = bottom_bits(tag, op);
+                    PrivGhost {
+                        prop,
+                        op,
+                        tag,
+                        bottom,
+                        vals: vec![bottom; num_ghosts],
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        TaskScope {
+            machine,
+            comm,
+            cols: Vec::new(),
+            privs,
+            local_reads: Vec::new(),
+            stat_local_reads: 0,
+            stat_local_writes: 0,
+        }
+    }
+
+    /// Resolves (and caches) a property column.
+    #[inline]
+    pub fn col(&mut self, p: PropId) -> &Arc<Column> {
+        let idx = p.0 as usize;
+        if self.cols.len() <= idx {
+            self.cols.resize_with(idx + 1, || None);
+        }
+        if self.cols[idx].is_none() {
+            self.cols[idx] = Some(self.machine.props.column(p));
+        }
+        self.cols[idx].as_ref().unwrap()
+    }
+
+    /// Plain load of a local column index.
+    #[inline]
+    pub fn load_local(&mut self, p: PropId, index: usize) -> u64 {
+        self.col(p).load_bits(index)
+    }
+
+    /// Plain store to a local column index.
+    #[inline]
+    pub fn store_local(&mut self, p: PropId, index: usize, bits: u64) {
+        self.col(p).store_bits(index, bits);
+    }
+
+    /// Applies a write-reduction against an encoded target: the §3.3 /
+    /// §3.4 dispatch (ghost-private / local-atomic / buffered-remote).
+    pub fn reduce_target(&mut self, target: EncTarget, p: PropId, op: ReduceOp, bits: u64) {
+        if target.is_remote() {
+            let gid = target.global_id();
+            self.comm.push_mut(gid.machine(), p, op, gid.offset(), bits);
+            return;
+        }
+        let index = target.local_index();
+        let num_local = self.machine.graph.num_local();
+        if index >= num_local {
+            let ord = index - num_local;
+            if let Some(pg) = self.privs.iter_mut().find(|pg| pg.prop == p && pg.op == op) {
+                pg.vals[ord] = reduce_bits(pg.tag, op, pg.vals[ord], bits);
+                return;
+            }
+        }
+        self.stat_local_writes += 1;
+        self.col(p).reduce_bits_atomic(index, op, bits);
+    }
+
+    /// Issues a read against an encoded target; local targets are answered
+    /// immediately into `local_reads`, remote ones are buffered.
+    pub fn read_target(&mut self, rec: SideRec, target: EncTarget, p: PropId) {
+        if target.is_remote() {
+            let gid = target.global_id();
+            self.comm.push_read(gid.machine(), p, gid.offset(), rec);
+        } else {
+            self.stat_local_reads += 1;
+            let bits = self.col(p).load_bits(target.local_index());
+            self.local_reads.push((rec, bits));
+        }
+    }
+
+    /// Reduces a value into an arbitrary vertex by *global* id, local or
+    /// not (used by node tasks that target non-neighbors).
+    pub fn reduce_global(&mut self, v: pgxd_graph::NodeId, p: PropId, op: ReduceOp, bits: u64) {
+        let part = &self.machine.partition;
+        let owner: MachineId = part.owner(v);
+        let offset = v - part.start(owner);
+        if owner == self.machine.id {
+            self.stat_local_writes += 1;
+            self.col(p).reduce_bits_atomic(offset as usize, op, bits);
+        } else {
+            self.comm.push_mut(owner, p, op, offset, bits);
+        }
+    }
+
+    /// Publishes batched local-access statistics to the machine counters.
+    pub fn publish_stats(&mut self) {
+        if self.stat_local_reads > 0 {
+            self.machine
+                .stats
+                .local_reads
+                .fetch_add(self.stat_local_reads, Ordering::Relaxed);
+            self.stat_local_reads = 0;
+        }
+        if self.stat_local_writes > 0 {
+            self.machine
+                .stats
+                .local_writes
+                .fetch_add(self.stat_local_writes, Ordering::Relaxed);
+            self.stat_local_writes = 0;
+        }
+    }
+
+    /// Merges thread-private ghost partials into the machine's shared
+    /// ghost slots (stage one of the two-staged ghost synchronization:
+    /// "first between cores and then between machines").
+    pub fn merge_privs(&mut self) {
+        let num_local = self.machine.graph.num_local();
+        let privs = std::mem::take(&mut self.privs);
+        for pg in &privs {
+            let col = self.col(pg.prop).clone();
+            for (ord, &bits) in pg.vals.iter().enumerate() {
+                if bits != pg.bottom {
+                    col.reduce_bits_atomic(num_local + ord, pg.op, bits);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-job property declarations (§4.2).
+//!
+//! "The user needs to specify the list of properties that are read and
+//! written for each job; reduction operators also need to be specified for
+//! the properties that are written. Then, PGX.D automatically takes care of
+//! synchronization of properties between ghost nodes between each job."
+
+use crate::prop::Prop;
+use pgxd_runtime::props::{PropId, PropValue, ReduceOp};
+
+/// Declares how a parallel region uses its properties.
+#[derive(Clone, Debug, Default)]
+pub struct JobSpec {
+    pub(crate) reads: Vec<PropId>,
+    pub(crate) reduces: Vec<(PropId, ReduceOp)>,
+}
+
+impl JobSpec {
+    /// An empty declaration (no remote reads, no reductions): suitable for
+    /// jobs that only touch node-local state.
+    pub fn new() -> Self {
+        JobSpec::default()
+    }
+
+    /// Declares a property that the region reads (possibly from
+    /// neighbors). Ghost copies of it are refreshed before the region runs.
+    pub fn read<T: PropValue>(mut self, p: Prop<T>) -> Self {
+        if !self.reads.contains(&p.id) {
+            self.reads.push(p.id);
+        }
+        self
+    }
+
+    /// Declares a property that the region writes with reduction `op`.
+    /// Ghost copies are bottom-initialized before, and merged to the owner
+    /// after, the region.
+    pub fn reduce<T: PropValue>(mut self, p: Prop<T>, op: ReduceOp) -> Self {
+        assert!(
+            !self.reduces.iter().any(|(id, _)| *id == p.id),
+            "property declared reduced twice"
+        );
+        self.reduces.push((p.id, op));
+        self
+    }
+
+    /// True if the spec declares nothing (ghost phases can be skipped).
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.reduces.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let a: Prop<f64> = Prop::new(PropId(0));
+        let b: Prop<i64> = Prop::new(PropId(1));
+        let s = JobSpec::new().read(a).reduce(b, ReduceOp::Sum);
+        assert_eq!(s.reads, vec![PropId(0)]);
+        assert_eq!(s.reduces, vec![(PropId(1), ReduceOp::Sum)]);
+        assert!(!s.is_empty());
+        assert!(JobSpec::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_reads_deduped() {
+        let a: Prop<f64> = Prop::new(PropId(0));
+        let s = JobSpec::new().read(a).read(a);
+        assert_eq!(s.reads.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced twice")]
+    fn duplicate_reduce_panics() {
+        let a: Prop<f64> = Prop::new(PropId(0));
+        let _ = JobSpec::new()
+            .reduce(a, ReduceOp::Sum)
+            .reduce(a, ReduceOp::Min);
+    }
+}

@@ -1,0 +1,309 @@
+//! Task traits and execution contexts (§4.1).
+//!
+//! A PGX.D task is a run-to-completion context object: `run()` is invoked
+//! once per edge (or node) and always returns; remote reads requested
+//! inside `run()` continue later in `read_done()`, on the *same* worker
+//! thread, with whatever state the task saved in its fields or in node
+//! properties (§4.1.2).
+
+use crate::prop::Prop;
+use crate::scope::TaskScope;
+use pgxd_graph::NodeId;
+use pgxd_runtime::localgraph::EncTarget;
+use pgxd_runtime::props::{PropValue, ReduceOp};
+use pgxd_runtime::worker::SideRec;
+
+/// Which neighbor set an edge task iterates: the paper's
+/// `outnbr_iter_task` / `innbr_iter_task` split. `In` is what enables the
+/// natural *data pulling* form of algorithms like PageRank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Iterate each node's outgoing edges (push-friendly).
+    Out,
+    /// Iterate each node's incoming edges (pull-friendly).
+    In,
+}
+
+/// A neighborhood-iteration task: `run` executes for every (in- or out-)
+/// edge of every active vertex.
+pub trait EdgeTask: Send + Sync + 'static {
+    /// Vertex filter, evaluated once per vertex before its edges run
+    /// ("a custom filter method which is evaluated for each vertex prior
+    /// to its execution"). Return `false` to skip the vertex entirely.
+    fn filter(&self, _ctx: &mut NodeCtx<'_, '_>) -> bool {
+        true
+    }
+
+    /// The per-edge kernel.
+    fn run(&self, ctx: &mut EdgeCtx<'_, '_>);
+
+    /// Continuation for reads issued by `run` (one callback per
+    /// `read_nbr`). Guaranteed to execute on the worker that ran `run`.
+    fn read_done(&self, _ctx: &mut ReadDoneCtx<'_, '_>) {}
+}
+
+/// A per-vertex task (the paper's node iterator): `run` executes once per
+/// active vertex.
+pub trait NodeTask: Send + Sync + 'static {
+    /// Vertex filter (see [`EdgeTask::filter`]).
+    fn filter(&self, _ctx: &mut NodeCtx<'_, '_>) -> bool {
+        true
+    }
+
+    /// The per-vertex kernel.
+    fn run(&self, ctx: &mut NodeCtx<'_, '_>);
+
+    /// Continuation for reads issued by `run`.
+    fn read_done(&self, _ctx: &mut ReadDoneCtx<'_, '_>) {}
+}
+
+/// Context over the *current vertex* (filters and node tasks).
+pub struct NodeCtx<'s, 'a> {
+    pub(crate) scope: &'s mut TaskScope<'a>,
+    pub(crate) node: usize,
+}
+
+impl NodeCtx<'_, '_> {
+    /// Global id of the current vertex.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.scope.machine.graph.to_global(self.node)
+    }
+
+    /// `get_local`: reads a property of the current vertex.
+    #[inline]
+    pub fn get<T: PropValue>(&mut self, p: Prop<T>) -> T {
+        T::from_bits(self.scope.load_local(p.id, self.node))
+    }
+
+    /// `set_local`: writes a property of the current vertex. Safe without
+    /// atomics because one vertex is processed by one worker.
+    #[inline]
+    pub fn set<T: PropValue>(&mut self, p: Prop<T>, v: T) {
+        self.scope.store_local(p.id, self.node, v.to_bits());
+    }
+
+    /// Full out-degree of the current vertex.
+    #[inline]
+    pub fn out_degree(&self) -> usize {
+        self.scope.machine.graph.out.degree(self.node)
+    }
+
+    /// Full in-degree of the current vertex.
+    #[inline]
+    pub fn in_degree(&self) -> usize {
+        self.scope.machine.graph.inn.degree(self.node)
+    }
+
+    /// `write_remote` to an arbitrary vertex by global id (reduction).
+    #[inline]
+    pub fn reduce_global<T: PropValue>(&mut self, v: NodeId, p: Prop<T>, op: ReduceOp, val: T) {
+        self.scope.reduce_global(v, p.id, op, val.to_bits());
+    }
+
+    /// Issues a remote method invocation on machine `dst`; the response
+    /// arrives in `read_done` with `aux` as the tag and the first 8 bytes
+    /// of the response as the value.
+    #[inline]
+    pub fn rmi(&mut self, dst: u16, fn_id: u16, args: &[u8], aux: u64) {
+        let rec = SideRec {
+            node: self.node as u32,
+            aux,
+        };
+        self.scope.comm.push_rmi(dst, fn_id, args, rec);
+    }
+}
+
+/// Context over the *current edge* (edge tasks): the current vertex plus
+/// one neighbor.
+pub struct EdgeCtx<'s, 'a> {
+    pub(crate) scope: &'s mut TaskScope<'a>,
+    pub(crate) node: usize,
+    pub(crate) edge: usize,
+    pub(crate) target: EncTarget,
+    pub(crate) dir: Dir,
+}
+
+impl EdgeCtx<'_, '_> {
+    /// Global id of the current vertex.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.scope.machine.graph.to_global(self.node)
+    }
+
+    /// Global id of the neighbor on this edge.
+    #[inline]
+    pub fn nbr(&self) -> NodeId {
+        if self.target.is_remote() {
+            let gid = self.target.global_id();
+            self.scope.machine.partition.start(gid.machine()) + gid.offset()
+        } else {
+            let idx = self.target.local_index();
+            let g = &self.scope.machine.graph;
+            if idx < g.num_local() {
+                g.to_global(idx)
+            } else {
+                g.ghosts().node_at((idx - g.num_local()) as u32)
+            }
+        }
+    }
+
+    /// True when the neighbor lives on another machine *and* is not
+    /// ghosted (i.e. touching it costs a message).
+    #[inline]
+    pub fn is_nbr_remote(&self) -> bool {
+        self.target.is_remote()
+    }
+
+    /// `get_local` on the current vertex.
+    #[inline]
+    pub fn get<T: PropValue>(&mut self, p: Prop<T>) -> T {
+        T::from_bits(self.scope.load_local(p.id, self.node))
+    }
+
+    /// `set_local` on the current vertex.
+    #[inline]
+    pub fn set<T: PropValue>(&mut self, p: Prop<T>, v: T) {
+        self.scope.store_local(p.id, self.node, v.to_bits());
+    }
+
+    /// `write_remote<OP>`: reduces `val` into the neighbor's property —
+    /// applied immediately if the neighbor is local or ghosted, buffered
+    /// into a write-request message otherwise (the *data pushing* pattern).
+    #[inline]
+    pub fn write_nbr<T: PropValue>(&mut self, p: Prop<T>, op: ReduceOp, val: T) {
+        self.scope.reduce_target(self.target, p.id, op, val.to_bits());
+    }
+
+    /// `read_remote`: requests the neighbor's property value; continues in
+    /// [`EdgeTask::read_done`] (the *data pulling* pattern, which
+    /// conventional systems disallow).
+    #[inline]
+    pub fn read_nbr<T: PropValue>(&mut self, p: Prop<T>) {
+        self.read_nbr_tagged(p, 0);
+    }
+
+    /// Like [`Self::read_nbr`] with a user tag made available as
+    /// [`ReadDoneCtx::aux`] — the paper's mechanism for state-machine tasks
+    /// that continue more than once.
+    #[inline]
+    pub fn read_nbr_tagged<T: PropValue>(&mut self, p: Prop<T>, aux: u64) {
+        let rec = SideRec {
+            node: self.node as u32,
+            aux,
+        };
+        self.scope.read_target(rec, self.target, p.id);
+    }
+
+    /// Weight of the current edge (1.0 for unweighted graphs).
+    #[inline]
+    pub fn edge_weight(&self) -> f64 {
+        let frag = match self.dir {
+            Dir::Out => &self.scope.machine.graph.out,
+            Dir::In => &self.scope.machine.graph.inn,
+        };
+        if frag.weights.is_empty() {
+            1.0
+        } else {
+            frag.weights[self.edge]
+        }
+    }
+
+    /// Full out-degree of the current vertex.
+    #[inline]
+    pub fn out_degree(&self) -> usize {
+        self.scope.machine.graph.out.degree(self.node)
+    }
+
+    /// Full in-degree of the current vertex.
+    #[inline]
+    pub fn in_degree(&self) -> usize {
+        self.scope.machine.graph.inn.degree(self.node)
+    }
+
+    /// Full out-degree of the neighbor, when known without communication
+    /// (local vertices and ghosted hubs); `None` for plain remote
+    /// neighbors.
+    #[inline]
+    pub fn nbr_out_degree(&self) -> Option<usize> {
+        if self.target.is_remote() {
+            None
+        } else {
+            Some(
+                self.scope
+                    .machine
+                    .graph
+                    .out_degree_of_index(self.target.local_index()),
+            )
+        }
+    }
+
+    /// Full in-degree of the neighbor, when known without communication.
+    #[inline]
+    pub fn nbr_in_degree(&self) -> Option<usize> {
+        if self.target.is_remote() {
+            None
+        } else {
+            Some(
+                self.scope
+                    .machine
+                    .graph
+                    .in_degree_of_index(self.target.local_index()),
+            )
+        }
+    }
+
+    /// `write_remote` to an arbitrary vertex by global id.
+    #[inline]
+    pub fn reduce_global<T: PropValue>(&mut self, v: NodeId, p: Prop<T>, op: ReduceOp, val: T) {
+        self.scope.reduce_global(v, p.id, op, val.to_bits());
+    }
+}
+
+/// Continuation context: the value fetched by a `read_nbr` (or the first 8
+/// response bytes of an RMI), plus local access to the originating vertex.
+pub struct ReadDoneCtx<'s, 'a> {
+    pub(crate) scope: &'s mut TaskScope<'a>,
+    pub(crate) node: usize,
+    pub(crate) aux: u64,
+    pub(crate) bits: u64,
+}
+
+impl ReadDoneCtx<'_, '_> {
+    /// Global id of the vertex whose task issued the read.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.scope.machine.graph.to_global(self.node)
+    }
+
+    /// The tag passed to `read_nbr_tagged` (0 for `read_nbr`).
+    #[inline]
+    pub fn aux(&self) -> u64 {
+        self.aux
+    }
+
+    /// The fetched value.
+    #[inline]
+    pub fn value<T: PropValue>(&self) -> T {
+        T::from_bits(self.bits)
+    }
+
+    /// `get_local` on the originating vertex.
+    #[inline]
+    pub fn get<T: PropValue>(&mut self, p: Prop<T>) -> T {
+        T::from_bits(self.scope.load_local(p.id, self.node))
+    }
+
+    /// `set_local` on the originating vertex. Race-free: all callbacks for
+    /// one vertex run on one worker.
+    #[inline]
+    pub fn set<T: PropValue>(&mut self, p: Prop<T>, v: T) {
+        self.scope.store_local(p.id, self.node, v.to_bits());
+    }
+
+    /// `write_remote` to an arbitrary vertex by global id.
+    #[inline]
+    pub fn reduce_global<T: PropValue>(&mut self, v: NodeId, p: Prop<T>, op: ReduceOp, val: T) {
+        self.scope.reduce_global(v, p.id, op, val.to_bits());
+    }
+}

@@ -1,0 +1,277 @@
+//! Edge-list accumulation and CSR construction.
+
+use crate::csr::{Csr, Graph};
+use crate::NodeId;
+
+/// Accumulates a directed edge list and builds a [`Graph`].
+///
+/// Construction follows the paper's preprocessing assumption: vertices are
+/// already numbered `0..N-1`. The builder tracks the maximum endpoint seen,
+/// so `num_nodes` may also be set explicitly to include isolated trailing
+/// vertices.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(NodeId, NodeId)>,
+    weights: Option<Vec<f64>>,
+    num_nodes: usize,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// A builder with no edges and an implicit node count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder pre-sized for `n` nodes and approximately `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            weights: None,
+            num_nodes: n,
+            dedup: false,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Forces at least `n` nodes even if higher ids never appear in edges.
+    pub fn set_num_nodes(&mut self, n: usize) -> &mut Self {
+        self.num_nodes = self.num_nodes.max(n);
+        self
+    }
+
+    /// Removes duplicate parallel edges during `build`.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Drops self loops during `build`.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Adds one directed edge.
+    #[inline]
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        debug_assert!(
+            self.weights.is_none(),
+            "mixing weighted and unweighted edges"
+        );
+        self.edges.push((src, dst));
+        self
+    }
+
+    /// Adds one directed weighted edge.
+    #[inline]
+    pub fn add_weighted_edge(&mut self, src: NodeId, dst: NodeId, w: f64) -> &mut Self {
+        let weights = self.weights.get_or_insert_with(Vec::new);
+        debug_assert_eq!(
+            weights.len(),
+            self.edges.len(),
+            "mixing weighted and unweighted edges"
+        );
+        self.edges.push((src, dst));
+        weights.push(w);
+        self
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the graph: counting-sort by source into CSR, sort each
+    /// neighbor list, derive the reverse view.
+    pub fn build(mut self) -> Graph {
+        let implicit_n = self
+            .edges
+            .iter()
+            .map(|&(s, d)| s.max(d) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = self.num_nodes.max(implicit_n);
+
+        if self.drop_self_loops {
+            match &mut self.weights {
+                Some(w) => {
+                    let mut keep = self.edges.iter().map(|&(s, d)| s != d);
+                    w.retain(|_| keep.next().unwrap());
+                    self.edges.retain(|&(s, d)| s != d);
+                }
+                None => self.edges.retain(|&(s, d)| s != d),
+            }
+        }
+
+        // Counting sort by source.
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(s, _) in &self.edges {
+            row_ptr[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let m = self.edges.len();
+        let mut col_idx = vec![0 as NodeId; m];
+        let mut wout = self.weights.as_ref().map(|_| vec![0.0f64; m]);
+        let mut cursor = row_ptr.clone();
+        for (i, &(s, d)) in self.edges.iter().enumerate() {
+            let slot = cursor[s as usize];
+            cursor[s as usize] += 1;
+            col_idx[slot] = d;
+            if let (Some(wo), Some(wi)) = (wout.as_mut(), self.weights.as_ref()) {
+                wo[slot] = wi[i];
+            }
+        }
+
+        // Sort each neighbor list (weights follow their edge).
+        for v in 0..n {
+            let (lo, hi) = (row_ptr[v], row_ptr[v + 1]);
+            if hi - lo > 1 {
+                match wout.as_mut() {
+                    None => col_idx[lo..hi].sort_unstable(),
+                    Some(w) => {
+                        let mut pairs: Vec<(NodeId, f64)> = col_idx[lo..hi]
+                            .iter()
+                            .copied()
+                            .zip(w[lo..hi].iter().copied())
+                            .collect();
+                        pairs.sort_unstable_by(|a, b| {
+                            a.0.cmp(&b.0).then(a.1.total_cmp(&b.1))
+                        });
+                        for (k, (c, ww)) in pairs.into_iter().enumerate() {
+                            col_idx[lo + k] = c;
+                            w[lo + k] = ww;
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.dedup {
+            let mut new_row = vec![0usize; n + 1];
+            let mut new_col = Vec::with_capacity(m);
+            let mut new_w = wout.as_ref().map(|_| Vec::with_capacity(m));
+            for v in 0..n {
+                let (lo, hi) = (row_ptr[v], row_ptr[v + 1]);
+                let mut last: Option<NodeId> = None;
+                for e in lo..hi {
+                    if last != Some(col_idx[e]) {
+                        new_col.push(col_idx[e]);
+                        if let (Some(nw), Some(w)) = (new_w.as_mut(), wout.as_ref()) {
+                            nw.push(w[e]);
+                        }
+                        last = Some(col_idx[e]);
+                    }
+                }
+                new_row[v + 1] = new_col.len();
+            }
+            row_ptr = new_row;
+            col_idx = new_col;
+            wout = new_w;
+        }
+
+        let csr = Csr::from_parts(row_ptr, col_idx);
+        let g = Graph::from_out_csr(csr);
+        match wout {
+            Some(w) => g.with_weights(w),
+            None => g,
+        }
+    }
+}
+
+/// Convenience: builds a graph straight from an iterator of `(src, dst)`.
+pub fn graph_from_edges<I>(n: usize, edges: I) -> Graph
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(n);
+    for (s, d) in edges {
+        b.add_edge(s, d);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple() {
+        let g = graph_from_edges(4, vec![(2, 0), (0, 1), (0, 2), (1, 3)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(2), &[0]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn implicit_node_count() {
+        let g = graph_from_edges(0, vec![(0, 7)]);
+        assert_eq!(g.num_nodes(), 8);
+    }
+
+    #[test]
+    fn explicit_node_count_with_isolated_tail() {
+        let g = graph_from_edges(10, vec![(0, 1)]);
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut b = GraphBuilder::new().dedup(true);
+        b.add_edge(0, 1).add_edge(0, 1).add_edge(0, 2).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn self_loops_dropped_on_request() {
+        let mut b = GraphBuilder::new().drop_self_loops(true);
+        b.add_edge(0, 0).add_edge(0, 1).add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn weighted_build_keeps_weight_with_edge() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 2, 2.5)
+            .add_weighted_edge(0, 1, 1.5)
+            .add_weighted_edge(1, 0, 0.5);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        // After sorting, weight 1.5 must travel with dst=1.
+        let e0 = g.out_csr().edge_start(0);
+        assert_eq!(g.weight(e0), 1.5);
+        assert_eq!(g.weight(e0 + 1), 2.5);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn weighted_self_loop_drop_keeps_alignment() {
+        let mut b = GraphBuilder::new().drop_self_loops(true);
+        b.add_weighted_edge(0, 0, 9.0)
+            .add_weighted_edge(0, 1, 1.0)
+            .add_weighted_edge(1, 1, 8.0)
+            .add_weighted_edge(1, 0, 2.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.weight(g.out_csr().edge_start(0)), 1.0);
+        assert_eq!(g.weight(g.out_csr().edge_start(1)), 2.0);
+    }
+}

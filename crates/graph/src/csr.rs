@@ -1,0 +1,423 @@
+//! Compressed Sparse Row storage and the [`Graph`] bundle.
+
+use crate::{EdgeIdx, NodeId};
+
+/// A Compressed Sparse Row adjacency structure.
+///
+/// `row_ptr` has `num_nodes + 1` entries; the neighbors of node `n` occupy
+/// `col_idx[row_ptr[n] .. row_ptr[n + 1]]`. Neighbor lists are sorted in
+/// ascending order, which the partitioner exploits to locate the first
+/// remote neighbor with a binary search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    row_ptr: Vec<EdgeIdx>,
+    col_idx: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from raw parts, validating the structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_ptr` is empty, not monotonically non-decreasing, does
+    /// not end at `col_idx.len()`, or if any column index is out of range.
+    pub fn from_parts(row_ptr: Vec<EdgeIdx>, col_idx: Vec<NodeId>) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at the edge count"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be monotonically non-decreasing"
+        );
+        let n = (row_ptr.len() - 1) as NodeId;
+        assert!(
+            col_idx.iter().all(|&c| c < n || n == 0),
+            "column index out of range"
+        );
+        Csr { row_ptr, col_idx }
+    }
+
+    /// An empty graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Csr {
+            row_ptr: vec![0; n + 1],
+            col_idx: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Degree of node `n` in this view.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.row_ptr[n as usize + 1] - self.row_ptr[n as usize]
+    }
+
+    /// Index of the first edge of node `n`.
+    #[inline]
+    pub fn edge_start(&self, n: NodeId) -> EdgeIdx {
+        self.row_ptr[n as usize]
+    }
+
+    /// One past the index of the last edge of node `n`.
+    #[inline]
+    pub fn edge_end(&self, n: NodeId) -> EdgeIdx {
+        self.row_ptr[n as usize + 1]
+    }
+
+    /// The neighbors of node `n`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.col_idx[self.edge_start(n)..self.edge_end(n)]
+    }
+
+    /// The full row-pointer array (length `num_nodes + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[EdgeIdx] {
+        &self.row_ptr
+    }
+
+    /// The full column-index array (length `num_edges`).
+    #[inline]
+    pub fn col_idx(&self) -> &[NodeId] {
+        &self.col_idx
+    }
+
+    /// Iterates `(source, edge_index, destination)` over every edge.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, EdgeIdx, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |n| {
+            (self.edge_start(n)..self.edge_end(n)).map(move |e| (n, e, self.col_idx[e]))
+        })
+    }
+
+    /// Builds the transposed (reversed) CSR and, for each reverse edge, the
+    /// index of the corresponding forward edge (so per-edge data such as
+    /// weights can be addressed from either direction).
+    ///
+    /// Uses the classical counting-sort transpose: O(N + E) time, one pass
+    /// to count in-degrees and one pass to scatter.
+    pub fn transpose(&self) -> (Csr, Vec<EdgeIdx>) {
+        let n = self.num_nodes();
+        let m = self.num_edges();
+        let mut row_ptr = vec![0usize; n + 1];
+        for &dst in &self.col_idx {
+            row_ptr[dst as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0 as NodeId; m];
+        let mut fwd_edge = vec![0 as EdgeIdx; m];
+        let mut cursor = row_ptr.clone();
+        for src in 0..n as NodeId {
+            for e in self.edge_start(src)..self.edge_end(src) {
+                let dst = self.col_idx[e] as usize;
+                let slot = cursor[dst];
+                cursor[dst] += 1;
+                col_idx[slot] = src;
+                fwd_edge[slot] = e;
+            }
+        }
+        // Scattering sources in ascending order keeps each in-neighbor list
+        // sorted, so the invariant holds without an extra sort.
+        (Csr { row_ptr, col_idx }, fwd_edge)
+    }
+
+    /// Verifies all structural invariants; used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.is_empty() {
+            return Err("row_ptr empty".into());
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return Err("row_ptr does not end at edge count".into());
+        }
+        if !self.row_ptr.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("row_ptr not monotone".into());
+        }
+        let n = self.num_nodes() as NodeId;
+        for node in 0..n {
+            let nbrs = self.neighbors(node);
+            if !nbrs.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("neighbors of {node} not sorted"));
+            }
+            if nbrs.iter().any(|&c| c >= n) {
+                return Err(format!("neighbor of {node} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A directed graph: forward and reverse CSR views plus optional edge
+/// weights, all kept consistent.
+///
+/// The reverse view is what lets PGX.D schedule *pull*-pattern iterations
+/// (`innbr_iter_task` in the paper) without flipping the algorithm.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    out: Csr,
+    inn: Csr,
+    /// For each reverse edge, the index of the matching forward edge.
+    in_to_out: Vec<EdgeIdx>,
+    /// Optional per-edge weights, indexed by *forward* edge index.
+    weights: Option<Vec<f64>>,
+}
+
+impl Graph {
+    /// Builds a graph from a forward CSR, deriving the reverse view.
+    pub fn from_out_csr(out: Csr) -> Self {
+        let (inn, in_to_out) = out.transpose();
+        Graph {
+            out,
+            inn,
+            in_to_out,
+            weights: None,
+        }
+    }
+
+    /// Attaches per-edge weights (forward edge order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != num_edges`.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.num_edges(), "one weight per edge");
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Generates uniform random weights in `[lo, hi)`, as the paper does for
+    /// SSSP ("We generated these values using a uniform random
+    /// distribution").
+    pub fn with_uniform_weights(self, lo: f64, hi: f64, seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let m = self.num_edges();
+        let w = (0..m).map(|_| rng.random_range(lo..hi)).collect();
+        self.with_weights(w)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out.num_nodes()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Forward (out-edge) CSR view.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// Reverse (in-edge) CSR view.
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.inn
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out.degree(n)
+    }
+
+    /// In-degree of `n`.
+    #[inline]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.inn.degree(n)
+    }
+
+    /// Out-neighbors of `n`.
+    #[inline]
+    pub fn out_neighbors(&self, n: NodeId) -> &[NodeId] {
+        self.out.neighbors(n)
+    }
+
+    /// In-neighbors of `n`.
+    #[inline]
+    pub fn in_neighbors(&self, n: NodeId) -> &[NodeId] {
+        self.inn.neighbors(n)
+    }
+
+    /// Maps a reverse-edge index to its forward-edge index.
+    #[inline]
+    pub fn in_edge_to_out_edge(&self, in_edge: EdgeIdx) -> EdgeIdx {
+        self.in_to_out[in_edge]
+    }
+
+    /// Edge weights in forward edge order, if attached.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Weight of a forward edge, defaulting to 1.0 for unweighted graphs.
+    #[inline]
+    pub fn weight(&self, out_edge: EdgeIdx) -> f64 {
+        match &self.weights {
+            Some(w) => w[out_edge],
+            None => 1.0,
+        }
+    }
+
+    /// Checks consistency between the forward and reverse views.
+    pub fn validate(&self) -> Result<(), String> {
+        self.out.validate()?;
+        self.inn.validate()?;
+        if self.out.num_nodes() != self.inn.num_nodes() {
+            return Err("node count mismatch between views".into());
+        }
+        if self.out.num_edges() != self.inn.num_edges() {
+            return Err("edge count mismatch between views".into());
+        }
+        if self.in_to_out.len() != self.out.num_edges() {
+            return Err("in_to_out length mismatch".into());
+        }
+        // Every reverse edge must point back at a forward edge with matching
+        // endpoints.
+        for dst in 0..self.num_nodes() as NodeId {
+            for (k, &src) in self.in_neighbors(dst).iter().enumerate() {
+                let rev_e = self.inn.edge_start(dst) + k;
+                let fwd_e = self.in_to_out[rev_e];
+                if fwd_e >= self.out.num_edges() {
+                    return Err("in_to_out points past edge array".into());
+                }
+                if self.out.col_idx()[fwd_e] != dst {
+                    return Err(format!("edge mapping broken at ({src},{dst})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_parts(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3])
+    }
+
+    #[test]
+    fn from_parts_valid() {
+        let c = diamond();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_edges(), 4);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbors(3), &[] as &[NodeId]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at the edge count")]
+    fn from_parts_bad_tail() {
+        Csr::from_parts(vec![0, 1], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonically")]
+    fn from_parts_not_monotone() {
+        Csr::from_parts(vec![0, 2, 1, 3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn from_parts_col_out_of_range() {
+        Csr::from_parts(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Csr::empty(3);
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.degree(2), 0);
+    }
+
+    #[test]
+    fn transpose_diamond() {
+        let c = diamond();
+        let (t, fwd) = c.transpose();
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[NodeId]);
+        assert!(t.validate().is_ok());
+        // reverse edge 0 is (1 <- 0) i.e. forward edge 0
+        assert_eq!(fwd.len(), 4);
+        for dst in 0..4u32 {
+            for (k, &src) in t.neighbors(dst).iter().enumerate() {
+                let e = fwd[t.edge_start(dst) + k];
+                assert_eq!(c.col_idx()[e], dst);
+                assert!(c.neighbors(src).contains(&dst));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let c = diamond();
+        let (t, _) = c.transpose();
+        let (tt, _) = t.transpose();
+        assert_eq!(c, tt);
+    }
+
+    #[test]
+    fn graph_bundle_roundtrip() {
+        let g = Graph::from_out_csr(diamond());
+        assert!(g.validate().is_ok());
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.weight(0), 1.0);
+    }
+
+    #[test]
+    fn weights_attach_and_map() {
+        let g = Graph::from_out_csr(diamond()).with_weights(vec![1.0, 2.0, 3.0, 4.0]);
+        // in-edges of node 3 are forward edges (1->3) and (2->3)
+        let in_start = g.in_csr().edge_start(3);
+        let w0 = g.weight(g.in_edge_to_out_edge(in_start));
+        let w1 = g.weight(g.in_edge_to_out_edge(in_start + 1));
+        let mut ws = [w0, w1];
+        ws.sort_by(f64::total_cmp);
+        assert_eq!(ws, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let g = Graph::from_out_csr(diamond()).with_uniform_weights(1.0, 10.0, 42);
+        for &w in g.weights().unwrap() {
+            assert!((1.0..10.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let c = diamond();
+        let edges: Vec<_> = c.iter_edges().collect();
+        assert_eq!(
+            edges,
+            vec![(0, 0, 1), (0, 1, 2), (1, 2, 3), (2, 3, 3)]
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Snapshot-based dynamic graphs — the §6.4 outlook ("our goal is to add
+//! support for [...] dynamic graphs [...] while keeping its ability to
+//! perform classical computational analytics by using snapshots of these
+//! graphs").
+//!
+//! A [`GraphDelta`] batches edge insertions/removals and vertex additions;
+//! [`GraphDelta::apply`] materializes the next immutable snapshot, which
+//! loads into a fresh engine like any other graph. This is the
+//! snapshot-per-epoch model the paper proposes for algorithms that do not
+//! support in-place updates.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+use std::collections::HashSet;
+
+/// A batch of pending updates against a base snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    added_edges: Vec<(NodeId, NodeId, Option<f64>)>,
+    removed_edges: HashSet<(NodeId, NodeId)>,
+    new_min_nodes: usize,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Queues a directed edge insertion.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.added_edges.push((src, dst, None));
+        self
+    }
+
+    /// Queues a weighted edge insertion.
+    pub fn add_weighted_edge(&mut self, src: NodeId, dst: NodeId, w: f64) -> &mut Self {
+        self.added_edges.push((src, dst, Some(w)));
+        self
+    }
+
+    /// Queues removal of *all* parallel `src -> dst` edges present in the
+    /// base snapshot. Removing an edge also cancels any queued insertion
+    /// of the same pair earlier in this delta.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.removed_edges.insert((src, dst));
+        self.added_edges
+            .retain(|&(s, d, _)| (s, d) != (src, dst));
+        self
+    }
+
+    /// Grows the vertex space to at least `n` (new vertices start
+    /// isolated).
+    pub fn grow_nodes(&mut self, n: usize) -> &mut Self {
+        self.new_min_nodes = self.new_min_nodes.max(n);
+        self
+    }
+
+    /// Number of queued insertions.
+    pub fn pending_additions(&self) -> usize {
+        self.added_edges.len()
+    }
+
+    /// Number of queued removals.
+    pub fn pending_removals(&self) -> usize {
+        self.removed_edges.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.added_edges.is_empty() && self.removed_edges.is_empty() && self.new_min_nodes == 0
+    }
+
+    /// Materializes the next snapshot: base minus removals plus additions.
+    /// O(V + E + |delta|); the base snapshot is untouched (algorithms can
+    /// keep running on it).
+    pub fn apply(&self, base: &Graph) -> Graph {
+        let weighted = base.weights().is_some() || self.added_edges.iter().any(|e| e.2.is_some());
+        let n = base.num_nodes().max(self.new_min_nodes);
+        let mut b = GraphBuilder::with_capacity(
+            n,
+            base.num_edges() + self.added_edges.len(),
+        );
+        b.set_num_nodes(n);
+        for (src, e, dst) in base.out_csr().iter_edges() {
+            if self.removed_edges.contains(&(src, dst)) {
+                continue;
+            }
+            if weighted {
+                b.add_weighted_edge(src, dst, base.weight(e));
+            } else {
+                b.add_edge(src, dst);
+            }
+        }
+        for &(src, dst, w) in &self.added_edges {
+            if weighted {
+                b.add_weighted_edge(src, dst, w.unwrap_or(1.0));
+            } else {
+                b.add_edge(src, dst);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::generate;
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = generate::rmat(7, 4, generate::RmatParams::skewed(), 7);
+        let d = GraphDelta::new();
+        assert!(d.is_empty());
+        let g2 = d.apply(&g);
+        assert_eq!(g.out_csr(), g2.out_csr());
+    }
+
+    #[test]
+    fn additions_and_removals() {
+        let g = graph_from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let mut d = GraphDelta::new();
+        d.add_edge(3, 0).remove_edge(1, 2);
+        assert_eq!(d.pending_additions(), 1);
+        assert_eq!(d.pending_removals(), 1);
+        let g2 = d.apply(&g);
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(g2.out_neighbors(3), &[0]);
+        assert_eq!(g2.out_neighbors(1), &[] as &[u32]);
+        // Base snapshot untouched.
+        assert_eq!(g.out_neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn removal_cancels_queued_addition() {
+        let g = graph_from_edges(3, vec![(0, 1)]);
+        let mut d = GraphDelta::new();
+        d.add_edge(1, 2).remove_edge(1, 2);
+        let g2 = d.apply(&g);
+        assert_eq!(g2.num_edges(), 1);
+    }
+
+    #[test]
+    fn removal_drops_all_parallel_edges() {
+        let g = graph_from_edges(2, vec![(0, 1), (0, 1), (0, 1)]);
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1);
+        assert_eq!(d.apply(&g).num_edges(), 0);
+    }
+
+    #[test]
+    fn grow_nodes_adds_isolated_vertices() {
+        let g = graph_from_edges(2, vec![(0, 1)]);
+        let mut d = GraphDelta::new();
+        d.grow_nodes(10).add_edge(9, 0);
+        let g2 = d.apply(&g);
+        assert_eq!(g2.num_nodes(), 10);
+        assert_eq!(g2.out_neighbors(9), &[0]);
+        assert_eq!(g2.out_degree(5), 0);
+    }
+
+    #[test]
+    fn weights_preserved_and_extended() {
+        let g = graph_from_edges(3, vec![(0, 1), (1, 2)]);
+        // Base unweighted + weighted addition → all edges get weights.
+        let mut d = GraphDelta::new();
+        d.add_weighted_edge(2, 0, 7.5);
+        let g2 = d.apply(&g);
+        let w = g2.weights().expect("snapshot should be weighted");
+        assert_eq!(w.len(), 3);
+        // Base edges default to 1.0.
+        assert_eq!(g2.weight(g2.out_csr().edge_start(0)), 1.0);
+        assert_eq!(g2.weight(g2.out_csr().edge_start(2)), 7.5);
+    }
+
+    #[test]
+    fn chained_snapshots() {
+        let mut g = generate::ring(8);
+        for step in 0..3 {
+            let mut d = GraphDelta::new();
+            d.add_edge(step, (step + 4) % 8);
+            g = d.apply(&g);
+        }
+        assert_eq!(g.num_edges(), 11);
+        assert!(g.validate().is_ok());
+    }
+}

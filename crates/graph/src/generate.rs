@@ -1,0 +1,378 @@
+//! Synthetic graph generators standing in for the paper's datasets.
+//!
+//! The evaluation (§5) runs on four real-world graphs (LiveJournal,
+//! Wikipedia, Twitter, Web-UK) plus one uniform random graph. The real
+//! instances are not redistributable at their original scale, so this
+//! reproduction uses:
+//!
+//! * [`rmat`] — recursive-matrix graphs whose heavy-tailed degree
+//!   distribution matches the skew of the social/web graphs (this skew is
+//!   what the ghost-node and edge-partitioning experiments depend on);
+//! * [`uniform`] — Erdős–Rényi G(n, m), exactly what §5.3.1 specifies for
+//!   the communication-efficiency experiment;
+//! * small structured graphs (ring, star, path, complete, grid, tree) for
+//!   tests with hand-checkable answers.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the RMAT recursive quadrant split.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability mass of the (0,0) quadrant; higher `a` → more skew.
+    pub a: f64,
+    /// Probability mass of the (0,1) quadrant.
+    pub b: f64,
+    /// Probability mass of the (1,0) quadrant.
+    pub c: f64,
+    /// Noise applied to the quadrant probabilities per level, which avoids
+    /// the degenerate "staircase" degree distribution of noiseless RMAT.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph500-style parameters (a=0.57): strong skew, Twitter-like hubs.
+    pub fn skewed() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+
+    /// Milder skew, closer to a web-crawl host graph.
+    pub fn mild() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates an RMAT graph with `2^scale` nodes and `edge_factor * 2^scale`
+/// directed edges (before dedup, self-loop removal keeps counts close).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m).drop_self_loops(true);
+    b.set_num_nodes(n);
+    for _ in 0..m {
+        let (src, dst) = rmat_edge(scale, params, &mut rng);
+        b.add_edge(src, dst);
+    }
+    b.build()
+}
+
+fn rmat_edge(scale: u32, p: RmatParams, rng: &mut SmallRng) -> (NodeId, NodeId) {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    for _ in 0..scale {
+        // Jitter the quadrant probabilities a little per level.
+        let jitter = |x: f64, rng: &mut SmallRng| {
+            let u: f64 = rng.random_range(-0.5..0.5);
+            (x * (1.0 + p.noise * u)).max(0.0)
+        };
+        let a = jitter(p.a, rng);
+        let b = jitter(p.b, rng);
+        let c = jitter(p.c, rng);
+        let d = (1.0 - p.a - p.b - p.c).max(0.0);
+        let d = jitter(d, rng);
+        let total = a + b + c + d;
+        let r: f64 = rng.random_range(0.0..total);
+        let (sbit, dbit) = if r < a {
+            (0, 0)
+        } else if r < a + b {
+            (0, 1)
+        } else if r < a + b + c {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        src = (src << 1) | sbit;
+        dst = (dst << 1) | dbit;
+    }
+    (src as NodeId, dst as NodeId)
+}
+
+/// Generates a uniform Erdős–Rényi G(n, m) multigraph (self loops removed),
+/// the workload of the §5.3.1 communication experiment: "no matter how
+/// partitioned, (P−1)/P of the edges would remain as crossing edges".
+pub fn uniform(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "uniform graph needs at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    b.set_num_nodes(n);
+    for _ in 0..m {
+        let src = rng.random_range(0..n as NodeId);
+        let mut dst = rng.random_range(0..n as NodeId);
+        if dst == src {
+            dst = (dst + 1) % n as NodeId;
+        }
+        b.add_edge(src, dst);
+    }
+    b.build()
+}
+
+/// Directed ring: `i -> (i+1) % n`.
+pub fn ring(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    b.set_num_nodes(n);
+    for i in 0..n as NodeId {
+        b.add_edge(i, (i + 1) % n as NodeId);
+    }
+    b.build()
+}
+
+/// Directed path: `i -> i+1` for `i < n-1`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.set_num_nodes(n);
+    for i in 0..n.saturating_sub(1) as NodeId {
+        b.add_edge(i, i + 1);
+    }
+    b.build()
+}
+
+/// Star: hub 0 with edges to and from every spoke — a minimal high-skew
+/// graph, useful for exercising the ghost-node threshold logic.
+pub fn star(spokes: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(spokes + 1, 2 * spokes);
+    b.set_num_nodes(spokes + 1);
+    for i in 1..=spokes as NodeId {
+        b.add_edge(0, i);
+        b.add_edge(i, 0);
+    }
+    b.build()
+}
+
+/// Complete directed graph on `n` nodes (no self loops).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    b.set_num_nodes(n);
+    for i in 0..n as NodeId {
+        for j in 0..n as NodeId {
+            if i != j {
+                b.add_edge(i, j);
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2D grid with edges right and down: node `(r, c)` is `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    b.set_num_nodes(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with edges parent → child, `n` nodes.
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.set_num_nodes(n);
+    for i in 1..n {
+        b.add_edge(((i - 1) / 2) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// The scaled-down dataset catalog used across the benchmark harness.
+///
+/// Sizes preserve the paper's edge/node ratios (TWT ≈ 35, WEB ≈ 38,
+/// LJ ≈ 14, WIK ≈ 8.6) at roughly 1/500 of the original scale so that the
+/// full Table 3 sweep completes on one host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Twitter-like: strongly skewed RMAT.
+    TwtS,
+    /// Web-UK-like: larger, mildly skewed RMAT.
+    WebS,
+    /// LiveJournal-like: small skewed RMAT.
+    LjS,
+    /// Wikipedia-like: small, sparse, mildly skewed RMAT.
+    WikS,
+    /// Uniform Erdős–Rényi at TWT-like scale (§5.3.1).
+    UniS,
+}
+
+impl Dataset {
+    /// Canonical name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::TwtS => "TWT-S",
+            Dataset::WebS => "WEB-S",
+            Dataset::LjS => "LJ-S",
+            Dataset::WikS => "WIK-S",
+            Dataset::UniS => "UNI-S",
+        }
+    }
+
+    /// Generates the instance at the default benchmark scale.
+    pub fn generate(self) -> Graph {
+        self.generate_scaled(0)
+    }
+
+    /// Generates with `extra_scale` doublings of the node count, for
+    /// memory-permitting larger runs.
+    pub fn generate_scaled(self, extra_scale: u32) -> Graph {
+        match self {
+            Dataset::TwtS => rmat(16 + extra_scale, 32, RmatParams::skewed(), T_SEED),
+            Dataset::WebS => rmat(17 + extra_scale, 36, RmatParams::mild(), W_SEED),
+            Dataset::LjS => rmat(14 + extra_scale, 14, RmatParams::skewed(), L_SEED),
+            Dataset::WikS => rmat(15 + extra_scale, 8, RmatParams::mild(), K_SEED),
+            Dataset::UniS => {
+                let n = 1usize << (16 + extra_scale);
+                uniform(n, n * 32, U_SEED)
+            }
+        }
+    }
+}
+
+const T_SEED: u64 = 0x7177_0001;
+const W_SEED: u64 = 0x7177_0002;
+const L_SEED: u64 = 0x7177_0003;
+const K_SEED: u64 = 0x7177_0004;
+const U_SEED: u64 = 0x7177_0005;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_basic_shape() {
+        let g = rmat(10, 8, RmatParams::skewed(), 1);
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(g.num_edges() > 7000, "got {}", g.num_edges());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 4, RmatParams::skewed(), 7);
+        let b = rmat(8, 4, RmatParams::skewed(), 7);
+        assert_eq!(a.out_csr(), b.out_csr());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 16, RmatParams::skewed(), 3);
+        let n = g.num_nodes();
+        let mut degs: Vec<usize> = (0..n as NodeId).map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..n / 100].iter().sum();
+        let total: usize = degs.iter().sum();
+        // In a skewed graph the top 1% of nodes should hold a large share
+        // of the edges (uniform would hold ~1%).
+        assert!(
+            top1pct as f64 > 0.25 * total as f64,
+            "top 1% holds only {top1pct}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let g = uniform(4096, 65536, 5);
+        let n = g.num_nodes();
+        let mut degs: Vec<usize> = (0..n as NodeId).map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..n / 100].iter().sum();
+        let total: usize = degs.iter().sum();
+        assert!(
+            (top1pct as f64) < 0.10 * total as f64,
+            "uniform graph unexpectedly skewed: {top1pct}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_has_no_self_loops() {
+        let g = uniform(100, 2000, 9);
+        for (s, _, d) in g.out_csr().iter_edges() {
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(4), &[0]);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.num_nodes(), 11);
+        assert_eq!(g.out_degree(0), 10);
+        assert_eq!(g.in_degree(0), 10);
+        assert_eq!(g.out_degree(5), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        for v in 0..4 {
+            assert_eq!(g.out_degree(v), 3);
+            assert_eq!(g.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // edges right: 3*3=9, down: 2*4=8
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.out_neighbors(0), &[1, 4]);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(2), &[5, 6]);
+    }
+
+    #[test]
+    fn dataset_names_unique() {
+        let names = [
+            Dataset::TwtS.name(),
+            Dataset::WebS.name(),
+            Dataset::LjS.name(),
+            Dataset::WikS.name(),
+            Dataset::UniS.name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Edge-list IO: text (the format GraphLab/GraphX read in Table 4) and a
+//! binary format (what PGX.D reads — "PGX loads from a binary file format
+//! while GraphX and GraphLab load from a text file").
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::NodeId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes that open the binary format.
+const MAGIC: &[u8; 8] = b"PGXDGRPH";
+/// Binary format version.
+const VERSION: u32 = 1;
+
+/// Parses a whitespace-separated text edge list: one `src dst [weight]` per
+/// line; lines starting with `#` or `%` are comments.
+pub fn read_text_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut b = GraphBuilder::new();
+    let mut weighted = false;
+    let mut line_no = 0usize;
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        fn parse<'a>(s: Option<&'a str>, what: &str, line_no: usize) -> io::Result<&'a str> {
+            s.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {line_no}: missing {what}"),
+                )
+            })
+        }
+        let src: NodeId = parse(it.next(), "source", line_no)?
+            .parse()
+            .map_err(|e| bad_line(line_no, e))?;
+        let dst: NodeId = parse(it.next(), "destination", line_no)?
+            .parse()
+            .map_err(|e| bad_line(line_no, e))?;
+        match it.next() {
+            Some(w) => {
+                let w: f64 = w.parse().map_err(|e| bad_line(line_no, e))?;
+                weighted = true;
+                b.add_weighted_edge(src, dst, w);
+            }
+            None => {
+                if weighted {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {line_no}: unweighted edge in weighted file"),
+                    ));
+                }
+                b.add_edge(src, dst);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+fn bad_line<E: std::fmt::Display>(line_no: usize, e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {e}"))
+}
+
+/// Writes a text edge list (with weights if the graph has them).
+pub fn write_text_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (src, e, dst) in g.out_csr().iter_edges() {
+        match g.weights() {
+            Some(ws) => writeln!(w, "{src} {dst} {}", ws[e])?,
+            None => writeln!(w, "{src} {dst}")?,
+        }
+    }
+    w.flush()
+}
+
+/// Writes the binary format: magic, version, counts, row_ptr (u64 LE),
+/// col_idx (u32 LE), weight flag + weights (f64 LE).
+///
+/// Reading this avoids text parsing entirely — the reproduction of PGX.D's
+/// loading-time advantage in Table 4.
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &p in g.out_csr().row_ptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &c in g.out_csr().col_idx() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    match g.weights() {
+        Some(ws) => {
+            w.write_all(&[1u8])?;
+            for &x in ws {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        None => w.write_all(&[0u8])?,
+    }
+    w.flush()
+}
+
+/// Reads the binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> io::Result<Graph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        row_ptr.push(read_u64(&mut r)? as usize);
+    }
+    let mut col_idx = Vec::with_capacity(m);
+    for _ in 0..m {
+        col_idx.push(read_u32(&mut r)?);
+    }
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let csr = crate::csr::Csr::from_parts(row_ptr, col_idx);
+    let g = Graph::from_out_csr(csr);
+    if flag[0] == 1 {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            ws.push(f64::from_le_bytes(b));
+        }
+        Ok(g.with_weights(ws))
+    } else {
+        Ok(g)
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Loads a graph from a path, dispatching on extension: `.bin` → binary,
+/// anything else → text edge list.
+pub fn load_path<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        read_binary(f)
+    } else {
+        read_text_edge_list(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn text_roundtrip_unweighted() {
+        let g = generate::rmat(8, 4, generate::RmatParams::skewed(), 11);
+        let mut buf = Vec::new();
+        write_text_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_text_edge_list(&buf[..]).unwrap();
+        assert_eq!(g.out_csr().col_idx(), g2.out_csr().col_idx());
+        assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn text_roundtrip_weighted() {
+        let g = generate::ring(16).with_uniform_weights(0.0, 5.0, 3);
+        let mut buf = Vec::new();
+        write_text_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_text_edge_list(&buf[..]).unwrap();
+        assert_eq!(g.weights().unwrap().len(), g2.weights().unwrap().len());
+        for (a, b) in g.weights().unwrap().iter().zip(g2.weights().unwrap()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let input = "# comment\n\n% another\n0 1\n1 2\n";
+        let g = read_text_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_text_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_text_edge_list("0 1 2.0\n3 4\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = generate::rmat(9, 6, generate::RmatParams::mild(), 2);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g.out_csr(), g2.out_csr());
+        assert!(g2.weights().is_none());
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let g = generate::grid(5, 5).with_uniform_weights(1.0, 2.0, 8);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g.weights().unwrap(), g2.weights().unwrap());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\x01\x00\x00\x00".to_vec();
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = generate::ring(8);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Message buffer pool (§3.4: "Fast, low-overhead implementations were
+//! used for queues and buffer pools, while back-pressure mechanisms were
+//! induced to avoid deadlocks").
+//!
+//! The pool hands out `Vec<u8>` payload buffers pre-sized to the configured
+//! message size. When the quota is exhausted, `try_acquire` fails and the
+//! caller is expected to drain its response queue before retrying — this is
+//! the back-pressure path; `acquire_or_alloc` instead falls back to a fresh
+//! allocation and bumps the `pool_exhausted` statistic, guaranteeing
+//! deadlock freedom even for pathological request patterns.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pool of reusable payload buffers with a soft quota.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    buffer_bytes: usize,
+    /// Number of buffers the pool may hand out before reporting exhaustion.
+    quota: usize,
+    outstanding: Mutex<usize>,
+    exhausted_events: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates a pool of `quota` buffers of `buffer_bytes` capacity each.
+    /// Buffers are allocated lazily on first acquisition.
+    pub fn new(quota: usize, buffer_bytes: usize) -> Self {
+        BufferPool {
+            free: Mutex::new(Vec::with_capacity(quota)),
+            buffer_bytes,
+            quota,
+            outstanding: Mutex::new(0),
+            exhausted_events: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity of the buffers this pool vends.
+    pub fn buffer_bytes(&self) -> usize {
+        self.buffer_bytes
+    }
+
+    /// Tries to acquire a buffer within quota; `None` signals back-pressure.
+    pub fn try_acquire(&self) -> Option<Vec<u8>> {
+        let mut outstanding = self.outstanding.lock();
+        if *outstanding >= self.quota {
+            return None;
+        }
+        *outstanding += 1;
+        drop(outstanding);
+        let mut free = self.free.lock();
+        match free.pop() {
+            Some(mut b) => {
+                b.clear();
+                Some(b)
+            }
+            None => Some(Vec::with_capacity(self.buffer_bytes)),
+        }
+    }
+
+    /// Acquires a buffer, allocating past the quota if necessary (recording
+    /// the back-pressure event). Never blocks, never fails.
+    pub fn acquire_or_alloc(&self) -> Vec<u8> {
+        match self.try_acquire() {
+            Some(b) => b,
+            None => {
+                self.exhausted_events.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.buffer_bytes)
+            }
+        }
+    }
+
+    /// Like [`Self::acquire_or_alloc`] but *without* clearing the recycled
+    /// buffer: the previous contents (and length) are kept. For payloads
+    /// whose bytes are opaque (bandwidth probes), this avoids a
+    /// memset-per-message that would otherwise dominate the measurement.
+    pub fn acquire_or_alloc_dirty(&self) -> Vec<u8> {
+        let mut outstanding = self.outstanding.lock();
+        if *outstanding < self.quota {
+            *outstanding += 1;
+            drop(outstanding);
+            if let Some(b) = self.free.lock().pop() {
+                return b;
+            }
+        } else {
+            self.exhausted_events.fetch_add(1, Ordering::Relaxed);
+        }
+        Vec::with_capacity(self.buffer_bytes)
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn release(&self, buf: Vec<u8>) {
+        let mut outstanding = self.outstanding.lock();
+        if *outstanding > 0 {
+            *outstanding -= 1;
+        }
+        drop(outstanding);
+        let mut free = self.free.lock();
+        if free.len() < self.quota && buf.capacity() >= self.buffer_bytes {
+            free.push(buf);
+        }
+        // Undersized or surplus buffers are simply dropped.
+    }
+
+    /// Number of quota-exhaustion (back-pressure) events so far.
+    pub fn exhausted_events(&self) -> u64 {
+        self.exhausted_events.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently handed out (within quota accounting).
+    pub fn outstanding(&self) -> usize {
+        *self.outstanding.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let pool = BufferPool::new(2, 128);
+        let a = pool.try_acquire().unwrap();
+        let b = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none(), "quota enforced");
+        pool.release(a);
+        let c = pool.try_acquire().unwrap();
+        assert_eq!(c.capacity(), 128);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn reuse_keeps_capacity() {
+        let pool = BufferPool::new(1, 64);
+        let mut a = pool.try_acquire().unwrap();
+        a.extend_from_slice(&[1, 2, 3]);
+        let cap = a.capacity();
+        pool.release(a);
+        let b = pool.try_acquire().unwrap();
+        assert!(b.is_empty(), "recycled buffer must be cleared");
+        assert_eq!(b.capacity(), cap);
+    }
+
+    #[test]
+    fn acquire_or_alloc_never_fails() {
+        let pool = BufferPool::new(1, 64);
+        let _a = pool.acquire_or_alloc();
+        let _b = pool.acquire_or_alloc();
+        assert_eq!(pool.exhausted_events(), 1);
+    }
+
+    #[test]
+    fn release_drops_undersized() {
+        let pool = BufferPool::new(4, 1024);
+        pool.release(Vec::with_capacity(8));
+        // The undersized buffer must not be vended later.
+        let b = pool.try_acquire().unwrap();
+        assert!(b.capacity() >= 1024);
+    }
+}

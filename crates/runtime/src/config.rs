@@ -1,0 +1,220 @@
+//! Cluster configuration: thread counts, buffer sizes, partitioning and
+//! chunking strategies, ghost threshold, and the simulated-network model.
+
+/// How vertices are assigned to machines (§3.3, Figure 6b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitioningMode {
+    /// Each machine gets an equal number of *vertices* (the naive baseline
+    /// the paper compares against).
+    Vertex,
+    /// Each machine gets an equal share of `in-degree + out-degree` — the
+    /// paper's edge partitioning. Partitions remain contiguous vertex
+    /// ranges identified by P−1 pivots.
+    Edge,
+}
+
+/// How a parallel region's tasks are cut into worker chunks (§3.3,
+/// Figure 6c).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkingMode {
+    /// Chunks contain an equal number of nodes (baseline).
+    Node,
+    /// Chunks contain an approximately equal number of edges — the paper's
+    /// edge chunking, essential for core-level balance on skewed graphs.
+    Edge,
+}
+
+/// Simulated interconnect model applied by the poller threads.
+///
+/// With the default null model, a message costs only its memcpy — the right
+/// setting for system-vs-system comparisons on one host. The Figure 8
+/// experiments enable the cost terms to expose the buffer-size and
+/// bandwidth shapes the paper measures on InfiniBand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Fixed per-envelope processing cost, in nanoseconds (models per-packet
+    /// driver/NIC overhead; what makes small buffers slow in Fig 8b).
+    pub per_message_ns: u64,
+    /// Link bandwidth in bytes/second; 0 disables bandwidth modeling.
+    pub bandwidth_bytes_per_sec: u64,
+    /// One-way latency per envelope in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl NetConfig {
+    /// Pure memcpy wire: no modeled costs.
+    pub const fn null() -> Self {
+        NetConfig {
+            per_message_ns: 0,
+            bandwidth_bytes_per_sec: 0,
+            latency_ns: 0,
+        }
+    }
+
+    /// A model loosely shaped like the paper's 56 Gb/s InfiniBand FDR link,
+    /// scaled down so that modeled time is visible next to single-host
+    /// compute: ~2 µs per message, ~6 GB/s per link.
+    pub const fn infiniband_like() -> Self {
+        NetConfig {
+            per_message_ns: 2_000,
+            bandwidth_bytes_per_sec: 6_000_000_000,
+            latency_ns: 1_000,
+        }
+    }
+
+    /// Whether any cost term is active.
+    pub fn is_null(&self) -> bool {
+        self.per_message_ns == 0 && self.bandwidth_bytes_per_sec == 0 && self.latency_ns == 0
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::null()
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of simulated machines (PGX.D processes).
+    pub machines: usize,
+    /// Worker threads per machine (paper default: 16 on 32-HT machines).
+    pub workers: usize,
+    /// Copier threads per machine (paper default: 8).
+    pub copiers: usize,
+    /// Maximum payload bytes per message buffer (paper: 256 KB; scaled
+    /// default 64 KB keeps latency reasonable at simulation scale).
+    pub buffer_bytes: usize,
+    /// Buffers available per machine before senders experience
+    /// back-pressure.
+    pub send_buffers_per_machine: usize,
+    /// Ghost-node degree threshold: nodes whose in- or out-degree exceeds
+    /// this are replicated on every machine. `None` disables ghosts.
+    pub ghost_threshold: Option<usize>,
+    /// Vertex or edge partitioning.
+    pub partitioning: PartitioningMode,
+    /// Node or edge chunking.
+    pub chunking: ChunkingMode,
+    /// Target edges per chunk when edge chunking (nodes per chunk when node
+    /// chunking is derived from this divided by the average degree).
+    pub chunk_edges: usize,
+    /// Create thread-private ghost copies for reduced properties (§3.3
+    /// "Ghost Privatization").
+    pub ghost_privatization: bool,
+    /// Use the message-based (four-counter / coordinator) barrier and
+    /// termination protocols instead of the shared-memory fast path.
+    pub strict_distributed: bool,
+    /// Simulated network model.
+    pub net: NetConfig,
+}
+
+impl Config {
+    /// A small configuration suitable for unit tests: 2 machines, 1 worker
+    /// and 1 copier each, tiny buffers so that buffering/flushing paths are
+    /// exercised even by small graphs.
+    pub fn test(machines: usize) -> Self {
+        Config {
+            machines,
+            workers: 1,
+            copiers: 1,
+            buffer_bytes: 1 << 10,
+            send_buffers_per_machine: 16,
+            ghost_threshold: None,
+            partitioning: PartitioningMode::Edge,
+            chunking: ChunkingMode::Edge,
+            chunk_edges: 256,
+            ghost_privatization: true,
+            strict_distributed: false,
+            net: NetConfig::null(),
+        }
+    }
+
+    /// The benchmark default: mirrors the paper's 16-worker / 8-copier
+    /// setting scaled to a single host.
+    pub fn bench(machines: usize) -> Self {
+        Config {
+            machines,
+            workers: 2,
+            copiers: 1,
+            buffer_bytes: 64 << 10,
+            send_buffers_per_machine: 64,
+            ghost_threshold: Some(1024),
+            partitioning: PartitioningMode::Edge,
+            chunking: ChunkingMode::Edge,
+            chunk_edges: 16 * 1024,
+            ghost_privatization: true,
+            strict_distributed: false,
+            net: NetConfig::null(),
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("machines must be >= 1".into());
+        }
+        if self.machines > u16::MAX as usize {
+            return Err("machines must fit in a u16".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be >= 1".into());
+        }
+        if self.copiers == 0 {
+            return Err("copiers must be >= 1".into());
+        }
+        if self.buffer_bytes < 64 {
+            return Err("buffer_bytes must be >= 64".into());
+        }
+        if self.send_buffers_per_machine < 2 {
+            return Err("need at least 2 send buffers per machine".into());
+        }
+        if self.chunk_edges == 0 {
+            return Err("chunk_edges must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::bench(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(Config::default().validate().is_ok());
+        assert!(Config::test(2).validate().is_ok());
+        assert!(Config::bench(8).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = Config::test(2);
+        c.machines = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::test(2);
+        c.workers = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::test(2);
+        c.copiers = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::test(2);
+        c.buffer_bytes = 8;
+        assert!(c.validate().is_err());
+        let mut c = Config::test(2);
+        c.chunk_edges = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn net_null_detection() {
+        assert!(NetConfig::null().is_null());
+        assert!(!NetConfig::infiniband_like().is_null());
+    }
+}

@@ -1,0 +1,159 @@
+//! Copier threads (§3.4).
+//!
+//! "The Communication Manager controls the copier threads which process
+//! incoming request messages. As for write (reduction) requests, the copier
+//! applies them directly with atomic instructions. As for read requests,
+//! the copier creates a corresponding response message and sends it back to
+//! the originating machine. The remote method invocation (RMI) is also
+//! handled by the copier threads."
+
+use crate::machine::MachineState;
+use crate::message::{
+    mut_entry, mut_entry_count, push_resp_entry, push_rmi_resp_entry, read_entry,
+    read_entry_count, rmi_entries, Envelope, MsgKind,
+};
+use crate::props::{Column, PropId};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A tiny property-column cache so copiers don't take the registry lock
+/// per entry. Invalidation is unnecessary: property ids are never reused.
+#[derive(Default)]
+pub struct ColCache {
+    slots: Vec<Option<Arc<Column>>>,
+}
+
+impl ColCache {
+    fn get(&mut self, m: &MachineState, prop: u16) -> &Arc<Column> {
+        let idx = prop as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].is_none() {
+            self.slots[idx] = Some(m.props.column(PropId(prop)));
+        }
+        self.slots[idx].as_ref().unwrap()
+    }
+}
+
+/// Runs one copier thread until a `Shutdown` envelope arrives.
+pub fn copier_loop(m: Arc<MachineState>) {
+    let mut cache = ColCache::default();
+    while let Ok(env) = m.copier_rx.recv() {
+        if env.kind == MsgKind::Shutdown {
+            break;
+        }
+        process_request(&m, &mut cache, env);
+    }
+}
+
+/// Processes a single incoming request envelope. Public so tests (and the
+/// bandwidth microbenchmarks) can drive a copier synchronously.
+pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
+    m.stats.msgs_processed.fetch_add(1, Ordering::Relaxed);
+    match env.kind {
+        MsgKind::ReadReq => {
+            let n = read_entry_count(&env.payload);
+            let mut payload = m.send_pool.acquire_or_alloc();
+            for i in 0..n {
+                let (prop, offset) = read_entry(&env.payload, i);
+                let col = cache.get(m, prop);
+                push_resp_entry(&mut payload, col.load_bits(offset as usize));
+            }
+            let _ = m.outbox_tx.send(Envelope {
+                src: m.id,
+                dst: env.src,
+                kind: MsgKind::ReadResp,
+                worker: env.worker,
+                side_id: env.side_id,
+                payload,
+            });
+        }
+        MsgKind::Write => {
+            let n = mut_entry_count(&env.payload);
+            for i in 0..n {
+                let (prop, op, offset, bits) = mut_entry(&env.payload, i);
+                let col = cache.get(m, prop);
+                col.reduce_bits_atomic(offset as usize, op, bits);
+            }
+            m.pending.fetch_sub(n as i64, Ordering::AcqRel);
+        }
+        MsgKind::GhostSync => {
+            // offset field = global ghost ordinal; value is stored into
+            // this machine's ghost slot for that vertex.
+            let n = mut_entry_count(&env.payload);
+            let base = m.graph.num_local();
+            for i in 0..n {
+                let (prop, _op, ordinal, bits) = mut_entry(&env.payload, i);
+                let col = cache.get(m, prop);
+                col.store_bits(base + ordinal as usize, bits);
+            }
+            m.pending.fetch_sub(n as i64, Ordering::AcqRel);
+        }
+        MsgKind::GhostReduce => {
+            // offset field = owner-local vertex offset; reduce the partial
+            // into the authoritative cell.
+            let n = mut_entry_count(&env.payload);
+            for i in 0..n {
+                let (prop, op, offset, bits) = mut_entry(&env.payload, i);
+                let col = cache.get(m, prop);
+                col.reduce_bits_atomic(offset as usize, op, bits);
+            }
+            m.pending.fetch_sub(n as i64, Ordering::AcqRel);
+        }
+        MsgKind::Rmi => {
+            let mut payload = m.send_pool.acquire_or_alloc();
+            for (fn_id, args) in rmi_entries(&env.payload) {
+                let f = m.rmi_fn(fn_id);
+                let result = f(m, args);
+                push_rmi_resp_entry(&mut payload, &result);
+            }
+            let _ = m.outbox_tx.send(Envelope {
+                src: m.id,
+                dst: env.src,
+                kind: MsgKind::RmiResp,
+                worker: env.worker,
+                side_id: env.side_id,
+                payload,
+            });
+        }
+        MsgKind::BarrierArrive => {
+            // Coordinator only (machine 0): when the last machine arrives,
+            // broadcast the release to every machine including ourselves.
+            if m.dist_barrier.on_arrive() {
+                for dst in 0..m.config.machines as u16 {
+                    let _ = m.outbox_tx.send(Envelope {
+                        src: m.id,
+                        dst,
+                        kind: MsgKind::BarrierRelease,
+                        worker: 0,
+                        side_id: 0,
+                        payload: Vec::new(),
+                    });
+                }
+            }
+        }
+        MsgKind::BarrierRelease => {
+            m.dist_barrier.on_release();
+        }
+        MsgKind::Ping => {
+            // Bandwidth probe: payload already counted by the fabric; the
+            // single pending entry is retired here. The payload is recycled
+            // into this machine's pool — in a symmetric N:N flood every
+            // machine receives as much as it sends, so pools stay balanced
+            // and senders avoid fresh allocations (real NICs post recycled
+            // registered buffers the same way).
+            m.send_pool.release(env.payload);
+            m.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        MsgKind::ReadResp | MsgKind::RmiResp | MsgKind::Shutdown => {
+            unreachable!("response/shutdown kinds are not routed to copiers")
+        }
+    }
+}
+
+/// Convenience constructor for a fresh column cache (used by benches that
+/// call [`process_request`] directly).
+pub fn new_cache() -> ColCache {
+    ColCache::default()
+}

@@ -1,0 +1,242 @@
+//! The simulated interconnect.
+//!
+//! [`Fabric::send`] is the single point every envelope passes through. It
+//! charges traffic statistics to the sending machine, applies the optional
+//! [`NetConfig`] cost model, and routes the envelope to the destination
+//! machine's copier queue (requests) or to the originating worker's
+//! response queue (responses) — the dispatch the paper's poller thread
+//! performs against the real NIC driver (§3.4).
+
+use crate::config::NetConfig;
+use crate::message::Envelope;
+use crate::stats::MachineStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Receiving endpoints of one machine.
+#[derive(Debug, Clone)]
+pub struct MachineEndpoints {
+    /// Request queue consumed by the machine's copier threads.
+    pub copier_tx: Sender<Envelope>,
+    /// Response queues, one per worker thread.
+    pub worker_tx: Vec<Sender<Envelope>>,
+}
+
+/// The cluster-wide message switch.
+#[derive(Debug)]
+pub struct Fabric {
+    endpoints: Vec<MachineEndpoints>,
+    stats: Vec<Arc<MachineStats>>,
+    net: NetConfig,
+    /// Modeled (virtual) wire-busy nanoseconds per source machine —
+    /// accumulated even when the model also spins, so benches can report
+    /// modeled bandwidth independent of host jitter.
+    virtual_busy_ns: Vec<AtomicU64>,
+}
+
+impl Fabric {
+    /// Builds a fabric over the given endpoints; `stats[m]` receives the
+    /// send-side accounting for machine `m`.
+    pub fn new(
+        endpoints: Vec<MachineEndpoints>,
+        stats: Vec<Arc<MachineStats>>,
+        net: NetConfig,
+    ) -> Self {
+        assert_eq!(endpoints.len(), stats.len());
+        let virtual_busy_ns = (0..endpoints.len()).map(|_| AtomicU64::new(0)).collect();
+        Fabric {
+            endpoints,
+            stats,
+            net,
+            virtual_busy_ns,
+        }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The configured network model.
+    pub fn net(&self) -> &NetConfig {
+        &self.net
+    }
+
+    /// Modeled wire-busy time charged to machine `m` so far.
+    pub fn virtual_busy_ns(&self, m: usize) -> u64 {
+        self.virtual_busy_ns[m].load(Ordering::Relaxed)
+    }
+
+    /// Sends an envelope: account, model, route.
+    pub fn send(&self, env: Envelope) {
+        let src = env.src as usize;
+        let dst = env.dst as usize;
+        debug_assert!(dst < self.endpoints.len(), "bad destination machine");
+
+        let stats = &self.stats[src];
+        stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_sent
+            .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        stats
+            .header_bytes_sent
+            .fetch_add(crate::message::HEADER_BYTES, Ordering::Relaxed);
+
+        if !self.net.is_null() {
+            self.apply_net_model(src, env.wire_bytes());
+        }
+
+        let ep = &self.endpoints[dst];
+        if env.kind.is_response() {
+            let w = env.worker as usize;
+            debug_assert!(w < ep.worker_tx.len(), "bad worker index in response");
+            let _ = ep.worker_tx[w].send(env);
+        } else {
+            let _ = ep.copier_tx.send(env);
+        }
+    }
+
+    /// Charges the modeled wire time for a message of `bytes` and delays
+    /// the sender accordingly (spin below ~100µs, sleep above).
+    fn apply_net_model(&self, src: usize, bytes: u64) {
+        let mut cost_ns = self.net.per_message_ns + self.net.latency_ns;
+        if let Some(per_byte) = bytes
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.net.bandwidth_bytes_per_sec)
+        {
+            cost_ns += per_byte;
+        }
+        self.virtual_busy_ns[src].fetch_add(cost_ns, Ordering::Relaxed);
+        if cost_ns == 0 {
+            return;
+        }
+        if cost_ns > 100_000 {
+            std::thread::sleep(std::time::Duration::from_nanos(cost_ns));
+        } else {
+            let start = Instant::now();
+            while (start.elapsed().as_nanos() as u64) < cost_ns {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Creates the per-machine queue set: returns the endpoints (senders, for
+/// the fabric) and the matching receivers (for the machine's threads).
+pub fn make_endpoints(
+    machines: usize,
+    workers: usize,
+) -> (Vec<MachineEndpoints>, Vec<MachineReceivers>) {
+    let mut eps = Vec::with_capacity(machines);
+    let mut rxs = Vec::with_capacity(machines);
+    for _ in 0..machines {
+        let (ctx, crx) = unbounded();
+        let mut wtx = Vec::with_capacity(workers);
+        let mut wrx = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (t, r) = unbounded();
+            wtx.push(t);
+            wrx.push(r);
+        }
+        eps.push(MachineEndpoints {
+            copier_tx: ctx,
+            worker_tx: wtx,
+        });
+        rxs.push(MachineReceivers {
+            copier_rx: crx,
+            worker_rx: wrx,
+        });
+    }
+    (eps, rxs)
+}
+
+/// Receiving ends corresponding to a [`MachineEndpoints`].
+#[derive(Debug)]
+pub struct MachineReceivers {
+    /// Consumed by copier threads (shared work queue).
+    pub copier_rx: Receiver<Envelope>,
+    /// One response queue per worker.
+    pub worker_rx: Vec<Receiver<Envelope>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgKind;
+
+    fn test_fabric(machines: usize, workers: usize) -> (Fabric, Vec<MachineReceivers>) {
+        let (eps, rxs) = make_endpoints(machines, workers);
+        let stats = (0..machines)
+            .map(|_| Arc::new(MachineStats::default()))
+            .collect();
+        (Fabric::new(eps, stats, NetConfig::null()), rxs)
+    }
+
+    fn env(src: u16, dst: u16, kind: MsgKind, worker: u16, len: usize) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            kind,
+            worker,
+            side_id: 0,
+            payload: vec![0u8; len],
+        }
+    }
+
+    #[test]
+    fn routes_requests_to_copier() {
+        let (f, rxs) = test_fabric(2, 2);
+        f.send(env(0, 1, MsgKind::Write, 0, 16));
+        let got = rxs[1].copier_rx.try_recv().unwrap();
+        assert_eq!(got.kind, MsgKind::Write);
+        assert!(rxs[1].worker_rx[0].try_recv().is_err());
+    }
+
+    #[test]
+    fn routes_responses_to_worker() {
+        let (f, rxs) = test_fabric(2, 2);
+        f.send(env(1, 0, MsgKind::ReadResp, 1, 8));
+        let got = rxs[0].worker_rx[1].try_recv().unwrap();
+        assert_eq!(got.kind, MsgKind::ReadResp);
+        assert!(rxs[0].copier_rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn self_send_allowed() {
+        let (f, rxs) = test_fabric(1, 1);
+        f.send(env(0, 0, MsgKind::BarrierArrive, 0, 0));
+        assert!(rxs[0].copier_rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn accounting_charged_to_sender() {
+        let (eps, _rxs) = make_endpoints(2, 1);
+        let stats: Vec<Arc<MachineStats>> =
+            (0..2).map(|_| Arc::new(MachineStats::default())).collect();
+        let f = Fabric::new(eps, stats.clone(), NetConfig::null());
+        f.send(env(0, 1, MsgKind::Write, 0, 100));
+        f.send(env(0, 1, MsgKind::Write, 0, 50));
+        let s0 = stats[0].snapshot();
+        assert_eq!(s0.msgs_sent, 2);
+        assert_eq!(s0.bytes_sent, 150);
+        assert_eq!(s0.header_bytes_sent, 32);
+        assert_eq!(stats[1].snapshot().msgs_sent, 0);
+    }
+
+    #[test]
+    fn net_model_accumulates_virtual_time() {
+        let (eps, _rxs) = make_endpoints(2, 1);
+        let stats = (0..2).map(|_| Arc::new(MachineStats::default())).collect();
+        let net = NetConfig {
+            per_message_ns: 1_000,
+            bandwidth_bytes_per_sec: 1_000_000_000, // 1 GB/s → 1 ns/byte
+            latency_ns: 0,
+        };
+        let f = Fabric::new(eps, stats, net);
+        f.send(env(0, 1, MsgKind::Write, 0, 984)); // 984 + 16 header = 1000 bytes
+        assert_eq!(f.virtual_busy_ns(0), 1_000 + 1_000);
+        assert_eq!(f.virtual_busy_ns(1), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Selective ghost nodes (§3.3).
+//!
+//! "Selective ghost node creation is a technique to choose a set of
+//! high-degree vertices and to duplicate *ghost copies* of them on each
+//! machine. Consequently, each ghost node only keeps local edges that do
+//! not cross machine boundaries. [...] PGX.D computes the in-degree and
+//! out-degree of each node and creates a ghost if either degree is larger
+//! than the specified threshold value."
+//!
+//! The ghost table is identical on every machine: the sorted list of
+//! ghosted vertices (in the global `0..N` numbering) and their full
+//! degrees. Machine-local ghost *slots* are indexed by the vertex's
+//! ordinal in this list; property columns allocate `len_ghost` extra cells
+//! after the owned region, so slot `k` of property `p` lives at column
+//! index `len_local + k`.
+
+use pgxd_graph::{Graph, NodeId};
+use std::sync::Arc;
+
+/// The cluster-wide ghost-node table.
+#[derive(Clone, Debug, Default)]
+pub struct GhostTable {
+    /// Ghosted vertices, sorted ascending (global numbering).
+    nodes: Arc<Vec<NodeId>>,
+    /// `(in_degree, out_degree)` of each ghosted vertex, by ordinal.
+    degrees: Arc<Vec<(u32, u32)>>,
+}
+
+impl GhostTable {
+    /// Selects ghosts: every vertex whose in- or out-degree exceeds
+    /// `threshold`. `None` produces an empty table (ghosting disabled).
+    pub fn build(graph: &Graph, threshold: Option<usize>) -> Self {
+        match threshold {
+            None => GhostTable::default(),
+            Some(t) => {
+                let nodes: Vec<NodeId> = pgxd_graph::stats::high_degree_nodes(graph, t);
+                let degrees = nodes
+                    .iter()
+                    .map(|&v| (graph.in_degree(v) as u32, graph.out_degree(v) as u32))
+                    .collect();
+                GhostTable {
+                    nodes: Arc::new(nodes),
+                    degrees: Arc::new(degrees),
+                }
+            }
+        }
+    }
+
+    /// Builds a table from an explicit vertex list (used by tests and by
+    /// the Figure 6a sweep, which controls the exact ghost count).
+    pub fn from_nodes(graph: &Graph, mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        let degrees = nodes
+            .iter()
+            .map(|&v| (graph.in_degree(v) as u32, graph.out_degree(v) as u32))
+            .collect();
+        GhostTable {
+            nodes: Arc::new(nodes),
+            degrees: Arc::new(degrees),
+        }
+    }
+
+    /// Number of ghosted vertices (== ghost slots per machine).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if ghosting is disabled or selected nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sorted ghosted vertices.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Ordinal of vertex `v` in the ghost list, if ghosted.
+    #[inline]
+    pub fn ordinal(&self, v: NodeId) -> Option<u32> {
+        self.nodes.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Global vertex at ordinal `ord`.
+    #[inline]
+    pub fn node_at(&self, ord: u32) -> NodeId {
+        self.nodes[ord as usize]
+    }
+
+    /// Full `(in, out)` degree of the ghosted vertex at `ord` — available
+    /// locally on every machine so algorithms can use `t.degree()` on hubs
+    /// without communication.
+    #[inline]
+    pub fn degree_at(&self, ord: u32) -> (u32, u32) {
+        self.degrees[ord as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    #[test]
+    fn disabled_table_empty() {
+        let g = generate::star(10);
+        let t = GhostTable::build(&g, None);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn threshold_selects_hub() {
+        let g = generate::star(50);
+        let t = GhostTable::build(&g, Some(10));
+        assert_eq!(t.nodes(), &[0]);
+        assert_eq!(t.ordinal(0), Some(0));
+        assert_eq!(t.ordinal(3), None);
+        assert_eq!(t.degree_at(0), (50, 50));
+    }
+
+    #[test]
+    fn zero_threshold_selects_everything_with_degree() {
+        let g = generate::ring(5);
+        let t = GhostTable::build(&g, Some(0));
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn from_nodes_sorts_and_dedups() {
+        let g = generate::ring(8);
+        let t = GhostTable::from_nodes(&g, vec![5, 2, 5, 0]);
+        assert_eq!(t.nodes(), &[0, 2, 5]);
+        assert_eq!(t.ordinal(5), Some(2));
+        assert_eq!(t.node_at(1), 2);
+        assert_eq!(t.degree_at(0), (1, 1));
+    }
+}

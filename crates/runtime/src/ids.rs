@@ -1,0 +1,94 @@
+//! Global node identifiers.
+//!
+//! The paper (§3.3): "we assign a global id to each node, a 64-bit number
+//! which concatenates the machine number and the local offset for that
+//! particular node. Using this representation, the Data Manager is able to
+//! quickly identify the location of a node. This also allows us to only
+//! transfer local offsets when sending remote addresses."
+
+use std::fmt;
+
+/// Index of a machine in the cluster (0-based).
+pub type MachineId = u16;
+
+/// Local offset of a node within its owning machine's partition.
+pub type LocalOffset = u32;
+
+/// 64-bit global node id: machine number in the high bits, local offset in
+/// the low bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(u64);
+
+const OFFSET_BITS: u32 = 32;
+const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+impl GlobalId {
+    /// Concatenates machine number and local offset.
+    #[inline]
+    pub fn new(machine: MachineId, offset: LocalOffset) -> Self {
+        GlobalId(((machine as u64) << OFFSET_BITS) | offset as u64)
+    }
+
+    /// The owning machine.
+    #[inline]
+    pub fn machine(self) -> MachineId {
+        (self.0 >> OFFSET_BITS) as MachineId
+    }
+
+    /// The local offset on the owning machine.
+    #[inline]
+    pub fn offset(self) -> LocalOffset {
+        (self.0 & OFFSET_MASK) as LocalOffset
+    }
+
+    /// Raw 64-bit representation (what travels in messages).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs from the raw representation.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        GlobalId(bits)
+    }
+}
+
+impl fmt::Debug for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}:{}", self.machine(), self.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = GlobalId::new(7, 123_456);
+        assert_eq!(g.machine(), 7);
+        assert_eq!(g.offset(), 123_456);
+        assert_eq!(GlobalId::from_bits(g.to_bits()), g);
+    }
+
+    #[test]
+    fn extremes() {
+        let g = GlobalId::new(u16::MAX, u32::MAX);
+        assert_eq!(g.machine(), u16::MAX);
+        assert_eq!(g.offset(), u32::MAX);
+        let z = GlobalId::new(0, 0);
+        assert_eq!(z.to_bits(), 0);
+    }
+
+    #[test]
+    fn ordering_is_machine_major() {
+        assert!(GlobalId::new(1, 0) > GlobalId::new(0, u32::MAX));
+        assert!(GlobalId::new(2, 5) < GlobalId::new(2, 6));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", GlobalId::new(3, 9)), "g3:9");
+    }
+}

@@ -1,0 +1,362 @@
+//! Per-machine CSR fragments with pre-resolved ("encoded") edge targets.
+//!
+//! At loading time the Data Manager resolves, for every edge of every owned
+//! vertex, where its other endpoint lives (§3.3). The result is baked into
+//! the fragment's column array as an [`EncTarget`]:
+//!
+//! * **local**  — the endpoint is owned by this machine: plain local index;
+//! * **ghost**  — the endpoint is a ghosted hub: index of its local ghost
+//!   slot (`len_local + ordinal`), so the edge no longer crosses machines;
+//! * **remote** — anything else: the 48-bit [`GlobalId`] (owner machine +
+//!   owner-local offset), so no partition lookup is needed at runtime.
+
+use crate::ghost::GhostTable;
+use crate::ids::{GlobalId, MachineId};
+use crate::partition::Partitioning;
+use pgxd_graph::{Graph, NodeId};
+
+/// An encoded edge target. Bit 63 distinguishes remote (set) from local /
+/// ghost (clear); local values are direct indices into property columns.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct EncTarget(u64);
+
+const REMOTE_BIT: u64 = 1 << 63;
+
+impl EncTarget {
+    /// Encodes a local (owned or ghost-slot) index.
+    #[inline]
+    pub fn local(index: usize) -> Self {
+        debug_assert!((index as u64) & REMOTE_BIT == 0);
+        EncTarget(index as u64)
+    }
+
+    /// Encodes a remote global id.
+    #[inline]
+    pub fn remote(gid: GlobalId) -> Self {
+        EncTarget(REMOTE_BIT | gid.to_bits())
+    }
+
+    /// True if the target lives on another machine (and is not ghosted).
+    #[inline]
+    pub fn is_remote(self) -> bool {
+        self.0 & REMOTE_BIT != 0
+    }
+
+    /// The local column index (valid only when `!is_remote()`).
+    #[inline]
+    pub fn local_index(self) -> usize {
+        debug_assert!(!self.is_remote());
+        self.0 as usize
+    }
+
+    /// The remote global id (valid only when `is_remote()`).
+    #[inline]
+    pub fn global_id(self) -> GlobalId {
+        debug_assert!(self.is_remote());
+        GlobalId::from_bits(self.0 & !REMOTE_BIT)
+    }
+}
+
+impl std::fmt::Debug for EncTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_remote() {
+            write!(f, "R({:?})", self.global_id())
+        } else {
+            write!(f, "L({})", self.local_index())
+        }
+    }
+}
+
+/// One direction (out or in) of a machine's fragment.
+#[derive(Debug, Default)]
+pub struct FragmentDir {
+    /// `len_local + 1` row pointers over owned vertices.
+    pub row_ptr: Vec<usize>,
+    /// Encoded targets.
+    pub targets: Vec<EncTarget>,
+    /// Per-edge weights aligned with `targets` (empty when unweighted).
+    pub weights: Vec<f64>,
+}
+
+impl FragmentDir {
+    /// Edges of local node `v` as `(range into targets)`.
+    #[inline]
+    pub fn edge_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.row_ptr[v]..self.row_ptr[v + 1]
+    }
+
+    /// Degree of local node `v` in this direction. Because fragments keep
+    /// *all* edges of owned vertices (crossing or not), this equals the
+    /// vertex's true degree in the global graph.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.row_ptr[v + 1] - self.row_ptr[v]
+    }
+
+    /// Number of owned vertices.
+    #[inline]
+    pub fn num_local(&self) -> usize {
+        self.row_ptr.len().saturating_sub(1)
+    }
+
+    /// Total edges stored.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// A machine's share of the distributed graph.
+#[derive(Debug)]
+pub struct LocalGraph {
+    machine: MachineId,
+    /// Global id of local vertex 0.
+    start_node: NodeId,
+    num_local: usize,
+    /// Out-edges of owned vertices.
+    pub out: FragmentDir,
+    /// In-edges of owned vertices.
+    pub inn: FragmentDir,
+    ghosts: GhostTable,
+}
+
+impl LocalGraph {
+    /// Carves machine `m`'s fragment out of the global graph.
+    pub fn build(
+        graph: &Graph,
+        part: &Partitioning,
+        ghosts: &GhostTable,
+        m: MachineId,
+    ) -> LocalGraph {
+        let start = part.start(m);
+        let end = part.end(m);
+        let num_local = (end - start) as usize;
+
+        let encode = |t: NodeId| -> EncTarget {
+            let owner = part.owner(t);
+            if owner == m {
+                EncTarget::local((t - start) as usize)
+            } else if let Some(ord) = ghosts.ordinal(t) {
+                EncTarget::local(num_local + ord as usize)
+            } else {
+                EncTarget::remote(GlobalId::new(owner, t - part.start(owner)))
+            }
+        };
+
+        let build_dir = |csr: &pgxd_graph::Csr, weight_of: &dyn Fn(usize) -> Option<f64>| {
+            let mut row_ptr = Vec::with_capacity(num_local + 1);
+            row_ptr.push(0);
+            let cap = if num_local > 0 {
+                csr.edge_end(end - 1) - csr.edge_start(start)
+            } else {
+                0
+            };
+            let mut targets = Vec::with_capacity(cap);
+            let mut weights = Vec::new();
+            let weighted = graph.weights().is_some();
+            for v in start..end {
+                for e in csr.edge_start(v)..csr.edge_end(v) {
+                    targets.push(encode(csr.col_idx()[e]));
+                    if weighted {
+                        weights.push(weight_of(e).unwrap_or(1.0));
+                    }
+                }
+                row_ptr.push(targets.len());
+            }
+            FragmentDir {
+                row_ptr,
+                targets,
+                weights,
+            }
+        };
+
+        let out = build_dir(graph.out_csr(), &|e| graph.weights().map(|w| w[e]));
+        let inn = build_dir(graph.in_csr(), &|e| {
+            graph.weights().map(|w| w[graph.in_edge_to_out_edge(e)])
+        });
+
+        LocalGraph {
+            machine: m,
+            start_node: start,
+            num_local,
+            out,
+            inn,
+            ghosts: ghosts.clone(),
+        }
+    }
+
+    /// This machine's id.
+    #[inline]
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Global id of local vertex 0.
+    #[inline]
+    pub fn start_node(&self) -> NodeId {
+        self.start_node
+    }
+
+    /// Number of owned vertices.
+    #[inline]
+    pub fn num_local(&self) -> usize {
+        self.num_local
+    }
+
+    /// Number of ghost slots (cluster-wide ghost count).
+    #[inline]
+    pub fn num_ghosts(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// The shared ghost table.
+    #[inline]
+    pub fn ghosts(&self) -> &GhostTable {
+        &self.ghosts
+    }
+
+    /// Maps a local vertex index to its global `0..N` id.
+    #[inline]
+    pub fn to_global(&self, local: usize) -> NodeId {
+        debug_assert!(local < self.num_local);
+        self.start_node + local as NodeId
+    }
+
+    /// Full out-degree of a *column index*: owned vertices use the
+    /// fragment rows; ghost slots use the ghost table's recorded degree.
+    #[inline]
+    pub fn out_degree_of_index(&self, index: usize) -> usize {
+        if index < self.num_local {
+            self.out.degree(index)
+        } else {
+            self.ghosts.degree_at((index - self.num_local) as u32).1 as usize
+        }
+    }
+
+    /// Full in-degree of a column index (see [`Self::out_degree_of_index`]).
+    #[inline]
+    pub fn in_degree_of_index(&self, index: usize) -> usize {
+        if index < self.num_local {
+            self.inn.degree(index)
+        } else {
+            self.ghosts.degree_at((index - self.num_local) as u32).0 as usize
+        }
+    }
+
+    /// Whether a column index denotes a ghost slot.
+    #[inline]
+    pub fn is_ghost_index(&self, index: usize) -> bool {
+        index >= self.num_local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitioningMode;
+    use pgxd_graph::generate;
+
+    fn setup(n_machines: usize) -> (Graph, Partitioning, GhostTable) {
+        let g = generate::ring(8);
+        let p = Partitioning::build(&g, n_machines, PartitioningMode::Vertex);
+        let t = GhostTable::build(&g, None);
+        (g, p, t)
+    }
+
+    #[test]
+    fn enc_target_roundtrip() {
+        let l = EncTarget::local(42);
+        assert!(!l.is_remote());
+        assert_eq!(l.local_index(), 42);
+        let r = EncTarget::remote(GlobalId::new(3, 17));
+        assert!(r.is_remote());
+        assert_eq!(r.global_id(), GlobalId::new(3, 17));
+    }
+
+    #[test]
+    fn ring_fragments_cover_all_edges() {
+        let (g, p, t) = setup(2);
+        let f0 = LocalGraph::build(&g, &p, &t, 0);
+        let f1 = LocalGraph::build(&g, &p, &t, 1);
+        assert_eq!(f0.num_local(), 4);
+        assert_eq!(f1.num_local(), 4);
+        assert_eq!(f0.out.num_edges() + f1.out.num_edges(), g.num_edges());
+        assert_eq!(f0.inn.num_edges() + f1.inn.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn ring_encoding_local_vs_remote() {
+        let (g, p, t) = setup(2);
+        let f0 = LocalGraph::build(&g, &p, &t, 0);
+        // Node 0's out-edge goes to node 1, owned by machine 0: local.
+        let e = f0.out.edge_range(0);
+        assert_eq!(f0.out.targets[e.start].local_index(), 1);
+        // Node 3's out-edge goes to node 4, owned by machine 1: remote.
+        let e = f0.out.edge_range(3);
+        let tgt = f0.out.targets[e.start];
+        assert!(tgt.is_remote());
+        assert_eq!(tgt.global_id(), GlobalId::new(1, 0));
+    }
+
+    #[test]
+    fn ghosted_hub_becomes_local_slot() {
+        let g = generate::star(6); // hub 0, spokes 1..=6
+        let p = Partitioning::vertex(7, 2);
+        let t = GhostTable::build(&g, Some(3)); // hub only
+        assert_eq!(t.nodes(), &[0]);
+        let f1 = LocalGraph::build(&g, &p, &t, 1);
+        // Machine 1 owns spokes; their edge to the hub must resolve to the
+        // ghost slot, i.e. index num_local + 0, not a remote target.
+        for v in 0..f1.num_local() {
+            let r = f1.out.edge_range(v);
+            for &tgt in &f1.out.targets[r] {
+                assert!(!tgt.is_remote(), "hub edge should be ghosted");
+                assert_eq!(tgt.local_index(), f1.num_local());
+            }
+        }
+        // Degree of the ghost slot resolves through the ghost table.
+        assert_eq!(f1.out_degree_of_index(f1.num_local()), 6);
+        assert_eq!(f1.in_degree_of_index(f1.num_local()), 6);
+        assert!(f1.is_ghost_index(f1.num_local()));
+    }
+
+    #[test]
+    fn degrees_match_global_graph() {
+        let g = generate::rmat(8, 4, generate::RmatParams::skewed(), 13);
+        let p = Partitioning::build(&g, 3, PartitioningMode::Edge);
+        let t = GhostTable::build(&g, Some(50));
+        for m in 0..3 {
+            let f = LocalGraph::build(&g, &p, &t, m);
+            for v in 0..f.num_local() {
+                let global = f.to_global(v);
+                assert_eq!(f.out.degree(v), g.out_degree(global), "out {global}");
+                assert_eq!(f.inn.degree(v), g.in_degree(global), "in {global}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_fragments_align() {
+        let g = generate::ring(6).with_uniform_weights(1.0, 9.0, 4);
+        let p = Partitioning::vertex(6, 2);
+        let t = GhostTable::build(&g, None);
+        let f0 = LocalGraph::build(&g, &p, &t, 0);
+        assert_eq!(f0.out.weights.len(), f0.out.num_edges());
+        assert_eq!(f0.inn.weights.len(), f0.inn.num_edges());
+        // Out-edge of node 0 is the global edge (0 -> 1).
+        assert_eq!(f0.out.weights[0], g.weight(0));
+        // In-edge weight of node 1 (from 0) must equal the same edge weight.
+        let r = f0.inn.edge_range(1);
+        assert_eq!(f0.inn.weights[r.start], g.weight(0));
+    }
+
+    #[test]
+    fn empty_partition_fragment() {
+        let g = generate::ring(2);
+        let p = Partitioning::vertex(2, 4); // machines 2,3 own nothing
+        let t = GhostTable::build(&g, None);
+        let f3 = LocalGraph::build(&g, &p, &t, 3);
+        assert_eq!(f3.num_local(), 0);
+        assert_eq!(f3.out.num_edges(), 0);
+    }
+}

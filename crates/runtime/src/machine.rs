@@ -1,0 +1,130 @@
+//! Per-machine engine state: one instance of Figure 1 of the paper.
+
+use crate::barrier::DistBarrier;
+use crate::buffer::BufferPool;
+use crate::config::Config;
+use crate::fabric::MachineReceivers;
+use crate::ghost::GhostTable;
+use crate::ids::MachineId;
+use crate::localgraph::LocalGraph;
+use crate::message::Envelope;
+use crate::partition::Partitioning;
+use crate::props::PropertyStore;
+use crate::stats::MachineStats;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::RwLock;
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+
+/// A remote method registered with the Communication Manager: executed by
+/// copier threads against the local machine state, returning the response
+/// bytes (possibly empty).
+pub type RmiFn = dyn Fn(&MachineState, &[u8]) -> Vec<u8> + Send + Sync;
+
+/// Everything one simulated machine owns.
+pub struct MachineState {
+    /// This machine's id.
+    pub id: MachineId,
+    /// Cluster configuration (identical on every machine).
+    pub config: Config,
+    /// This machine's fragment of the distributed graph.
+    pub graph: Arc<LocalGraph>,
+    /// Column-oriented property storage (owned region + ghost slots).
+    pub props: PropertyStore,
+    /// The cluster-wide vertex partitioning (pivots shared by everyone).
+    pub partition: Arc<Partitioning>,
+    /// The cluster-wide ghost table.
+    pub ghosts: GhostTable,
+    /// Send side of this machine's outgoing-traffic queue; the poller
+    /// thread drains it into the fabric.
+    pub outbox_tx: Sender<Envelope>,
+    /// Receive side of the outbox (consumed by the poller thread only).
+    pub outbox_rx: Receiver<Envelope>,
+    /// Incoming request queue shared by this machine's copier threads.
+    pub copier_rx: Receiver<Envelope>,
+    /// Incoming response queues, one per worker.
+    pub worker_rx: Vec<Receiver<Envelope>>,
+    /// Pool for outgoing message payloads (back-pressure accounting).
+    pub send_pool: Arc<BufferPool>,
+    /// Traffic and work counters.
+    pub stats: Arc<MachineStats>,
+    /// Cluster-global count of buffered-but-unconsumed entries; zero (with
+    /// no tasks left) means a parallel region is complete (§3.2: "A
+    /// particular job completes when the task list is empty and there are
+    /// no unfinished remote requests").
+    pub pending: Arc<AtomicI64>,
+    /// Message-based barrier state (Figure 5b / strict-distributed mode).
+    pub dist_barrier: Arc<DistBarrier>,
+    /// Registered remote methods, indexed by their RMI identifier.
+    pub rmi: RwLock<Vec<Arc<RmiFn>>>,
+}
+
+impl MachineState {
+    /// Assembles a machine from its pre-built parts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: MachineId,
+        config: Config,
+        graph: Arc<LocalGraph>,
+        partition: Arc<Partitioning>,
+        ghosts: GhostTable,
+        receivers: MachineReceivers,
+        outbox: (Sender<Envelope>, Receiver<Envelope>),
+        pending: Arc<AtomicI64>,
+    ) -> Self {
+        let props = PropertyStore::new(graph.num_local(), graph.num_ghosts());
+        let send_pool = Arc::new(BufferPool::new(
+            config.send_buffers_per_machine,
+            config.buffer_bytes,
+        ));
+        let dist_barrier = Arc::new(DistBarrier::new(config.workers, config.machines));
+        MachineState {
+            id,
+            config: config.clone(),
+            graph,
+            props,
+            partition,
+            ghosts,
+            outbox_tx: outbox.0,
+            outbox_rx: outbox.1,
+            copier_rx: receivers.copier_rx,
+            worker_rx: receivers.worker_rx,
+            send_pool,
+            stats: Arc::new(MachineStats::default()),
+            pending,
+            dist_barrier,
+            rmi: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of vertices this machine owns.
+    pub fn num_local(&self) -> usize {
+        self.graph.num_local()
+    }
+
+    /// Registers an RMI handler at an explicit id (the driver assigns the
+    /// same id on every machine). Panics on id collision.
+    pub fn register_rmi_at(&self, id: u16, f: Arc<RmiFn>) {
+        let mut rmi = self.rmi.write();
+        let idx = id as usize;
+        if rmi.len() <= idx {
+            rmi.resize_with(idx + 1, || Arc::new(|_: &MachineState, _: &[u8]| Vec::new()));
+        }
+        rmi[idx] = f;
+    }
+
+    /// Looks up an RMI handler.
+    pub fn rmi_fn(&self, id: u16) -> Arc<RmiFn> {
+        self.rmi.read()[id as usize].clone()
+    }
+}
+
+impl std::fmt::Debug for MachineState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineState")
+            .field("id", &self.id)
+            .field("num_local", &self.num_local())
+            .field("num_ghosts", &self.graph.num_ghosts())
+            .finish_non_exhaustive()
+    }
+}

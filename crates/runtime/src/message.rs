@@ -1,0 +1,330 @@
+//! Wire format: envelopes and the flat little-endian entry encodings that
+//! fill their payloads.
+//!
+//! Small per-edge operations are never sent individually: they are appended
+//! to a per-(worker, destination) payload buffer and the whole buffer
+//! travels as one [`Envelope`] once full or at flush time (§2, "the system
+//! can buffer up many small messages and create a large network packet out
+//! of them").
+
+use crate::ids::MachineId;
+use crate::props::ReduceOp;
+
+/// Message kinds. The numeric values are stable and travel on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Batched remote read requests; answered with `ReadResp`.
+    ReadReq = 0,
+    /// Values answering a `ReadReq`, in request order.
+    ReadResp = 1,
+    /// Batched remote write (reduction) requests; fire-and-forget.
+    Write = 2,
+    /// Ghost pre-synchronization: owner broadcasts property values of its
+    /// ghosted nodes (offset field = global ghost ordinal).
+    GhostSync = 3,
+    /// Ghost post-reduction: partial values flowing back to the owner
+    /// (offset field = owner-local node offset).
+    GhostReduce = 4,
+    /// Batched remote method invocations.
+    Rmi = 5,
+    /// Responses to `Rmi`, in request order.
+    RmiResp = 6,
+    /// Distributed-barrier arrival notification (machine → coordinator).
+    BarrierArrive = 7,
+    /// Distributed-barrier release broadcast (coordinator → machines).
+    BarrierRelease = 8,
+    /// Orders a copier or poller thread to exit.
+    Shutdown = 9,
+    /// Dummy payload for bandwidth microbenchmarks (Figure 8): counted and
+    /// discarded by the receiving copier.
+    Ping = 10,
+}
+
+impl MsgKind {
+    /// Parses the wire value.
+    pub fn from_u8(v: u8) -> Option<MsgKind> {
+        Some(match v {
+            0 => MsgKind::ReadReq,
+            1 => MsgKind::ReadResp,
+            2 => MsgKind::Write,
+            3 => MsgKind::GhostSync,
+            4 => MsgKind::GhostReduce,
+            5 => MsgKind::Rmi,
+            6 => MsgKind::RmiResp,
+            7 => MsgKind::BarrierArrive,
+            8 => MsgKind::BarrierRelease,
+            9 => MsgKind::Shutdown,
+            10 => MsgKind::Ping,
+            _ => return None,
+        })
+    }
+
+    /// True for kinds processed by copier threads (request side).
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            MsgKind::ReadReq
+                | MsgKind::Write
+                | MsgKind::GhostSync
+                | MsgKind::GhostReduce
+                | MsgKind::Rmi
+                | MsgKind::BarrierArrive
+                | MsgKind::BarrierRelease
+                | MsgKind::Ping
+        )
+    }
+
+    /// True for kinds routed back to the originating worker thread.
+    pub fn is_response(self) -> bool {
+        matches!(self, MsgKind::ReadResp | MsgKind::RmiResp)
+    }
+}
+
+/// Fixed-size envelope header accounted as wire overhead (the real system
+/// pays a verb/packet header per message; we charge 16 bytes).
+pub const HEADER_BYTES: u64 = 16;
+
+/// A message in flight between two machines.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending machine.
+    pub src: MachineId,
+    /// Destination machine.
+    pub dst: MachineId,
+    /// Payload interpretation.
+    pub kind: MsgKind,
+    /// Originating worker thread (for response routing) — for `ReadResp` /
+    /// `RmiResp` this is the worker *on the destination machine*.
+    pub worker: u16,
+    /// Identifier of the side structure holding the continuation records
+    /// for this message's requests (echoed verbatim into the response).
+    pub side_id: u32,
+    /// Entry bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Total accounted wire bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + self.payload.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry encodings
+// ---------------------------------------------------------------------------
+
+/// Read-request entry: 8 bytes. The paper's §5.3.4 microbenchmark uses
+/// "8 byte addresses to get 8 bytes worth of data", so utilized bandwidth
+/// is exactly twice effective bandwidth — this layout preserves that.
+pub const READ_ENTRY_BYTES: usize = 8;
+
+/// Appends a read-request entry `{prop:u16, pad:u16, offset:u32}`.
+#[inline]
+pub fn push_read_entry(buf: &mut Vec<u8>, prop: u16, offset: u32) {
+    buf.extend_from_slice(&prop.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 2]);
+    buf.extend_from_slice(&offset.to_le_bytes());
+}
+
+/// Decodes the `i`-th read-request entry.
+#[inline]
+pub fn read_entry(payload: &[u8], i: usize) -> (u16, u32) {
+    let o = i * READ_ENTRY_BYTES;
+    let prop = u16::from_le_bytes([payload[o], payload[o + 1]]);
+    let offset = u32::from_le_bytes([payload[o + 4], payload[o + 5], payload[o + 6], payload[o + 7]]);
+    (prop, offset)
+}
+
+/// Number of read entries in a payload.
+#[inline]
+pub fn read_entry_count(payload: &[u8]) -> usize {
+    payload.len() / READ_ENTRY_BYTES
+}
+
+/// Mutation entry (Write / GhostSync / GhostReduce): 16 bytes.
+pub const MUT_ENTRY_BYTES: usize = 16;
+
+/// Appends a mutation entry `{prop:u16, op:u8, pad:u8, offset:u32, bits:u64}`.
+#[inline]
+pub fn push_mut_entry(buf: &mut Vec<u8>, prop: u16, op: ReduceOp, offset: u32, bits: u64) {
+    buf.extend_from_slice(&prop.to_le_bytes());
+    buf.push(op.to_u8());
+    buf.push(0);
+    buf.extend_from_slice(&offset.to_le_bytes());
+    buf.extend_from_slice(&bits.to_le_bytes());
+}
+
+/// Decodes the `i`-th mutation entry as `(prop, op, offset, bits)`.
+#[inline]
+pub fn mut_entry(payload: &[u8], i: usize) -> (u16, ReduceOp, u32, u64) {
+    let o = i * MUT_ENTRY_BYTES;
+    let prop = u16::from_le_bytes([payload[o], payload[o + 1]]);
+    let op = ReduceOp::from_u8(payload[o + 2]).expect("invalid reduce op on wire");
+    let offset = u32::from_le_bytes([payload[o + 4], payload[o + 5], payload[o + 6], payload[o + 7]]);
+    let bits = u64::from_le_bytes(payload[o + 8..o + 16].try_into().unwrap());
+    (prop, op, offset, bits)
+}
+
+/// Number of mutation entries in a payload.
+#[inline]
+pub fn mut_entry_count(payload: &[u8]) -> usize {
+    payload.len() / MUT_ENTRY_BYTES
+}
+
+/// Response value entry: 8 bytes of property bits.
+pub const RESP_ENTRY_BYTES: usize = 8;
+
+/// Appends a response value.
+#[inline]
+pub fn push_resp_entry(buf: &mut Vec<u8>, bits: u64) {
+    buf.extend_from_slice(&bits.to_le_bytes());
+}
+
+/// Decodes the `i`-th response value.
+#[inline]
+pub fn resp_entry(payload: &[u8], i: usize) -> u64 {
+    let o = i * RESP_ENTRY_BYTES;
+    u64::from_le_bytes(payload[o..o + 8].try_into().unwrap())
+}
+
+/// Appends an RMI entry `{fn_id:u16, len:u16, args:[u8; len]}`.
+#[inline]
+pub fn push_rmi_entry(buf: &mut Vec<u8>, fn_id: u16, args: &[u8]) {
+    assert!(args.len() <= u16::MAX as usize, "RMI args too large");
+    buf.extend_from_slice(&fn_id.to_le_bytes());
+    buf.extend_from_slice(&(args.len() as u16).to_le_bytes());
+    buf.extend_from_slice(args);
+}
+
+/// Iterates RMI entries as `(fn_id, args)`.
+pub fn rmi_entries(payload: &[u8]) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+    let mut o = 0usize;
+    std::iter::from_fn(move || {
+        if o + 4 > payload.len() {
+            return None;
+        }
+        let fn_id = u16::from_le_bytes([payload[o], payload[o + 1]]);
+        let len = u16::from_le_bytes([payload[o + 2], payload[o + 3]]) as usize;
+        let args = &payload[o + 4..o + 4 + len];
+        o += 4 + len;
+        Some((fn_id, args))
+    })
+}
+
+/// Appends an RMI response entry `{len:u16, bytes:[u8; len]}`.
+#[inline]
+pub fn push_rmi_resp_entry(buf: &mut Vec<u8>, bytes: &[u8]) {
+    assert!(bytes.len() <= u16::MAX as usize, "RMI response too large");
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Iterates RMI response entries.
+pub fn rmi_resp_entries(payload: &[u8]) -> impl Iterator<Item = &[u8]> + '_ {
+    let mut o = 0usize;
+    std::iter::from_fn(move || {
+        if o + 2 > payload.len() {
+            return None;
+        }
+        let len = u16::from_le_bytes([payload[o], payload[o + 1]]) as usize;
+        let bytes = &payload[o + 2..o + 2 + len];
+        o += 2 + len;
+        Some(bytes)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for v in 0..11u8 {
+            let k = MsgKind::from_u8(v).unwrap();
+            assert_eq!(k as u8, v);
+        }
+        assert!(MsgKind::from_u8(99).is_none());
+    }
+
+    #[test]
+    fn request_response_classification() {
+        assert!(MsgKind::ReadReq.is_request());
+        assert!(MsgKind::Write.is_request());
+        assert!(MsgKind::ReadResp.is_response());
+        assert!(MsgKind::RmiResp.is_response());
+        assert!(!MsgKind::ReadResp.is_request());
+        assert!(!MsgKind::Shutdown.is_request());
+        assert!(!MsgKind::Shutdown.is_response());
+    }
+
+    #[test]
+    fn read_entry_roundtrip() {
+        let mut buf = Vec::new();
+        push_read_entry(&mut buf, 7, 123_456);
+        push_read_entry(&mut buf, 9, 42);
+        assert_eq!(buf.len(), 2 * READ_ENTRY_BYTES);
+        assert_eq!(read_entry_count(&buf), 2);
+        assert_eq!(read_entry(&buf, 0), (7, 123_456));
+        assert_eq!(read_entry(&buf, 1), (9, 42));
+    }
+
+    #[test]
+    fn mut_entry_roundtrip() {
+        let mut buf = Vec::new();
+        push_mut_entry(&mut buf, 3, ReduceOp::Sum, 55, f64::to_bits(1.5));
+        push_mut_entry(&mut buf, 4, ReduceOp::Min, 66, 77);
+        assert_eq!(mut_entry_count(&buf), 2);
+        let (p, op, off, bits) = mut_entry(&buf, 0);
+        assert_eq!((p, op, off), (3, ReduceOp::Sum, 55));
+        assert_eq!(f64::from_bits(bits), 1.5);
+        assert_eq!(mut_entry(&buf, 1), (4, ReduceOp::Min, 66, 77));
+    }
+
+    #[test]
+    fn resp_entry_roundtrip() {
+        let mut buf = Vec::new();
+        push_resp_entry(&mut buf, u64::MAX);
+        push_resp_entry(&mut buf, 0);
+        assert_eq!(resp_entry(&buf, 0), u64::MAX);
+        assert_eq!(resp_entry(&buf, 1), 0);
+    }
+
+    #[test]
+    fn rmi_roundtrip() {
+        let mut buf = Vec::new();
+        push_rmi_entry(&mut buf, 1, b"hello");
+        push_rmi_entry(&mut buf, 2, b"");
+        push_rmi_entry(&mut buf, 3, &[9u8; 300]);
+        let got: Vec<(u16, Vec<u8>)> = rmi_entries(&buf)
+            .map(|(f, a)| (f, a.to_vec()))
+            .collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (1, b"hello".to_vec()));
+        assert_eq!(got[1], (2, Vec::new()));
+        assert_eq!(got[2].1.len(), 300);
+    }
+
+    #[test]
+    fn rmi_resp_roundtrip() {
+        let mut buf = Vec::new();
+        push_rmi_resp_entry(&mut buf, b"abc");
+        push_rmi_resp_entry(&mut buf, b"");
+        let got: Vec<Vec<u8>> = rmi_resp_entries(&buf).map(|b| b.to_vec()).collect();
+        assert_eq!(got, vec![b"abc".to_vec(), Vec::new()]);
+    }
+
+    #[test]
+    fn envelope_wire_bytes() {
+        let e = Envelope {
+            src: 0,
+            dst: 1,
+            kind: MsgKind::Write,
+            worker: 0,
+            side_id: 0,
+            payload: vec![0u8; 32],
+        };
+        assert_eq!(e.wire_bytes(), 48);
+    }
+}

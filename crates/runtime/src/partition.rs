@@ -1,0 +1,284 @@
+//! Graph partitioning: contiguous vertex ranges identified by pivots.
+//!
+//! §3.3: "each partition holds consecutive vertices from a numbering
+//! perspective, which allows us to identify each partition by its P−1 pivot
+//! node numbers. This information is shared by all the machines."
+
+use crate::config::PartitioningMode;
+use crate::ids::MachineId;
+use pgxd_graph::{Graph, NodeId};
+
+/// A partitioning of vertices `0..n` into `P` contiguous ranges.
+///
+/// `pivots[i]` is the first vertex of partition `i + 1`; partition `i`
+/// covers `start(i)..end(i)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partitioning {
+    num_nodes: usize,
+    pivots: Vec<NodeId>,
+}
+
+impl Partitioning {
+    /// Builds a partitioning for `graph` into `p` machines with the chosen
+    /// strategy.
+    pub fn build(graph: &Graph, p: usize, mode: PartitioningMode) -> Self {
+        match mode {
+            PartitioningMode::Vertex => Self::vertex(graph.num_nodes(), p),
+            PartitioningMode::Edge => {
+                let degrees = pgxd_graph::stats::total_degrees(graph);
+                Self::edge(&degrees, p)
+            }
+        }
+    }
+
+    /// Naive vertex partitioning: equal node counts.
+    pub fn vertex(n: usize, p: usize) -> Self {
+        assert!(p >= 1);
+        let base = n / p;
+        let extra = n % p;
+        let mut pivots = Vec::with_capacity(p - 1);
+        let mut cursor = 0usize;
+        for i in 0..p - 1 {
+            cursor += base + usize::from(i < extra);
+            pivots.push(cursor as NodeId);
+        }
+        Partitioning {
+            num_nodes: n,
+            pivots,
+        }
+    }
+
+    /// Edge partitioning: "chooses the pivot vertices that result in a
+    /// balanced sum of in-degrees and out-degrees for each partition."
+    ///
+    /// Greedy sweep: cut when the running degree sum reaches the ideal
+    /// share of the remaining degree mass, which keeps late partitions from
+    /// starving when early ones overshoot on a hub.
+    pub fn edge(total_degrees: &[usize], p: usize) -> Self {
+        assert!(p >= 1);
+        let n = total_degrees.len();
+        let total: u64 = total_degrees.iter().map(|&d| d as u64).sum();
+        let mut pivots = Vec::with_capacity(p - 1);
+        let mut acc = 0u64;
+        let mut consumed = 0u64;
+        let mut v = 0usize;
+        for part in 0..p - 1 {
+            let remaining_parts = (p - part) as u64;
+            let target = (total - consumed).div_ceil(remaining_parts);
+            // Leave enough vertices so every later partition is non-empty
+            // when possible (saturating: with more machines than vertices
+            // the trailing partitions are legitimately empty).
+            let max_v = n.saturating_sub(p - 1 - part);
+            while v < max_v && acc < target {
+                acc += total_degrees[v] as u64;
+                v += 1;
+            }
+            consumed += acc;
+            acc = 0;
+            pivots.push(v as NodeId);
+        }
+        Partitioning {
+            num_nodes: n,
+            pivots,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.pivots.len() + 1
+    }
+
+    /// Total number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The P−1 pivot vertices.
+    #[inline]
+    pub fn pivots(&self) -> &[NodeId] {
+        &self.pivots
+    }
+
+    /// First vertex of partition `m`.
+    #[inline]
+    pub fn start(&self, m: MachineId) -> NodeId {
+        if m == 0 {
+            0
+        } else {
+            self.pivots[m as usize - 1]
+        }
+    }
+
+    /// One past the last vertex of partition `m`.
+    #[inline]
+    pub fn end(&self, m: MachineId) -> NodeId {
+        if (m as usize) < self.pivots.len() {
+            self.pivots[m as usize]
+        } else {
+            self.num_nodes as NodeId
+        }
+    }
+
+    /// Number of vertices owned by partition `m`.
+    #[inline]
+    pub fn len(&self, m: MachineId) -> usize {
+        (self.end(m) - self.start(m)) as usize
+    }
+
+    /// True if partition `m` owns no vertices.
+    #[inline]
+    pub fn is_empty(&self, m: MachineId) -> bool {
+        self.len(m) == 0
+    }
+
+    /// The machine owning vertex `v` — binary search over the pivots, the
+    /// O(log P) lookup every Data Manager performs on each access.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> MachineId {
+        debug_assert!((v as usize) < self.num_nodes);
+        self.pivots.partition_point(|&pivot| pivot <= v) as MachineId
+    }
+
+    /// Local offset of vertex `v` on its owning machine.
+    #[inline]
+    pub fn local_offset(&self, v: NodeId) -> u32 {
+        v - self.start(self.owner(v))
+    }
+
+    /// Checks that the ranges tile `0..n` exactly.
+    pub fn validate(&self) -> Result<(), String> {
+        let p = self.num_partitions();
+        let mut prev = 0 as NodeId;
+        for m in 0..p as MachineId {
+            let (s, e) = (self.start(m), self.end(m));
+            if s != prev {
+                return Err(format!("partition {m} starts at {s}, expected {prev}"));
+            }
+            if e < s {
+                return Err(format!("partition {m} has negative length"));
+            }
+            prev = e;
+        }
+        if prev as usize != self.num_nodes {
+            return Err("partitions do not cover all nodes".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgxd_graph::generate;
+
+    #[test]
+    fn vertex_partition_even() {
+        let p = Partitioning::vertex(10, 2);
+        assert_eq!(p.pivots(), &[5]);
+        assert_eq!(p.len(0), 5);
+        assert_eq!(p.len(1), 5);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn vertex_partition_uneven() {
+        let p = Partitioning::vertex(10, 3);
+        assert_eq!(p.len(0) + p.len(1) + p.len(2), 10);
+        assert!(p.len(0) >= p.len(2));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn vertex_partition_more_machines_than_nodes() {
+        let p = Partitioning::vertex(2, 4);
+        assert_eq!(p.num_partitions(), 4);
+        assert_eq!((0..4).map(|m| p.len(m)).sum::<usize>(), 2);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn owner_matches_ranges() {
+        let p = Partitioning::vertex(100, 7);
+        for v in 0..100 {
+            let m = p.owner(v);
+            assert!(p.start(m) <= v && v < p.end(m), "v={v} m={m}");
+            assert_eq!(p.local_offset(v), v - p.start(m));
+        }
+    }
+
+    #[test]
+    fn edge_partition_balances_star() {
+        // Star with hub 0: hub has degree 200, spokes 2 each. Vertex
+        // partitioning would give machine 0 virtually all edges.
+        let g = generate::star(100);
+        let degrees = pgxd_graph::stats::total_degrees(&g);
+        let p = Partitioning::edge(&degrees, 2);
+        assert!(p.validate().is_ok());
+        let share0: usize = (p.start(0)..p.end(0)).map(|v| degrees[v as usize]).sum();
+        let share1: usize = (p.start(1)..p.end(1)).map(|v| degrees[v as usize]).sum();
+        // The hub forces partition 0 to hold ~half the mass; partition 1
+        // must still get all remaining spokes, not be empty.
+        assert!(share1 > 0);
+        assert!(share0 as f64 / (share0 + share1) as f64 > 0.4);
+    }
+
+    #[test]
+    fn edge_partition_balances_rmat() {
+        let g = generate::rmat(10, 8, generate::RmatParams::skewed(), 3);
+        let degrees = pgxd_graph::stats::total_degrees(&g);
+        let total: usize = degrees.iter().sum();
+        let p = Partitioning::edge(&degrees, 4);
+        assert!(p.validate().is_ok());
+        for m in 0..4 {
+            let share: usize = (p.start(m)..p.end(m)).map(|v| degrees[v as usize]).sum();
+            let frac = share as f64 / total as f64;
+            // Each of 4 partitions should hold 10%..45% of the mass
+            // (perfect would be 25%; hubs cause slack).
+            assert!((0.08..0.5).contains(&frac), "m={m} frac={frac}");
+        }
+    }
+
+    #[test]
+    fn edge_partition_beats_vertex_on_skew() {
+        let g = generate::rmat(11, 8, generate::RmatParams::skewed(), 5);
+        let degrees = pgxd_graph::stats::total_degrees(&g);
+        let imbalance = |p: &Partitioning| -> f64 {
+            let shares: Vec<usize> = (0..p.num_partitions() as MachineId)
+                .map(|m| (p.start(m)..p.end(m)).map(|v| degrees[v as usize]).sum())
+                .collect();
+            let max = *shares.iter().max().unwrap() as f64;
+            let mean = shares.iter().sum::<usize>() as f64 / shares.len() as f64;
+            max / mean
+        };
+        let ep = Partitioning::edge(&degrees, 8);
+        let vp = Partitioning::vertex(degrees.len(), 8);
+        assert!(
+            imbalance(&ep) <= imbalance(&vp),
+            "edge {} vs vertex {}",
+            imbalance(&ep),
+            imbalance(&vp)
+        );
+    }
+
+    #[test]
+    fn single_partition() {
+        let p = Partitioning::vertex(5, 1);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.owner(4), 0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn build_dispatches_on_mode() {
+        let g = generate::ring(12);
+        let pv = Partitioning::build(&g, 3, PartitioningMode::Vertex);
+        let pe = Partitioning::build(&g, 3, PartitioningMode::Edge);
+        assert!(pv.validate().is_ok());
+        assert!(pe.validate().is_ok());
+        // On a regular ring both strategies give equal splits.
+        assert_eq!(pv.len(0), 4);
+        assert_eq!(pe.len(0), 4);
+    }
+}

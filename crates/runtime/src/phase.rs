@@ -1,0 +1,374 @@
+//! Parallel phases and job completion detection.
+//!
+//! A PGX.D *job* (one parallel region of the application, §4.2) executes as
+//! a short sequence of phases, each ending at a cluster-wide barrier:
+//!
+//! 1. [`GhostPushPhase`] — only when ghosts exist and the job declares
+//!    read/reduce properties: bottom-initializes ghost slots for reduced
+//!    properties and broadcasts owner values for read properties.
+//! 2. the main phase — defined in the `pgxd` crate, runs the user task over
+//!    the chunk queue with the run-to-completion worker loop.
+//! 3. [`GhostReducePhase`] — only when reduce properties are declared:
+//!    sends each machine's ghost partials back to the owners.
+//!
+//! Completion of a phase follows §3.2 exactly: "a particular job completes
+//! when the task list is empty and there are no unfinished remote
+//! requests". [`JobState`] tracks both halves — a producer/chunk counter
+//! and the cluster-global `pending` entry counter.
+
+use crate::machine::MachineState;
+use crate::message::MsgKind;
+use crate::props::{bottom_bits, PropId, ReduceOp};
+use crate::stats::WorkerTiming;
+use crate::worker::{SideRec, WorkerComm};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execution context handed to a phase on each worker thread.
+pub struct WorkerEnv<'a> {
+    /// The worker's machine.
+    pub machine: &'a Arc<MachineState>,
+    /// Local worker index on this machine.
+    pub worker_idx: usize,
+    /// The worker's communication state.
+    pub comm: &'a mut WorkerComm,
+}
+
+/// One parallel phase, executed concurrently by every worker of every
+/// machine; the runtime inserts a cluster-wide barrier after `execute`
+/// returns on all workers.
+pub trait Phase: Send + Sync {
+    /// Runs this worker's share of the phase to completion.
+    fn execute(&self, env: &mut WorkerEnv<'_>);
+}
+
+/// Shared completion state for one phase.
+#[derive(Debug)]
+pub struct JobState {
+    /// Outstanding work units: chunks for main phases, producing workers
+    /// for ghost phases. The phase is complete when this reaches zero *and*
+    /// `pending` reaches zero.
+    outstanding: AtomicUsize,
+    /// The cluster-global buffered-entry counter.
+    pending: Arc<AtomicI64>,
+    /// Phase start, for worker timings.
+    start: Instant,
+    /// Per-machine, per-worker timing records (Figure 6c).
+    timings: Mutex<Vec<Vec<WorkerTiming>>>,
+}
+
+impl JobState {
+    /// Creates completion state for `outstanding` initial work units across
+    /// a cluster of `machines` with `workers` workers each.
+    pub fn new(
+        outstanding: usize,
+        pending: Arc<AtomicI64>,
+        machines: usize,
+        workers: usize,
+    ) -> Arc<Self> {
+        Arc::new(JobState {
+            outstanding: AtomicUsize::new(outstanding),
+            pending,
+            start: Instant::now(),
+            timings: Mutex::new(vec![vec![WorkerTiming::default(); workers]; machines]),
+        })
+    }
+
+    /// Retires one work unit (a finished chunk / a finished producer).
+    #[inline]
+    pub fn retire(&self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "retired more work units than existed");
+    }
+
+    /// True when no work unit remains and every buffered entry has been
+    /// consumed cluster-wide.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.outstanding.load(Ordering::Acquire) == 0
+            && self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Nanoseconds since the phase was created.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Records that a worker finished its local tasks.
+    pub fn mark_tasks_done(&self, machine: usize, worker: usize) {
+        let ns = self.elapsed_ns();
+        self.timings.lock()[machine][worker].tasks_done_ns = ns;
+    }
+
+    /// Records that a worker observed global completion.
+    pub fn mark_drained(&self, machine: usize, worker: usize) {
+        let ns = self.elapsed_ns();
+        self.timings.lock()[machine][worker].drained_ns = ns;
+    }
+
+    /// Snapshot of the timing matrix.
+    pub fn timings(&self) -> Vec<Vec<WorkerTiming>> {
+        self.timings.lock().clone()
+    }
+}
+
+/// Drains a worker's response queue, invoking `on_value(rec, bits)` for
+/// each read-response value, until the job is globally complete. Any
+/// entries the callback buffers are flushed between batches.
+///
+/// This is the post-task half of the run-to-completion loop shared by all
+/// phases; the main phase also calls [`drain_once`] opportunistically
+/// between chunks.
+pub fn drain_until_complete<F>(env: &mut WorkerEnv<'_>, job: &JobState, mut on_value: F)
+where
+    F: FnMut(&mut WorkerEnv<'_>, SideRec, u64),
+{
+    loop {
+        let worked = drain_once(env, &mut on_value);
+        if worked {
+            env.comm.flush();
+            continue;
+        }
+        if job.is_complete() {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Processes all currently queued responses; returns whether any work was
+/// done. `on_value` receives each read-response value with its side
+/// record; RMI responses surface with the raw response bytes re-encoded as
+/// their first 8 bytes (full payload access is available to main phases
+/// that pop responses themselves).
+pub fn drain_once<F>(env: &mut WorkerEnv<'_>, on_value: &mut F) -> bool
+where
+    F: FnMut(&mut WorkerEnv<'_>, SideRec, u64),
+{
+    let mut worked = false;
+    while let Some(resp) = env.comm.try_pop_response() {
+        worked = true;
+        match resp.env.kind {
+            MsgKind::ReadResp => {
+                for (i, rec) in resp.recs.iter().enumerate() {
+                    let bits = crate::message::resp_entry(&resp.env.payload, i);
+                    on_value(env, *rec, bits);
+                }
+            }
+            MsgKind::RmiResp => {
+                for (bytes, rec) in
+                    crate::message::rmi_resp_entries(&resp.env.payload).zip(resp.recs.iter())
+                {
+                    let mut first = [0u8; 8];
+                    let n = bytes.len().min(8);
+                    first[..n].copy_from_slice(&bytes[..n]);
+                    on_value(env, *rec, u64::from_le_bytes(first));
+                }
+            }
+            _ => unreachable!("worker queues only receive responses"),
+        }
+        env.comm.finish_response(resp);
+    }
+    worked
+}
+
+/// Splits `0..len` into `parts` near-equal ranges and returns range `idx`.
+pub fn share(len: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
+    let base = len / parts;
+    let extra = len % parts;
+    let start = idx * base + idx.min(extra);
+    let end = start + base + usize::from(idx < extra);
+    start..end
+}
+
+/// Pre-synchronization of ghost copies (§3.3): "for properties that are to
+/// be read in the parallel region, PGX.D copies the original values into
+/// the ghost nodes prior to the execution step. For the properties that are
+/// to be written (reduced), the bottom value is set to each ghost copy at
+/// the beginning."
+pub struct GhostPushPhase {
+    /// Properties read in the upcoming region (values broadcast to ghosts).
+    pub read_props: Vec<PropId>,
+    /// Properties reduced in the upcoming region (ghost slots bottomed).
+    pub reduce_props: Vec<(PropId, ReduceOp)>,
+    /// Completion state; `outstanding` = total workers (each is a
+    /// producer).
+    pub job: Arc<JobState>,
+}
+
+impl Phase for GhostPushPhase {
+    fn execute(&self, env: &mut WorkerEnv<'_>) {
+        let m = env.machine.clone();
+        let workers = m.config.workers;
+        let ghosts = &m.ghosts;
+        let num_local = m.graph.num_local();
+
+        // 1. Bottom-initialize this worker's slice of ghost slots for every
+        //    reduced property (plain stores; slices are disjoint).
+        let slice = share(ghosts.len(), workers, env.worker_idx);
+        for &(prop, op) in &self.reduce_props {
+            let col = m.props.column(prop);
+            let bottom = bottom_bits(col.tag(), op);
+            for ord in slice.clone() {
+                col.store_bits(num_local + ord, bottom);
+            }
+        }
+
+        // 2. Broadcast owner values of this machine's ghosted vertices for
+        //    every read property.
+        env.comm.set_mut_kind(MsgKind::GhostSync);
+        if !self.read_props.is_empty() && !ghosts.is_empty() {
+            let start = m.partition.start(m.id);
+            let end = m.partition.end(m.id);
+            let owned_lo = ghosts.nodes().partition_point(|&v| v < start);
+            let owned_hi = ghosts.nodes().partition_point(|&v| v < end);
+            let my_share = share(owned_hi - owned_lo, workers, env.worker_idx);
+            for k in my_share {
+                let ord = (owned_lo + k) as u32;
+                let v = ghosts.node_at(ord);
+                let local = (v - start) as usize;
+                for &prop in &self.read_props {
+                    let col = m.props.column(prop);
+                    let bits = col.load_bits(local);
+                    // Also refresh our own ghost slot so reads through the
+                    // slot (if any) see the current value.
+                    col.store_bits(num_local + ord as usize, bits);
+                    for dst in 0..m.config.machines as u16 {
+                        if dst != m.id {
+                            env.comm
+                                .push_mut(dst, prop, ReduceOp::Assign, ord, bits);
+                        }
+                    }
+                }
+            }
+        }
+        env.comm.flush();
+        self.job.retire(); // this worker produced everything it will
+        drain_until_complete(env, &self.job, |_, _, _| {
+            unreachable!("ghost push issues no reads")
+        });
+        env.comm.set_mut_kind(MsgKind::Write);
+    }
+}
+
+/// Post-reduction of ghost partials (§3.3): "the partial results from ghost
+/// nodes are reduced to the original value at the end of the step."
+pub struct GhostReducePhase {
+    /// Properties that were reduced in the region.
+    pub reduce_props: Vec<(PropId, ReduceOp)>,
+    /// Completion state; `outstanding` = total workers.
+    pub job: Arc<JobState>,
+}
+
+impl Phase for GhostReducePhase {
+    fn execute(&self, env: &mut WorkerEnv<'_>) {
+        let m = env.machine.clone();
+        let workers = m.config.workers;
+        let ghosts = &m.ghosts;
+        let num_local = m.graph.num_local();
+        let start = m.partition.start(m.id);
+        let end = m.partition.end(m.id);
+
+        env.comm.set_mut_kind(MsgKind::GhostReduce);
+        let my_share = share(ghosts.len(), workers, env.worker_idx);
+        for ord in my_share {
+            let v = ghosts.node_at(ord as u32);
+            if v >= start && v < end {
+                continue; // we own the original; nothing to send
+            }
+            let owner = m.partition.owner(v);
+            let owner_offset = v - m.partition.start(owner);
+            for &(prop, op) in &self.reduce_props {
+                let col = m.props.column(prop);
+                let bits = col.load_bits(num_local + ord);
+                if bits != bottom_bits(col.tag(), op) {
+                    env.comm.push_mut(owner, prop, op, owner_offset, bits);
+                }
+            }
+        }
+        env.comm.flush();
+        self.job.retire();
+        drain_until_complete(env, &self.job, |_, _, _| {
+            unreachable!("ghost reduce issues no reads")
+        });
+        env.comm.set_mut_kind(MsgKind::Write);
+    }
+}
+
+/// A phase that crosses the *message-based* distributed barrier once; used
+/// by the Figure 5b measurement and by strict-distributed mode.
+pub struct DistBarrierPhase {
+    /// Barrier epoch each worker waits for (workers pass epochs 0,1,2,...
+    /// across successive phases; the driver supplies the next epoch).
+    pub epoch: u64,
+}
+
+impl Phase for DistBarrierPhase {
+    fn execute(&self, env: &mut WorkerEnv<'_>) {
+        let m = env.machine;
+        if m.dist_barrier.arrive_local() {
+            // Last local worker notifies the coordinator (machine 0).
+            let _ = m.outbox_tx.send(crate::message::Envelope {
+                src: m.id,
+                dst: 0,
+                kind: MsgKind::BarrierArrive,
+                worker: 0,
+                side_id: 0,
+                payload: Vec::new(),
+            });
+        }
+        m.dist_barrier.wait_release(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_covers_everything() {
+        for len in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut total = 0;
+                let mut prev_end = 0;
+                for idx in 0..parts {
+                    let r = share(len, parts, idx);
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    total += r.len();
+                }
+                assert_eq!(total, len, "len={len} parts={parts}");
+                assert_eq!(prev_end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn job_state_completion() {
+        let pending = Arc::new(AtomicI64::new(0));
+        let job = JobState::new(2, pending.clone(), 1, 1);
+        assert!(!job.is_complete());
+        job.retire();
+        assert!(!job.is_complete());
+        pending.fetch_add(1, Ordering::SeqCst);
+        job.retire();
+        assert!(!job.is_complete(), "pending entry blocks completion");
+        pending.fetch_sub(1, Ordering::SeqCst);
+        assert!(job.is_complete());
+    }
+
+    #[test]
+    fn job_state_timings_recorded() {
+        let pending = Arc::new(AtomicI64::new(0));
+        let job = JobState::new(0, pending, 2, 2);
+        job.mark_tasks_done(1, 0);
+        job.mark_drained(1, 0);
+        let t = job.timings();
+        assert_eq!(t.len(), 2);
+        assert!(t[1][0].drained_ns >= t[1][0].tasks_done_ns);
+        assert_eq!(t[0][0].tasks_done_ns, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Counters and timings: traffic accounting (Figure 6a, Figure 8) and
+//! per-worker busy/idle breakdowns (Figure 6c).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Traffic and work counters for one machine. All counters are cumulative
+/// over the machine's lifetime; the harness snapshots before/after a run
+/// and subtracts.
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    /// Envelopes sent by this machine (all kinds).
+    pub msgs_sent: AtomicU64,
+    /// Payload bytes sent by this machine.
+    pub bytes_sent: AtomicU64,
+    /// Header bytes sent (fixed per envelope; kept separate so "utilized"
+    /// vs "effective" bandwidth can be reported as in Figure 8a).
+    pub header_bytes_sent: AtomicU64,
+    /// Remote read request entries issued.
+    pub read_entries: AtomicU64,
+    /// Remote write (reduction) entries issued.
+    pub write_entries: AtomicU64,
+    /// Ghost synchronization entries (pre-copy + post-reduce).
+    pub ghost_entries: AtomicU64,
+    /// RMI invocations issued.
+    pub rmi_entries: AtomicU64,
+    /// Envelopes processed by this machine's copiers.
+    pub msgs_processed: AtomicU64,
+    /// Times a sender found the buffer pool empty (back-pressure events).
+    pub pool_exhausted: AtomicU64,
+    /// Reads satisfied locally (same machine or ghost copy) without any
+    /// message.
+    pub local_reads: AtomicU64,
+    /// Writes applied locally without any message.
+    pub local_writes: AtomicU64,
+}
+
+/// A point-in-time copy of [`MachineStats`], subtractable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub header_bytes_sent: u64,
+    pub read_entries: u64,
+    pub write_entries: u64,
+    pub ghost_entries: u64,
+    pub rmi_entries: u64,
+    pub msgs_processed: u64,
+    pub pool_exhausted: u64,
+    pub local_reads: u64,
+    pub local_writes: u64,
+}
+
+impl MachineStats {
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            header_bytes_sent: self.header_bytes_sent.load(Ordering::Relaxed),
+            read_entries: self.read_entries.load(Ordering::Relaxed),
+            write_entries: self.write_entries.load(Ordering::Relaxed),
+            ghost_entries: self.ghost_entries.load(Ordering::Relaxed),
+            rmi_entries: self.rmi_entries.load(Ordering::Relaxed),
+            msgs_processed: self.msgs_processed.load(Ordering::Relaxed),
+            pool_exhausted: self.pool_exhausted.load(Ordering::Relaxed),
+            local_reads: self.local_reads.load(Ordering::Relaxed),
+            local_writes: self.local_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent - rhs.msgs_sent,
+            bytes_sent: self.bytes_sent - rhs.bytes_sent,
+            header_bytes_sent: self.header_bytes_sent - rhs.header_bytes_sent,
+            read_entries: self.read_entries - rhs.read_entries,
+            write_entries: self.write_entries - rhs.write_entries,
+            ghost_entries: self.ghost_entries - rhs.ghost_entries,
+            rmi_entries: self.rmi_entries - rhs.rmi_entries,
+            msgs_processed: self.msgs_processed - rhs.msgs_processed,
+            pool_exhausted: self.pool_exhausted - rhs.pool_exhausted,
+            local_reads: self.local_reads - rhs.local_reads,
+            local_writes: self.local_writes - rhs.local_writes,
+        }
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs_sent: self.msgs_sent + rhs.msgs_sent,
+            bytes_sent: self.bytes_sent + rhs.bytes_sent,
+            header_bytes_sent: self.header_bytes_sent + rhs.header_bytes_sent,
+            read_entries: self.read_entries + rhs.read_entries,
+            write_entries: self.write_entries + rhs.write_entries,
+            ghost_entries: self.ghost_entries + rhs.ghost_entries,
+            rmi_entries: self.rmi_entries + rhs.rmi_entries,
+            msgs_processed: self.msgs_processed + rhs.msgs_processed,
+            pool_exhausted: self.pool_exhausted + rhs.pool_exhausted,
+            local_reads: self.local_reads + rhs.local_reads,
+            local_writes: self.local_writes + rhs.local_writes,
+        }
+    }
+}
+
+/// Per-worker phase timing, in nanoseconds since the phase started, used
+/// to reproduce the Figure 6c breakdown:
+///
+/// * *fully parallel* time = min over workers of `tasks_done_ns`,
+/// * *intra-machine imbalance* = machine's last worker minus this machine's
+///   first idle worker,
+/// * *inter-machine imbalance* = global finish minus machine finish.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerTiming {
+    /// When this worker exhausted its chunk queue (local tasks done).
+    pub tasks_done_ns: u64,
+    /// When this worker observed global completion and left the drain loop.
+    pub drained_ns: u64,
+}
+
+/// Aggregated Figure-6c breakdown for one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Seconds during which every worker on every machine was busy.
+    pub fully_parallel: f64,
+    /// Seconds attributable to waiting on workers of the *same* machine.
+    pub intra_machine: f64,
+    /// Seconds attributable to waiting on *other* machines.
+    pub inter_machine: f64,
+}
+
+impl Breakdown {
+    /// Derives the breakdown from per-machine, per-worker timings.
+    ///
+    /// `timings[m][w]` is machine `m`'s worker `w`. Every worker's wall
+    /// time runs to the global finish; the portion after its own tasks
+    /// finished but before its machine finished counts as intra-machine
+    /// idle, and the remainder up to the global finish as inter-machine
+    /// idle. We report the mean over workers, so the three components sum
+    /// to the phase wall time.
+    pub fn from_timings(timings: &[Vec<WorkerTiming>]) -> Breakdown {
+        let global_end_ns = timings
+            .iter()
+            .flat_map(|m| m.iter().map(|t| t.tasks_done_ns))
+            .max()
+            .unwrap_or(0);
+        let mut busy = 0.0f64;
+        let mut intra = 0.0f64;
+        let mut inter = 0.0f64;
+        let mut count = 0usize;
+        for m in timings {
+            let machine_end = m.iter().map(|t| t.tasks_done_ns).max().unwrap_or(0);
+            for t in m {
+                busy += t.tasks_done_ns as f64;
+                intra += machine_end.saturating_sub(t.tasks_done_ns) as f64;
+                inter += global_end_ns.saturating_sub(machine_end) as f64;
+                count += 1;
+            }
+        }
+        let norm = 1e-9 / count.max(1) as f64;
+        Breakdown {
+            fully_parallel: busy * norm,
+            intra_machine: intra * norm,
+            inter_machine: inter * norm,
+        }
+    }
+
+    /// Total accounted wall time.
+    pub fn total(&self) -> f64 {
+        self.fully_parallel + self.intra_machine + self.inter_machine
+    }
+}
+
+/// Formats a `Duration` as seconds with millisecond precision.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_subtraction() {
+        let s = MachineStats::default();
+        s.bytes_sent.store(100, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.bytes_sent.store(150, Ordering::Relaxed);
+        s.msgs_sent.store(3, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b - a;
+        assert_eq!(d.bytes_sent, 50);
+        assert_eq!(d.msgs_sent, 3);
+    }
+
+    #[test]
+    fn snapshot_addition() {
+        let a = StatsSnapshot {
+            bytes_sent: 10,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            bytes_sent: 5,
+            msgs_sent: 2,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.bytes_sent, 15);
+        assert_eq!(c.msgs_sent, 2);
+    }
+
+    #[test]
+    fn breakdown_all_even() {
+        // Two machines, two workers each, all finishing at 100ns: no
+        // imbalance at all.
+        let t = WorkerTiming {
+            tasks_done_ns: 100,
+            drained_ns: 100,
+        };
+        let timings = vec![vec![t, t], vec![t, t]];
+        let b = Breakdown::from_timings(&timings);
+        assert!((b.fully_parallel - 100e-9).abs() < 1e-12);
+        assert_eq!(b.intra_machine, 0.0);
+        assert_eq!(b.inter_machine, 0.0);
+    }
+
+    #[test]
+    fn breakdown_intra_machine() {
+        // One machine; one worker finishes at 100, the other at 50.
+        let timings = vec![vec![
+            WorkerTiming {
+                tasks_done_ns: 100,
+                drained_ns: 100,
+            },
+            WorkerTiming {
+                tasks_done_ns: 50,
+                drained_ns: 100,
+            },
+        ]];
+        let b = Breakdown::from_timings(&timings);
+        assert!(b.intra_machine > 0.0);
+        assert_eq!(b.inter_machine, 0.0);
+        assert!((b.total() - 100e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_inter_machine() {
+        // Machine 0 finishes at 40, machine 1 at 100.
+        let timings = vec![
+            vec![WorkerTiming {
+                tasks_done_ns: 40,
+                drained_ns: 100,
+            }],
+            vec![WorkerTiming {
+                tasks_done_ns: 100,
+                drained_ns: 100,
+            }],
+        ];
+        let b = Breakdown::from_timings(&timings);
+        assert!(b.inter_machine > 0.0);
+        assert_eq!(b.intra_machine, 0.0);
+        assert!((b.total() - 100e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_empty() {
+        let b = Breakdown::from_timings(&[]);
+        assert_eq!(b.total(), 0.0);
+    }
+}

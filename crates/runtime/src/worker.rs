@@ -1,0 +1,505 @@
+//! Per-worker communication state: request buffers and side structures.
+//!
+//! §3.2: "request messages are accumulated separately by each worker.
+//! While buffering up the remote requests into a message, the Data Manager
+//! maintains a corresponding side data structure that logs the tasks the
+//! requests originated from, in the same order. [...] When the response
+//! message is received [...] using the side structure, the worker can
+//! iterate over the payload of the received message and invoke continuation
+//! methods on the corresponding task object."
+//!
+//! [`WorkerComm`] owns, for one worker thread:
+//! * one read-request buffer and one mutation buffer per destination
+//!   machine, sealed into envelopes when full or at flush;
+//! * the side-structure slab mapping in-flight `side_id`s to their
+//!   continuation records;
+//! * the worker's response receive queue.
+
+use crate::buffer::BufferPool;
+use crate::ids::MachineId;
+use crate::message::{
+    push_mut_entry, push_read_entry, push_rmi_entry, Envelope, MsgKind, MUT_ENTRY_BYTES,
+    READ_ENTRY_BYTES,
+};
+use crate::props::{PropId, ReduceOp};
+use crate::stats::MachineStats;
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// One continuation record: which task (node) the request belongs to plus a
+/// free-form tag the task can use to disambiguate multiple callbacks
+/// ("the user can implement a state machine to distinguish multiple
+/// callbacks").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SideRec {
+    /// Local index of the current node of the originating task.
+    pub node: u32,
+    /// User tag (edge index, state-machine step, ...).
+    pub aux: u64,
+}
+
+/// Slab of in-flight side structures, indexed by the `side_id` echoed
+/// through request/response headers.
+#[derive(Debug, Default)]
+struct SideSlab {
+    slots: Vec<Option<Vec<SideRec>>>,
+    free: Vec<u32>,
+}
+
+impl SideSlab {
+    fn insert(&mut self, recs: Vec<SideRec>) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(recs);
+                id
+            }
+            None => {
+                self.slots.push(Some(recs));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, id: u32) -> Vec<SideRec> {
+        let recs = self.slots[id as usize]
+            .take()
+            .expect("response for unknown side structure");
+        self.free.push(id);
+        recs
+    }
+
+    fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+/// A sealed response ready for continuation processing.
+#[derive(Debug)]
+pub struct Response {
+    /// The envelope as received (`ReadResp` or `RmiResp`).
+    pub env: Envelope,
+    /// The continuation records logged when the requests were buffered,
+    /// in request order.
+    pub recs: Vec<SideRec>,
+}
+
+/// Per-worker communication endpoint.
+pub struct WorkerComm {
+    machine: MachineId,
+    worker: u16,
+    buffer_bytes: usize,
+    read_payloads: Vec<Option<(Vec<u8>, Vec<SideRec>)>>,
+    mut_payloads: Vec<Option<Vec<u8>>>,
+    mut_kind: MsgKind,
+    rmi_payloads: Vec<Option<(Vec<u8>, Vec<SideRec>)>>,
+    slab: SideSlab,
+    resp_rx: Receiver<Envelope>,
+    outbox: Sender<Envelope>,
+    pool: Arc<BufferPool>,
+    pending: Arc<AtomicI64>,
+    stats: Arc<MachineStats>,
+    rec_pool: Vec<Vec<SideRec>>,
+    // Entry statistics are batched locally and published at flush time so
+    // the per-edge hot path touches no shared counters.
+    stat_reads: u64,
+    stat_writes: u64,
+    stat_ghosts: u64,
+    stat_rmis: u64,
+}
+
+impl WorkerComm {
+    /// Creates the communication state for worker `worker` of `machine` in
+    /// a cluster of `num_machines`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        machine: MachineId,
+        worker: u16,
+        num_machines: usize,
+        buffer_bytes: usize,
+        resp_rx: Receiver<Envelope>,
+        outbox: Sender<Envelope>,
+        pool: Arc<BufferPool>,
+        pending: Arc<AtomicI64>,
+        stats: Arc<MachineStats>,
+    ) -> Self {
+        WorkerComm {
+            machine,
+            worker,
+            buffer_bytes,
+            read_payloads: (0..num_machines).map(|_| None).collect(),
+            mut_payloads: (0..num_machines).map(|_| None).collect(),
+            mut_kind: MsgKind::Write,
+            rmi_payloads: (0..num_machines).map(|_| None).collect(),
+            slab: SideSlab::default(),
+            resp_rx,
+            outbox,
+            pool,
+            pending,
+            stats,
+            rec_pool: Vec::new(),
+            stat_reads: 0,
+            stat_writes: 0,
+            stat_ghosts: 0,
+            stat_rmis: 0,
+        }
+    }
+
+    /// This worker's machine.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// This worker's index on its machine.
+    pub fn worker(&self) -> u16 {
+        self.worker
+    }
+
+    /// Selects the message kind mutation entries are sent under. Only
+    /// valid while all mutation buffers are empty (phases switch between
+    /// `Write`, `GhostSync` and `GhostReduce`).
+    pub fn set_mut_kind(&mut self, kind: MsgKind) {
+        debug_assert!(
+            self.mut_payloads.iter().all(|p| p.is_none()),
+            "cannot switch mutation kind with entries buffered"
+        );
+        self.mut_kind = kind;
+    }
+
+    fn take_recs(&mut self) -> Vec<SideRec> {
+        self.rec_pool.pop().unwrap_or_default()
+    }
+
+    /// Buffers a remote read request to `dst` and logs the continuation
+    /// record. Flushes automatically when the buffer reaches capacity.
+    pub fn push_read(&mut self, dst: MachineId, prop: PropId, offset: u32, rec: SideRec) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.stat_reads += 1;
+        let slot = dst as usize;
+        if self.read_payloads[slot].is_none() {
+            let buf = self.pool.acquire_or_alloc();
+            let recs = self.take_recs();
+            self.read_payloads[slot] = Some((buf, recs));
+        }
+        {
+            let (buf, recs) = self.read_payloads[slot].as_mut().unwrap();
+            push_read_entry(buf, prop.0, offset);
+            recs.push(rec);
+        }
+        if self.read_payloads[slot].as_ref().unwrap().0.len() + READ_ENTRY_BYTES
+            > self.buffer_bytes
+        {
+            self.seal_read(dst);
+        }
+    }
+
+    /// Buffers a remote mutation (write reduction / ghost sync entry).
+    pub fn push_mut(&mut self, dst: MachineId, prop: PropId, op: ReduceOp, offset: u32, bits: u64) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        match self.mut_kind {
+            MsgKind::Write => self.stat_writes += 1,
+            _ => self.stat_ghosts += 1,
+        }
+        let slot = dst as usize;
+        if self.mut_payloads[slot].is_none() {
+            self.mut_payloads[slot] = Some(self.pool.acquire_or_alloc());
+        }
+        {
+            let buf = self.mut_payloads[slot].as_mut().unwrap();
+            push_mut_entry(buf, prop.0, op, offset, bits);
+        }
+        if self.mut_payloads[slot].as_ref().unwrap().len() + MUT_ENTRY_BYTES > self.buffer_bytes {
+            self.seal_mut(dst);
+        }
+    }
+
+    /// Buffers a remote method invocation; the response will surface as an
+    /// `RmiResp` [`Response`] whose records carry `rec`.
+    pub fn push_rmi(&mut self, dst: MachineId, fn_id: u16, args: &[u8], rec: SideRec) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.stat_rmis += 1;
+        let slot = dst as usize;
+        if self.rmi_payloads[slot].is_none() {
+            let buf = self.pool.acquire_or_alloc();
+            let recs = self.take_recs();
+            self.rmi_payloads[slot] = Some((buf, recs));
+        }
+        {
+            let (buf, recs) = self.rmi_payloads[slot].as_mut().unwrap();
+            push_rmi_entry(buf, fn_id, args);
+            recs.push(rec);
+        }
+        if self.rmi_payloads[slot].as_ref().unwrap().0.len() + 4 + args.len() > self.buffer_bytes {
+            self.seal_rmi(dst);
+        }
+    }
+
+    fn seal_read(&mut self, dst: MachineId) {
+        if let Some((payload, recs)) = self.read_payloads[dst as usize].take() {
+            let side_id = self.slab.insert(recs);
+            let _ = self.outbox.send(Envelope {
+                src: self.machine,
+                dst,
+                kind: MsgKind::ReadReq,
+                worker: self.worker,
+                side_id,
+                payload,
+            });
+        }
+    }
+
+    fn seal_mut(&mut self, dst: MachineId) {
+        if let Some(payload) = self.mut_payloads[dst as usize].take() {
+            let _ = self.outbox.send(Envelope {
+                src: self.machine,
+                dst,
+                kind: self.mut_kind,
+                worker: self.worker,
+                side_id: 0,
+                payload,
+            });
+        }
+    }
+
+    fn seal_rmi(&mut self, dst: MachineId) {
+        if let Some((payload, recs)) = self.rmi_payloads[dst as usize].take() {
+            let side_id = self.slab.insert(recs);
+            let _ = self.outbox.send(Envelope {
+                src: self.machine,
+                dst,
+                kind: MsgKind::Rmi,
+                worker: self.worker,
+                side_id,
+                payload,
+            });
+        }
+    }
+
+    /// Seals and sends every non-empty buffer ("when the worker thread has
+    /// completed all tasks, the message is sent to the remote machine").
+    pub fn flush(&mut self) {
+        for dst in 0..self.read_payloads.len() as MachineId {
+            self.seal_read(dst);
+            self.seal_mut(dst);
+            self.seal_rmi(dst);
+        }
+        self.publish_stats();
+    }
+
+    /// Publishes the batched entry counters to the machine statistics.
+    pub fn publish_stats(&mut self) {
+        if self.stat_reads > 0 {
+            self.stats.read_entries.fetch_add(self.stat_reads, Ordering::Relaxed);
+            self.stat_reads = 0;
+        }
+        if self.stat_writes > 0 {
+            self.stats.write_entries.fetch_add(self.stat_writes, Ordering::Relaxed);
+            self.stat_writes = 0;
+        }
+        if self.stat_ghosts > 0 {
+            self.stats.ghost_entries.fetch_add(self.stat_ghosts, Ordering::Relaxed);
+            self.stat_ghosts = 0;
+        }
+        if self.stat_rmis > 0 {
+            self.stats.rmi_entries.fetch_add(self.stat_rmis, Ordering::Relaxed);
+            self.stat_rmis = 0;
+        }
+    }
+
+    /// Pops one response if available, pairing it with its side structure.
+    pub fn try_pop_response(&mut self) -> Option<Response> {
+        let env = self.resp_rx.try_recv().ok()?;
+        debug_assert!(env.kind.is_response());
+        let recs = self.slab.take(env.side_id);
+        Some(Response { env, recs })
+    }
+
+    /// Returns a processed response's resources to the pools and retires
+    /// its `pending` entries. Must be called exactly once per popped
+    /// [`Response`], after the continuations have run.
+    pub fn finish_response(&mut self, resp: Response) {
+        let n = resp.recs.len() as i64;
+        self.pending.fetch_sub(n, Ordering::AcqRel);
+        let mut recs = resp.recs;
+        recs.clear();
+        self.rec_pool.push(recs);
+        self.pool.release(resp.env.payload);
+    }
+
+    /// Number of side structures awaiting responses.
+    pub fn in_flight_sides(&self) -> usize {
+        self.slab.in_flight()
+    }
+
+    /// True if all request buffers are empty (everything sealed).
+    pub fn is_flushed(&self) -> bool {
+        self.read_payloads.iter().all(|p| p.is_none())
+            && self.mut_payloads.iter().all(|p| p.is_none())
+            && self.rmi_payloads.iter().all(|p| p.is_none())
+    }
+
+    /// The cluster-wide pending-entry counter (for completion checks).
+    pub fn pending(&self) -> &Arc<AtomicI64> {
+        &self.pending
+    }
+
+    /// The machine's statistics block.
+    pub fn stats(&self) -> &Arc<MachineStats> {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn make_comm(buffer_bytes: usize) -> (WorkerComm, Receiver<Envelope>, Sender<Envelope>) {
+        let (out_tx, out_rx) = unbounded();
+        let (resp_tx, resp_rx) = unbounded();
+        let comm = WorkerComm::new(
+            0,
+            0,
+            2,
+            buffer_bytes,
+            resp_rx,
+            out_tx,
+            Arc::new(BufferPool::new(8, buffer_bytes)),
+            Arc::new(AtomicI64::new(0)),
+            Arc::new(MachineStats::default()),
+        );
+        (comm, out_rx, resp_tx)
+    }
+
+    #[test]
+    fn reads_buffer_until_flush() {
+        let (mut comm, out, _resp) = make_comm(1024);
+        comm.push_read(1, PropId(0), 5, SideRec { node: 2, aux: 0 });
+        comm.push_read(1, PropId(0), 6, SideRec { node: 3, aux: 0 });
+        assert!(out.try_recv().is_err(), "nothing sent before flush");
+        assert_eq!(comm.pending().load(Ordering::SeqCst), 2);
+        comm.flush();
+        let env = out.try_recv().unwrap();
+        assert_eq!(env.kind, MsgKind::ReadReq);
+        assert_eq!(crate::message::read_entry_count(&env.payload), 2);
+        assert_eq!(comm.in_flight_sides(), 1);
+        assert!(comm.is_flushed());
+    }
+
+    #[test]
+    fn reads_auto_seal_at_capacity() {
+        // Buffer fits exactly 2 read entries.
+        let (mut comm, out, _resp) = make_comm(2 * READ_ENTRY_BYTES);
+        for i in 0..5u32 {
+            comm.push_read(1, PropId(0), i, SideRec { node: i, aux: 0 });
+        }
+        // 5 entries → two sealed envelopes of 2, one buffered entry left.
+        assert_eq!(out.try_iter().count(), 2);
+        assert!(!comm.is_flushed());
+        comm.flush();
+        assert_eq!(out.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn response_roundtrip_decrements_pending() {
+        let (mut comm, out, resp_tx) = make_comm(1024);
+        comm.push_read(1, PropId(3), 9, SideRec { node: 7, aux: 42 });
+        comm.flush();
+        let req = out.try_recv().unwrap();
+        // Fake the remote copier's answer.
+        let mut payload = Vec::new();
+        crate::message::push_resp_entry(&mut payload, 0xDEAD);
+        resp_tx
+            .send(Envelope {
+                src: 1,
+                dst: 0,
+                kind: MsgKind::ReadResp,
+                worker: req.worker,
+                side_id: req.side_id,
+                payload,
+            })
+            .unwrap();
+        let r = comm.try_pop_response().unwrap();
+        assert_eq!(r.recs, vec![SideRec { node: 7, aux: 42 }]);
+        assert_eq!(crate::message::resp_entry(&r.env.payload, 0), 0xDEAD);
+        comm.finish_response(r);
+        assert_eq!(comm.pending().load(Ordering::SeqCst), 0);
+        assert_eq!(comm.in_flight_sides(), 0);
+    }
+
+    #[test]
+    fn mutations_roundtrip() {
+        let (mut comm, out, _resp) = make_comm(1024);
+        comm.push_mut(1, PropId(2), ReduceOp::Sum, 11, 99);
+        comm.flush();
+        let env = out.try_recv().unwrap();
+        assert_eq!(env.kind, MsgKind::Write);
+        let (p, op, off, bits) = crate::message::mut_entry(&env.payload, 0);
+        assert_eq!((p, op, off, bits), (2, ReduceOp::Sum, 11, 99));
+        // Writes stay pending until the copier applies them.
+        assert_eq!(comm.pending().load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn mut_kind_switches_for_ghost_phases() {
+        let (mut comm, out, _resp) = make_comm(1024);
+        comm.set_mut_kind(MsgKind::GhostSync);
+        comm.push_mut(1, PropId(0), ReduceOp::Assign, 0, 7);
+        comm.flush();
+        assert_eq!(out.try_recv().unwrap().kind, MsgKind::GhostSync);
+        comm.set_mut_kind(MsgKind::Write);
+    }
+
+    #[test]
+    fn rmi_roundtrip() {
+        let (mut comm, out, resp_tx) = make_comm(1024);
+        comm.push_rmi(1, 4, b"args", SideRec { node: 0, aux: 1 });
+        comm.flush();
+        let req = out.try_recv().unwrap();
+        assert_eq!(req.kind, MsgKind::Rmi);
+        let entries: Vec<_> = crate::message::rmi_entries(&req.payload).collect();
+        assert_eq!(entries, vec![(4u16, &b"args"[..])]);
+        let mut payload = Vec::new();
+        crate::message::push_rmi_resp_entry(&mut payload, b"ok");
+        resp_tx
+            .send(Envelope {
+                src: 1,
+                dst: 0,
+                kind: MsgKind::RmiResp,
+                worker: req.worker,
+                side_id: req.side_id,
+                payload,
+            })
+            .unwrap();
+        let r = comm.try_pop_response().unwrap();
+        assert_eq!(r.env.kind, MsgKind::RmiResp);
+        assert_eq!(r.recs[0].aux, 1);
+        comm.finish_response(r);
+        assert_eq!(comm.pending().load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn side_slab_recycles_ids() {
+        let (mut comm, out, resp_tx) = make_comm(READ_ENTRY_BYTES);
+        for round in 0..3 {
+            comm.push_read(1, PropId(0), round, SideRec { node: round, aux: 0 });
+            let req = out.try_recv().unwrap();
+            assert_eq!(req.side_id, 0, "slab should recycle slot 0");
+            let mut payload = Vec::new();
+            crate::message::push_resp_entry(&mut payload, round as u64);
+            resp_tx
+                .send(Envelope {
+                    src: 1,
+                    dst: 0,
+                    kind: MsgKind::ReadResp,
+                    worker: 0,
+                    side_id: req.side_id,
+                    payload,
+                })
+                .unwrap();
+            let r = comm.try_pop_response().unwrap();
+            comm.finish_response(r);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests of the worker-communication accounting: for arbitrary
+//! interleavings of reads, writes, flushes, and simulated copier
+//! responses, the pending-entry counter must return to exactly zero and
+//! every continuation record must be delivered exactly once.
+
+use crossbeam::channel::unbounded;
+use pgxd_runtime::buffer::BufferPool;
+use pgxd_runtime::message::{self, Envelope, MsgKind};
+use pgxd_runtime::props::{PropId, ReduceOp};
+use pgxd_runtime::stats::MachineStats;
+use pgxd_runtime::worker::{SideRec, WorkerComm};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { dst: u8, offset: u32, aux: u64 },
+    Write { dst: u8, offset: u32, bits: u64 },
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, any::<u32>(), any::<u64>())
+            .prop_map(|(dst, offset, aux)| Op::Read { dst, offset, aux }),
+        (0u8..3, any::<u32>(), any::<u64>())
+            .prop_map(|(dst, offset, bits)| Op::Write { dst, offset, bits }),
+        Just(Op::Flush),
+    ]
+}
+
+/// Simulates the remote copiers: answers every sealed request envelope.
+/// Returns the number of write entries applied.
+fn answer_all(
+    out_rx: &crossbeam::channel::Receiver<Envelope>,
+    resp_tx: &crossbeam::channel::Sender<Envelope>,
+    pending: &AtomicI64,
+) -> usize {
+    let mut writes = 0usize;
+    while let Ok(env) = out_rx.try_recv() {
+        match env.kind {
+            MsgKind::ReadReq => {
+                let n = message::read_entry_count(&env.payload);
+                let mut payload = Vec::new();
+                for i in 0..n {
+                    let (_prop, offset) = message::read_entry(&env.payload, i);
+                    message::push_resp_entry(&mut payload, offset as u64 + 1);
+                }
+                resp_tx
+                    .send(Envelope {
+                        src: env.dst,
+                        dst: env.src,
+                        kind: MsgKind::ReadResp,
+                        worker: env.worker,
+                        side_id: env.side_id,
+                        payload,
+                    })
+                    .unwrap();
+            }
+            MsgKind::Write => {
+                let n = message::mut_entry_count(&env.payload);
+                writes += n;
+                pending.fetch_sub(n as i64, Ordering::AcqRel);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+    writes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pending_returns_to_zero(ops in prop::collection::vec(arb_op(), 0..200),
+                               buffer_bytes in 64usize..512) {
+        let (out_tx, out_rx) = unbounded();
+        let (resp_tx, resp_rx) = unbounded();
+        let pending = Arc::new(AtomicI64::new(0));
+        let mut comm = WorkerComm::new(
+            0,
+            0,
+            3,
+            buffer_bytes,
+            resp_rx,
+            out_tx,
+            Arc::new(BufferPool::new(4, buffer_bytes)),
+            pending.clone(),
+            Arc::new(MachineStats::default()),
+        );
+
+        let mut issued_reads = 0usize;
+        let mut issued_writes = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Read { dst, offset, aux } => {
+                    comm.push_read(dst as u16, PropId(1), offset, SideRec { node: 7, aux });
+                    issued_reads += 1;
+                }
+                Op::Write { dst, offset, bits } => {
+                    comm.push_mut(dst as u16, PropId(2), ReduceOp::Sum, offset, bits);
+                    issued_writes += 1;
+                }
+                Op::Flush => comm.flush(),
+            }
+        }
+        comm.flush();
+        prop_assert!(comm.is_flushed());
+
+        // Drain the "network": copiers answer, worker consumes responses.
+        let mut applied_writes = 0usize;
+        let mut delivered = 0usize;
+        loop {
+            applied_writes += answer_all(&out_rx, &resp_tx, &pending);
+            let mut progressed = false;
+            while let Some(resp) = comm.try_pop_response() {
+                progressed = true;
+                for (i, rec) in resp.recs.iter().enumerate() {
+                    let bits = message::resp_entry(&resp.env.payload, i);
+                    // The simulated copier echoes offset + 1; records must
+                    // pair with their own request's answer.
+                    prop_assert!(bits >= 1);
+                    prop_assert_eq!(rec.node, 7);
+                    delivered += 1;
+                }
+                comm.finish_response(resp);
+            }
+            if !progressed && out_rx.is_empty() {
+                break;
+            }
+        }
+
+        prop_assert_eq!(delivered, issued_reads, "every read continues exactly once");
+        prop_assert_eq!(applied_writes, issued_writes, "every write applies exactly once");
+        prop_assert_eq!(pending.load(Ordering::SeqCst), 0, "no leaked pending entries");
+        prop_assert_eq!(comm.in_flight_sides(), 0, "no leaked side structures");
+    }
+
+    /// Request order within one destination must be preserved end to end:
+    /// responses pair values with records positionally.
+    #[test]
+    fn read_order_preserved(offsets in prop::collection::vec(any::<u32>(), 1..100),
+                            buffer_bytes in 64usize..256) {
+        let (out_tx, out_rx) = unbounded();
+        let (resp_tx, resp_rx) = unbounded();
+        let pending = Arc::new(AtomicI64::new(0));
+        let mut comm = WorkerComm::new(
+            0, 0, 2, buffer_bytes, resp_rx, out_tx,
+            Arc::new(BufferPool::new(4, buffer_bytes)),
+            pending.clone(),
+            Arc::new(MachineStats::default()),
+        );
+        for (i, &off) in offsets.iter().enumerate() {
+            comm.push_read(1, PropId(0), off, SideRec { node: 0, aux: i as u64 });
+        }
+        comm.flush();
+        answer_all(&out_rx, &resp_tx, &pending);
+        let mut seen: Vec<(u64, u64)> = Vec::new(); // (aux, value)
+        while let Some(resp) = comm.try_pop_response() {
+            for (i, rec) in resp.recs.iter().enumerate() {
+                seen.push((rec.aux, message::resp_entry(&resp.env.payload, i)));
+            }
+            comm.finish_response(resp);
+        }
+        prop_assert_eq!(seen.len(), offsets.len());
+        // Each aux's value must be its own offset + 1 (the echo), proving
+        // the side record lined up with the right payload slot.
+        for (aux, value) in seen {
+            prop_assert_eq!(value, offsets[aux as usize] as u64 + 1);
+        }
+    }
+}

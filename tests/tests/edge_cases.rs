@@ -1,0 +1,256 @@
+//! Adversarial and degenerate inputs across the whole stack.
+
+use pgxd::Engine;
+use pgxd_algorithms as algos;
+use pgxd_baselines::seq;
+use pgxd_graph::builder::graph_from_edges;
+use pgxd_graph::generate;
+
+fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
+    Engine::builder()
+        .machines(machines)
+        .workers(1)
+        .copiers(1)
+        .ghost_threshold(Some(8))
+        .build(g)
+        .unwrap()
+}
+
+#[test]
+fn edgeless_graph() {
+    let g = graph_from_edges(10, vec![]);
+    let mut e = engine(3, &g);
+    let w = algos::wcc(&mut e);
+    assert_eq!(w.num_components, 10);
+    let pr = algos::pagerank_push(&mut e, 0.85, 3, 0.0);
+    for &s in &pr.scores {
+        assert!((s - 0.15 / 10.0).abs() < 1e-12);
+    }
+    let kc = algos::kcore(&mut e, 8);
+    assert_eq!(kc.max_core, 0);
+}
+
+#[test]
+fn two_node_graph_many_machines() {
+    let g = graph_from_edges(2, vec![(0, 1)]);
+    let mut e = engine(4, &g); // more machines than meaningful partitions
+    let h = algos::hopdist(&mut e, 0);
+    assert_eq!(h.hops, vec![0, 1]);
+}
+
+#[test]
+fn self_loops_survive_the_stack() {
+    let g = graph_from_edges(4, vec![(0, 0), (0, 1), (1, 1), (1, 2), (3, 3)]);
+    let mut e = engine(2, &g);
+    let w = algos::wcc(&mut e);
+    assert_eq!(w.component, seq::wcc(&g));
+    let h = algos::hopdist(&mut e, 0);
+    assert_eq!(h.hops, seq::bfs(&g, 0));
+}
+
+#[test]
+fn parallel_edges_count_twice() {
+    let g = graph_from_edges(3, vec![(0, 1), (0, 1), (1, 2)]);
+    let mut e = engine(2, &g);
+    let pr = algos::pagerank_push(&mut e, 0.85, 5, 0.0);
+    let reference = seq::pagerank(&g, 0.85, 5);
+    for (a, b) in pr.scores.iter().zip(&reference) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn single_giant_hub() {
+    // One vertex with edges to everyone: the worst case for vertex
+    // partitioning, the best case for ghosting.
+    let n = 500usize;
+    let mut edges = Vec::new();
+    for v in 1..n as u32 {
+        edges.push((0u32, v));
+        edges.push((v, 0u32));
+    }
+    let g = graph_from_edges(n, edges);
+    let mut e = engine(4, &g);
+    assert!(!e.cluster().ghosts().is_empty(), "the hub must be ghosted");
+    let w = algos::wcc(&mut e);
+    assert_eq!(w.num_components, 1);
+    let (rk, rc) = seq::kcore(&g);
+    let kc = algos::kcore(&mut e, i64::MAX);
+    assert_eq!(kc.max_core, rk);
+    assert_eq!(kc.core, rc);
+}
+
+#[test]
+fn star_traffic_with_and_without_ghosts() {
+    // Quantitative Figure-6a style check at test scale: ghosting the hub
+    // must reduce remote write entries to (almost) nothing on a star.
+    let n = 400usize;
+    let mut edges = Vec::new();
+    for v in 1..n as u32 {
+        edges.push((v, 0u32)); // everyone pushes into the hub
+    }
+    let g = graph_from_edges(n, edges);
+
+    let mut no_ghost = Engine::builder()
+        .machines(4)
+        .ghost_threshold(None)
+        .build(&g)
+        .unwrap();
+    let _ = algos::pagerank_push(&mut no_ghost, 0.85, 2, 0.0);
+    let without = no_ghost.cluster().total_stats().write_entries;
+
+    let mut ghosted = Engine::builder()
+        .machines(4)
+        .ghost_threshold(Some(10))
+        .build(&g)
+        .unwrap();
+    let _ = algos::pagerank_push(&mut ghosted, 0.85, 2, 0.0);
+    let with = ghosted.cluster().total_stats().write_entries;
+
+    assert!(
+        with * 10 < without,
+        "ghosting the hub should kill ~all remote writes: {with} vs {without}"
+    );
+}
+
+#[test]
+fn long_chain_needs_many_iterations() {
+    // A path forces WCC/BFS through hundreds of supersteps — the
+    // overhead-bound regime (like KCore in the paper).
+    let n = 300usize;
+    let g = generate::path(n);
+    let mut e = engine(3, &g);
+    let h = algos::hopdist(&mut e, 0);
+    assert_eq!(h.iterations, n, "one frontier level per path vertex");
+    assert_eq!(h.hops[n - 1], (n - 1) as i64);
+}
+
+#[test]
+fn disconnected_islands_across_machines() {
+    // Many tiny components, each crossing partition boundaries only
+    // sometimes.
+    let mut edges = Vec::new();
+    let islands = 40u32;
+    for i in 0..islands {
+        let base = i * 3;
+        edges.push((base, base + 1));
+        edges.push((base + 1, base + 2));
+    }
+    let g = graph_from_edges((islands * 3) as usize, edges);
+    let mut e = engine(4, &g);
+    let w = algos::wcc(&mut e);
+    assert_eq!(w.num_components, islands as usize);
+}
+
+#[test]
+fn zero_weight_edges() {
+    let mut b = pgxd_graph::GraphBuilder::new();
+    b.add_weighted_edge(0, 1, 0.0)
+        .add_weighted_edge(1, 2, 0.0)
+        .add_weighted_edge(0, 2, 5.0);
+    let g = b.build();
+    let mut e = engine(2, &g);
+    let d = algos::sssp(&mut e, 0);
+    assert_eq!(d.dist, vec![0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn engine_survives_many_tiny_jobs() {
+    // KCore on a path: hundreds of near-empty parallel steps (the
+    // framework-overhead stress of §5.3.1).
+    let g = generate::path(64);
+    let mut e = engine(3, &g);
+    let kc = algos::kcore(&mut e, i64::MAX);
+    let (rk, rc) = seq::kcore(&g);
+    assert_eq!(kc.max_core, rk);
+    assert_eq!(kc.core, rc);
+    assert!(kc.iterations > 10);
+}
+
+#[test]
+fn dist_barrier_stress() {
+    let g = generate::ring(32);
+    let mut e = engine(4, &g);
+    for _ in 0..100 {
+        e.dist_barrier_roundtrip();
+    }
+}
+
+#[test]
+fn rmi_from_algorithm_context() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    // A remote method that counts invocations per machine.
+    let g = generate::ring(16);
+    let mut e = engine(2, &g);
+    let hits = Arc::new(AtomicU64::new(0));
+    let hits2 = hits.clone();
+    let id = e.register_rmi(Arc::new(move |_m, args: &[u8]| {
+        hits2.fetch_add(1, Ordering::SeqCst);
+        args.to_vec() // echo
+    }));
+    assert_eq!(id, 0);
+
+    struct Caller {
+        id: u16,
+        echoed: pgxd::Prop<i64>,
+    }
+    impl pgxd::NodeTask for Caller {
+        fn run(&self, ctx: &mut pgxd::NodeCtx<'_, '_>) {
+            if ctx.node() == 0 {
+                ctx.rmi(1, self.id, &7i64.to_le_bytes(), 0);
+            }
+        }
+        fn read_done(&self, ctx: &mut pgxd::ReadDoneCtx<'_, '_>) {
+            let v: i64 = ctx.value();
+            ctx.set(self.echoed, v);
+        }
+    }
+    let echoed = e.add_prop("echoed", 0i64);
+    e.run_node_job(&pgxd::JobSpec::new(), Caller { id, echoed });
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+    assert_eq!(e.get::<i64>(echoed, 0), 7);
+}
+
+#[test]
+fn modeled_network_gives_same_results() {
+    // Enabling the InfiniBand-like cost model slows the fabric down but
+    // must never change results.
+    let g = generate::rmat(7, 4, generate::RmatParams::skewed(), 3010);
+    let reference = seq::pagerank(&g, 0.85, 3);
+    let mut config = pgxd::Config::test(2);
+    config.net = pgxd::NetConfig::infiniband_like();
+    let mut e = pgxd::EngineBuilder::from_config(config).build(&g).unwrap();
+    let got = algos::pagerank_pull(&mut e, 0.85, 3, 0.0);
+    for (r, x) in reference.iter().zip(&got.scores) {
+        assert!((r - x).abs() < 1e-9);
+    }
+    // The model must have charged virtual wire time.
+    let charged: u64 = (0..2).map(|m| e.cluster().fabric().virtual_busy_ns(m)).sum();
+    assert!(charged > 0, "cost model should have been exercised");
+}
+
+#[test]
+#[ignore = "soak test: run manually with --ignored (several minutes)"]
+fn soak_large_graph_all_algorithms() {
+    let g = generate::rmat(14, 16, generate::RmatParams::skewed(), 3011)
+        .with_uniform_weights(1.0, 10.0, 3);
+    let mut e = Engine::builder()
+        .machines(4)
+        .workers(2)
+        .copiers(2)
+        .ghost_threshold(Some(512))
+        .build(&g)
+        .unwrap();
+    let pr = algos::pagerank_pull(&mut e, 0.85, 10, 0.0);
+    assert!(pr.scores.iter().all(|s| s.is_finite()));
+    let w = algos::wcc(&mut e);
+    assert_eq!(w.component, seq::wcc(&g));
+    let d = algos::sssp(&mut e, 0);
+    let rd = seq::sssp(&g, 0);
+    for (a, b) in d.dist.iter().zip(&rd) {
+        assert!((a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()));
+    }
+    let kc = algos::kcore(&mut e, i64::MAX);
+    assert_eq!(kc.max_core, seq::kcore(&g).0);
+}

@@ -1,0 +1,198 @@
+//! Property-based tests of the substrate layers: graph construction,
+//! partitioning, ghost tables, chunking, and the wire format — invariants
+//! that must hold for arbitrary inputs.
+
+use pgxd_graph::builder::graph_from_edges;
+use pgxd_graph::{Graph, NodeId};
+use pgxd_runtime::chunk::make_chunks;
+use pgxd_runtime::config::ChunkingMode;
+use pgxd_runtime::ghost::GhostTable;
+use pgxd_runtime::localgraph::LocalGraph;
+use pgxd_runtime::partition::Partitioning;
+use pgxd_runtime::props::{bottom_bits, reduce_bits, ReduceOp, TypeTag};
+use proptest::prelude::*;
+
+fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
+    (2..n, prop::collection::vec((0..n as u32, 0..n as u32), 0..m)).prop_map(|(nodes, edges)| {
+        let edges: Vec<(NodeId, NodeId)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % nodes as u32, b % nodes as u32))
+            .collect();
+        graph_from_edges(nodes, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_graphs_are_structurally_valid(g in arb_graph(64, 256)) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn transpose_preserves_edge_multiset(g in arb_graph(48, 160)) {
+        // (src,dst) multiset of the forward view == (dst,src) of reverse.
+        let mut fwd: Vec<(u32, u32)> =
+            g.out_csr().iter_edges().map(|(s, _, d)| (s, d)).collect();
+        let mut rev: Vec<(u32, u32)> =
+            g.in_csr().iter_edges().map(|(d, _, s)| (s, d)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn partitions_tile_the_vertex_space(g in arb_graph(64, 200), p in 1usize..9) {
+        for mode in [
+            pgxd_runtime::config::PartitioningMode::Vertex,
+            pgxd_runtime::config::PartitioningMode::Edge,
+        ] {
+            let part = Partitioning::build(&g, p, mode);
+            prop_assert!(part.validate().is_ok());
+            prop_assert_eq!(part.num_partitions(), p);
+            // Every vertex has exactly one owner and a consistent offset.
+            for v in 0..g.num_nodes() as u32 {
+                let m = part.owner(v);
+                prop_assert!(part.start(m) <= v && v < part.end(m));
+                prop_assert_eq!(part.start(m) + part.local_offset(v), v);
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_cover_every_edge_exactly_once(g in arb_graph(40, 150), p in 1usize..6,
+                                               threshold in prop::option::of(0usize..8)) {
+        let part = Partitioning::build(&g, p, pgxd_runtime::config::PartitioningMode::Edge);
+        let part = std::sync::Arc::new(part);
+        let ghosts = GhostTable::build(&g, threshold);
+        let mut out_edges = 0usize;
+        let mut in_edges = 0usize;
+        for m in 0..p as u16 {
+            let f = LocalGraph::build(&g, &part, &ghosts, m);
+            out_edges += f.out.num_edges();
+            in_edges += f.inn.num_edges();
+            // Degrees of owned vertices match the global graph.
+            for v in 0..f.num_local() {
+                let global = f.to_global(v);
+                prop_assert_eq!(f.out.degree(v), g.out_degree(global));
+                prop_assert_eq!(f.inn.degree(v), g.in_degree(global));
+            }
+            // Encoded targets must be resolvable.
+            for &t in &f.out.targets {
+                if t.is_remote() {
+                    let gid = t.global_id();
+                    prop_assert!((gid.machine() as usize) < p);
+                    prop_assert!(gid.machine() != m, "remote target on own machine");
+                } else {
+                    prop_assert!(t.local_index() < f.num_local() + f.num_ghosts());
+                }
+            }
+        }
+        prop_assert_eq!(out_edges, g.num_edges());
+        prop_assert_eq!(in_edges, g.num_edges());
+    }
+
+    #[test]
+    fn ghosted_targets_never_remote(g in arb_graph(40, 150), p in 2usize..5) {
+        // With threshold 0, every vertex with any degree is ghosted, so no
+        // encoded target may be remote.
+        let part = std::sync::Arc::new(
+            Partitioning::build(&g, p, pgxd_runtime::config::PartitioningMode::Edge));
+        let ghosts = GhostTable::build(&g, Some(0));
+        for m in 0..p as u16 {
+            let f = LocalGraph::build(&g, &part, &ghosts, m);
+            for &t in f.out.targets.iter().chain(&f.inn.targets) {
+                prop_assert!(!t.is_remote());
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_partition_the_node_range(row in prop::collection::vec(0usize..40, 1..80),
+                                       target in 1usize..64) {
+        // Build a monotone row_ptr from arbitrary degrees.
+        let mut row_ptr = vec![0usize];
+        for d in &row {
+            row_ptr.push(row_ptr.last().unwrap() + d);
+        }
+        let n = row.len();
+        for mode in [ChunkingMode::Node, ChunkingMode::Edge] {
+            let chunks = make_chunks(&row_ptr, n, mode, target);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for c in &chunks {
+                prop_assert_eq!(c.start, prev_end, "chunks must be contiguous");
+                prop_assert!(c.end > c.start, "chunks must be non-empty");
+                covered += c.len();
+                prev_end = c.end;
+            }
+            prop_assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn reduce_ops_are_idempotent_where_expected(bits in any::<u64>()) {
+        // Min/Max/Or/And are idempotent: reduce(x, x) == x.
+        for tag in [TypeTag::I64, TypeTag::U64, TypeTag::U32] {
+            let mask = match tag {
+                TypeTag::U32 => u32::MAX as u64,
+                _ => u64::MAX,
+            };
+            let x = bits & mask;
+            for op in [ReduceOp::Min, ReduceOp::Max, ReduceOp::Or, ReduceOp::And] {
+                prop_assert_eq!(reduce_bits(tag, op, x, x), x, "{:?} {:?}", tag, op);
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_is_identity(bits in any::<u64>()) {
+        for tag in [TypeTag::I64, TypeTag::U64, TypeTag::U32] {
+            let mask = match tag {
+                TypeTag::U32 => u32::MAX as u64,
+                _ => u64::MAX,
+            };
+            let x = bits & mask;
+            for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max, ReduceOp::Or] {
+                let b = bottom_bits(tag, op);
+                prop_assert_eq!(reduce_bits(tag, op, b, x), x, "{:?} {:?}", tag, op);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_entries_roundtrip(prop_id in any::<u16>(), offset in any::<u32>(),
+                              bits in any::<u64>(), op_raw in 0u8..6) {
+        use pgxd_runtime::message::*;
+        let op = pgxd_runtime::props::ReduceOp::from_u8(op_raw).unwrap();
+        let mut buf = Vec::new();
+        push_read_entry(&mut buf, prop_id, offset);
+        prop_assert_eq!(read_entry(&buf, 0), (prop_id, offset));
+        let mut buf = Vec::new();
+        push_mut_entry(&mut buf, prop_id, op, offset, bits);
+        prop_assert_eq!(mut_entry(&buf, 0), (prop_id, op, offset, bits));
+        let mut buf = Vec::new();
+        push_resp_entry(&mut buf, bits);
+        prop_assert_eq!(resp_entry(&buf, 0), bits);
+    }
+
+    #[test]
+    fn binary_io_roundtrips(g in arb_graph(32, 100)) {
+        let mut buf = Vec::new();
+        pgxd_graph::io::write_binary(&g, &mut buf).unwrap();
+        let g2 = pgxd_graph::io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(g.out_csr(), g2.out_csr());
+    }
+
+    #[test]
+    fn text_io_roundtrips(g in arb_graph(32, 100)) {
+        let mut buf = Vec::new();
+        pgxd_graph::io::write_text_edge_list(&g, &mut buf).unwrap();
+        let g2 = pgxd_graph::io::read_text_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g.out_csr().col_idx(), g2.out_csr().col_idx());
+        // Node count may differ if trailing vertices are isolated; edge
+        // structure must match for the covered prefix.
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+    }
+}
