@@ -7,8 +7,7 @@
 //! §4.1).
 
 use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, NodeId, Prop, ReadDoneCtx,
-    ReduceOp,
+    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReadDoneCtx, ReduceOp,
 };
 
 /// Result of betweenness centrality.
@@ -179,9 +178,7 @@ pub fn betweenness(engine: &mut Engine, sources: &[NodeId]) -> BetweennessResult
         loop {
             engine.run_edge_job(
                 Dir::Out,
-                &JobSpec::new()
-                    .read(sigma)
-                    .reduce(sigma_add, ReduceOp::Sum),
+                &JobSpec::new().read(sigma).reduce(sigma_add, ReduceOp::Sum),
                 Expand {
                     dist,
                     sigma,

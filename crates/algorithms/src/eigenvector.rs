@@ -66,11 +66,7 @@ impl NodeTask for Square {
 
 /// Computes eigenvector centrality (first principal component of the
 /// adjacency matrix) by power iteration with per-step L2 normalization.
-pub fn eigenvector(
-    engine: &mut Engine,
-    max_iters: usize,
-    tol: f64,
-) -> EigenVectorResult {
+pub fn eigenvector(engine: &mut Engine, max_iters: usize, tol: f64) -> EigenVectorResult {
     let n = engine.num_nodes();
     let init = 1.0 / (n as f64).sqrt();
     let ev = engine.add_prop("ev", init);

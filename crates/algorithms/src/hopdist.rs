@@ -2,9 +2,7 @@
 //! Breadth-first traversal from the root", Table 2). Level-synchronous
 //! frontier expansion with a `Min` push of `hops + 1`.
 
-use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, NodeId, Prop, ReduceOp,
-};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp};
 
 /// Result of a hop-distance traversal.
 #[derive(Clone, Debug)]

@@ -8,9 +8,7 @@
 //! peeling loop repeatedly removes vertices whose remaining degree is
 //! below `k`, notifying neighbors with a `Sum(-1)` push.
 
-use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp,
-};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
 
 /// Result of the k-core peeling.
 #[derive(Clone, Debug)]
@@ -176,15 +174,7 @@ mod tests {
         // degree 4 inside the triangle) plus a pendant vertex.
         let g = graph_from_edges(
             4,
-            vec![
-                (0, 1),
-                (1, 0),
-                (1, 2),
-                (2, 1),
-                (2, 0),
-                (0, 2),
-                (3, 0),
-            ],
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (3, 0)],
         );
         let mut e = engine(2, &g);
         let r = kcore(&mut e, 64);

@@ -10,9 +10,7 @@
 //! undecided neighbor's; neighbors of new members drop out. Expected
 //! O(log n) rounds.
 
-use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp,
-};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
 
 /// Result of the MIS computation.
 #[derive(Clone, Debug)]
@@ -83,8 +81,7 @@ struct Join {
 }
 impl NodeTask for Join {
     fn run(&self, ctx: &mut NodeCtx<'_, '_>) {
-        let joins = ctx.get(self.state) == UNDECIDED
-            && ctx.get(self.prio) > ctx.get(self.nbr_max);
+        let joins = ctx.get(self.state) == UNDECIDED && ctx.get(self.prio) > ctx.get(self.nbr_max);
         if joins {
             ctx.set(self.state, IN_SET);
         }
@@ -146,8 +143,24 @@ pub fn mis(engine: &mut Engine) -> MisResult {
             },
         );
         let push_spec = JobSpec::new().read(prio).reduce(nbr_max, ReduceOp::Max);
-        engine.run_edge_job(Dir::Out, &push_spec, PushPrio { state, prio, nbr_max });
-        engine.run_edge_job(Dir::In, &push_spec, PushPrio { state, prio, nbr_max });
+        engine.run_edge_job(
+            Dir::Out,
+            &push_spec,
+            PushPrio {
+                state,
+                prio,
+                nbr_max,
+            },
+        );
+        engine.run_edge_job(
+            Dir::In,
+            &push_spec,
+            PushPrio {
+                state,
+                prio,
+                nbr_max,
+            },
+        );
         engine.run_node_job(
             &JobSpec::new(),
             Join {
@@ -158,8 +171,22 @@ pub fn mis(engine: &mut Engine) -> MisResult {
             },
         );
         let excl_spec = JobSpec::new().reduce(excluded_flag, ReduceOp::Or);
-        engine.run_edge_job(Dir::Out, &excl_spec, Exclude { joined, excluded_flag });
-        engine.run_edge_job(Dir::In, &excl_spec, Exclude { joined, excluded_flag });
+        engine.run_edge_job(
+            Dir::Out,
+            &excl_spec,
+            Exclude {
+                joined,
+                excluded_flag,
+            },
+        );
+        engine.run_edge_job(
+            Dir::In,
+            &excl_spec,
+            Exclude {
+                joined,
+                excluded_flag,
+            },
+        );
         engine.run_node_job(
             &JobSpec::new(),
             ApplyExclusions {

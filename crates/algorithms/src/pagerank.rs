@@ -96,11 +96,7 @@ fn pagerank_exact(
         iterations += 1;
         engine.run_node_job(&JobSpec::new(), Scale { pr, tmp });
         if pull {
-            engine.run_edge_job(
-                Dir::In,
-                &JobSpec::new().read(tmp),
-                PullKernel { tmp, nxt },
-            );
+            engine.run_edge_job(Dir::In, &JobSpec::new().read(tmp), PullKernel { tmp, nxt });
         } else {
             engine.run_edge_job(
                 Dir::Out,

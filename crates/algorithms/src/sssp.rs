@@ -3,9 +3,7 @@
 //! weights. We generated these values using a uniform random
 //! distribution", §5.2).
 
-use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, NodeId, Prop, ReduceOp,
-};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp};
 
 /// Result of SSSP.
 #[derive(Clone, Debug)]

@@ -2,9 +2,7 @@
 //! directions with vertex reactivation ("In WCC, a deactivated node can
 //! later be active again", §5.2).
 
-use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp,
-};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
 
 /// Result of WCC.
 #[derive(Clone, Debug)]

@@ -116,8 +116,9 @@ fn run_internal<P: VertexProgram>(
             Vec<crossbeam::channel::Sender<(u32, M)>>,
             Vec<crossbeam::channel::Receiver<(u32, M)>>,
         );
-        let (inbox_tx, inbox_rx): Inboxes<P::Msg> =
-            (0..machines).map(|_| crossbeam::channel::unbounded()).unzip();
+        let (inbox_tx, inbox_rx): Inboxes<P::Msg> = (0..machines)
+            .map(|_| crossbeam::channel::unbounded())
+            .unzip();
         {
             let msgs_r = &msgs;
             let scheduled_r = &scheduled;
@@ -206,7 +207,14 @@ pub fn edge_iteration(g: &Graph, machines: usize) -> usize {
         fn combine(a: u32, b: u32) -> u32 {
             a.wrapping_add(b)
         }
-        fn compute(&self, v: NodeId, _s: &mut (), _in: Option<u32>, _g: &Graph, _step: usize) -> Option<u32> {
+        fn compute(
+            &self,
+            v: NodeId,
+            _s: &mut (),
+            _in: Option<u32>,
+            _g: &Graph,
+            _step: usize,
+        ) -> Option<u32> {
             Some(v)
         }
     }
@@ -230,7 +238,14 @@ mod tests {
         fn both_directions(&self) -> bool {
             true
         }
-        fn compute(&self, _v: NodeId, state: &mut u32, incoming: Option<u32>, _g: &Graph, _step: usize) -> Option<u32> {
+        fn compute(
+            &self,
+            _v: NodeId,
+            state: &mut u32,
+            incoming: Option<u32>,
+            _g: &Graph,
+            _step: usize,
+        ) -> Option<u32> {
             match incoming {
                 None => Some(*state), // first round: announce
                 Some(m) if m < *state => {
@@ -272,7 +287,14 @@ mod tests {
             fn combine(a: u32, b: u32) -> u32 {
                 a + b
             }
-            fn compute(&self, _v: NodeId, s: &mut u32, _in: Option<u32>, _g: &Graph, _step: usize) -> Option<u32> {
+            fn compute(
+                &self,
+                _v: NodeId,
+                s: &mut u32,
+                _in: Option<u32>,
+                _g: &Graph,
+                _step: usize,
+            ) -> Option<u32> {
                 *s += 1;
                 None
             }

@@ -63,7 +63,14 @@ impl VertexProgram for PrPush {
     fn combine(a: f64, b: f64) -> f64 {
         a + b
     }
-    fn compute(&self, v: NodeId, pr: &mut f64, incoming: Option<f64>, g: &Graph, step: usize) -> Option<f64> {
+    fn compute(
+        &self,
+        v: NodeId,
+        pr: &mut f64,
+        incoming: Option<f64>,
+        g: &Graph,
+        step: usize,
+    ) -> Option<f64> {
         if step > 1 {
             *pr = self.base + self.damping * incoming.unwrap_or(0.0);
         }
@@ -151,7 +158,15 @@ pub fn pagerank_approx(
     let init = (1.0 - damping) / n as f64;
     let p = PrApprox { damping, threshold };
     let mut states = vec![(init, init); n];
-    let steps = run_quiescent(engine, g, machines, &p, &mut states, vec![true; n], max_steps);
+    let steps = run_quiescent(
+        engine,
+        g,
+        machines,
+        &p,
+        &mut states,
+        vec![true; n],
+        max_steps,
+    );
     (states.into_iter().map(|(pr, _)| pr).collect(), steps)
 }
 
@@ -169,7 +184,14 @@ impl VertexProgram for MinLabel {
     fn both_directions(&self) -> bool {
         true
     }
-    fn compute(&self, _v: NodeId, comp: &mut u32, incoming: Option<u32>, _g: &Graph, _step: usize) -> Option<u32> {
+    fn compute(
+        &self,
+        _v: NodeId,
+        comp: &mut u32,
+        incoming: Option<u32>,
+        _g: &Graph,
+        _step: usize,
+    ) -> Option<u32> {
         match incoming {
             None => Some(*comp),
             Some(m) if m < *comp => {
@@ -185,7 +207,15 @@ impl VertexProgram for MinLabel {
 pub fn wcc(engine: Comparator, g: &Graph, machines: usize) -> Vec<u32> {
     let n = g.num_nodes();
     let mut states: Vec<u32> = (0..n as u32).collect();
-    run_quiescent(engine, g, machines, &MinLabel, &mut states, vec![true; n], usize::MAX);
+    run_quiescent(
+        engine,
+        g,
+        machines,
+        &MinLabel,
+        &mut states,
+        vec![true; n],
+        usize::MAX,
+    );
     states
 }
 
@@ -214,8 +244,9 @@ pub fn sssp(engine: Comparator, g: &Graph, machines: usize, root: NodeId) -> (Ve
                     Vec<crossbeam::channel::Sender<(u32, f64)>>,
                     Vec<crossbeam::channel::Receiver<(u32, f64)>>,
                 );
-                let (tx, rx): Chans =
-                    (0..machines).map(|_| crossbeam::channel::unbounded()).unzip();
+                let (tx, rx): Chans = (0..machines)
+                    .map(|_| crossbeam::channel::unbounded())
+                    .unzip();
                 std::thread::scope(|s| {
                     let dist_r = &dist;
                     let frontier_r = &frontier;
@@ -239,7 +270,9 @@ pub fn sssp(engine: Comparator, g: &Graph, machines: usize, root: NodeId) -> (Ve
                     }
                 });
                 drop(tx);
-                rx.into_iter().flat_map(|r| r.try_iter().collect::<Vec<_>>()).collect()
+                rx.into_iter()
+                    .flat_map(|r| r.try_iter().collect::<Vec<_>>())
+                    .collect()
             }
             Comparator::Dataflow => {
                 // Materialize boxed candidate records, then sort by
@@ -257,9 +290,7 @@ pub fn sssp(engine: Comparator, g: &Graph, machines: usize, root: NodeId) -> (Ve
                                     if !frontier_r[v] {
                                         continue;
                                     }
-                                    for (k, &t) in
-                                        g.out_neighbors(v as NodeId).iter().enumerate()
-                                    {
+                                    for (k, &t) in g.out_neighbors(v as NodeId).iter().enumerate() {
                                         let e = g.out_csr().edge_start(v as NodeId) + k;
                                         out.push(Box::new((t, dist_r[v] + g.weight(e))));
                                     }
@@ -305,7 +336,14 @@ impl VertexProgram for Hop {
     fn combine(a: i64, b: i64) -> i64 {
         a.min(b)
     }
-    fn compute(&self, _v: NodeId, hops: &mut i64, incoming: Option<i64>, _g: &Graph, _step: usize) -> Option<i64> {
+    fn compute(
+        &self,
+        _v: NodeId,
+        hops: &mut i64,
+        incoming: Option<i64>,
+        _g: &Graph,
+        _step: usize,
+    ) -> Option<i64> {
         match incoming {
             None if *hops == 0 => Some(1), // root announces level 1
             None => None,
@@ -319,18 +357,21 @@ impl VertexProgram for Hop {
 }
 
 /// BFS hop counts on a comparator engine.
-pub fn hopdist(
-    engine: Comparator,
-    g: &Graph,
-    machines: usize,
-    root: NodeId,
-) -> (Vec<i64>, usize) {
+pub fn hopdist(engine: Comparator, g: &Graph, machines: usize, root: NodeId) -> (Vec<i64>, usize) {
     let n = g.num_nodes();
     let mut states = vec![i64::MAX; n];
     states[root as usize] = 0;
     let mut scheduled = vec![false; n];
     scheduled[root as usize] = true;
-    let steps = run_quiescent(engine, g, machines, &Hop, &mut states, scheduled, usize::MAX);
+    let steps = run_quiescent(
+        engine,
+        g,
+        machines,
+        &Hop,
+        &mut states,
+        scheduled,
+        usize::MAX,
+    );
     (states, steps)
 }
 

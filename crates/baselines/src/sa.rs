@@ -80,12 +80,8 @@ fn atomic_add_f64(cell: &AtomicU64, add: f64) {
 fn atomic_min_f64(cell: &AtomicU64, cand: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     while cand < f64::from_bits(cur) {
-        match cell.compare_exchange_weak(
-            cur,
-            cand.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(cur, cand.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => return,
             Err(c) => cur = c,
         }
@@ -194,7 +190,12 @@ pub fn pagerank_push(g: &Graph, damping: f64, iters: usize, threads: usize) -> V
 }
 
 /// Approximate PageRank with delta propagation and deactivation.
-pub fn pagerank_approx(g: &Graph, damping: f64, threshold: f64, threads: usize) -> (Vec<f64>, usize) {
+pub fn pagerank_approx(
+    g: &Graph,
+    damping: f64,
+    threshold: f64,
+    threads: usize,
+) -> (Vec<f64>, usize) {
     let n = g.num_nodes();
     if n == 0 {
         return (Vec::new(), 0);

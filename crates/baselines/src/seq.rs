@@ -135,9 +135,7 @@ pub fn kcore(g: &Graph) -> (i64, Vec<i64>) {
     let mut k = 1i64;
     while remaining > 0 {
         loop {
-            let dying: Vec<usize> = (0..n)
-                .filter(|&v| alive[v] && deg[v] < k)
-                .collect();
+            let dying: Vec<usize> = (0..n).filter(|&v| alive[v] && deg[v] < k).collect();
             if dying.is_empty() {
                 break;
             }

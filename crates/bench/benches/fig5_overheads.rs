@@ -38,11 +38,9 @@ fn bench_barrier(c: &mut Criterion) {
             .ghost_threshold(None)
             .build(&g)
             .unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("shared", machines),
-            &machines,
-            |b, _| b.iter(|| engine.barrier_roundtrip()),
-        );
+        group.bench_with_input(BenchmarkId::new("shared", machines), &machines, |b, _| {
+            b.iter(|| engine.barrier_roundtrip())
+        });
         group.bench_with_input(
             BenchmarkId::new("message_based", machines),
             &machines,

@@ -8,12 +8,7 @@ use pgxd_bench::systems::{run_pgx, Algo};
 use pgxd_graph::generate::{rmat, RmatParams};
 use pgxd_graph::Graph;
 
-fn engine_with(
-    g: &Graph,
-    ghosts: usize,
-    part: PartitioningMode,
-    chunk: ChunkingMode,
-) -> Engine {
+fn engine_with(g: &Graph, ghosts: usize, part: PartitioningMode, chunk: ChunkingMode) -> Engine {
     Engine::builder()
         .machines(2)
         .workers(2)
@@ -63,7 +58,11 @@ fn bench_privatization(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_ghost_privatization");
     group.sample_size(10);
     for privatize in [false, true] {
-        let name = if privatize { "private_copies" } else { "shared_atomics" };
+        let name = if privatize {
+            "private_copies"
+        } else {
+            "shared_atomics"
+        };
         group.bench_function(name, |b| {
             let mut engine = Engine::builder()
                 .machines(2)

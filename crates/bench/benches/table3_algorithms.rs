@@ -16,7 +16,13 @@ fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3");
     group.sample_size(10);
 
-    for algo in [Algo::PrPull, Algo::PrPush, Algo::Wcc, Algo::Sssp, Algo::HopDist] {
+    for algo in [
+        Algo::PrPull,
+        Algo::PrPush,
+        Algo::Wcc,
+        Algo::Sssp,
+        Algo::HopDist,
+    ] {
         for sys in System::all() {
             // Skip unsupported combinations (pull on push-only systems).
             let input = if algo.needs_weights() { &wg } else { &g };

@@ -4,13 +4,17 @@
 //! cargo run -p pgxd-bench --release --bin repro -- all            # quick scale
 //! cargo run -p pgxd-bench --release --bin repro -- table3 --full # 8× larger graphs
 //! cargo run -p pgxd-bench --release --bin repro -- fig6 fig8 -v
+//! cargo run -p pgxd-bench --release --bin repro -- --telemetry out/
 //! ```
 //!
 //! Text tables print to stdout; machine-readable JSON lands in `results/`.
+//! `--telemetry <dir>` runs an instrumented 4-machine PageRank and writes
+//! `<dir>/trace.json` (Perfetto-viewable) plus `<dir>/report.json`.
 
 use pgxd_bench::datasets::Scale;
 use pgxd_bench::experiments::*;
 use pgxd_bench::report::{results_dir, Table};
+use std::path::PathBuf;
 
 fn emit(tables: &[Table], slug: &str) {
     let dir = results_dir();
@@ -28,7 +32,19 @@ fn emit(tables: &[Table], slug: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--telemetry <dir>` consumes its operand so it isn't mistaken for an
+    // experiment name.
+    let mut telemetry_dir: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(i);
+        if i < args.len() && !args[i].starts_with('-') {
+            telemetry_dir = Some(PathBuf::from(args.remove(i)));
+        } else {
+            eprintln!("--telemetry requires an output directory");
+            std::process::exit(2);
+        }
+    }
     let scale = Scale::from_args(&args);
     let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
     let wanted: Vec<&str> = args
@@ -36,17 +52,18 @@ fn main() {
         .filter(|a| !a.starts_with('-'))
         .map(|s| s.as_str())
         .collect();
-    let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+    let wanted: Vec<&str> = if !wanted.is_empty() && !wanted.contains(&"all") {
+        wanted
+    } else if telemetry_dir.is_some() && wanted.is_empty() {
+        // Bare `--telemetry <dir>` runs just the instrumented demo.
+        vec!["telemetry"]
+    } else {
         vec![
             "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
         ]
-    } else {
-        wanted
     };
 
-    eprintln!(
-        "# PGX.D reproduction harness — scale: {scale:?}, experiments: {wanted:?}"
-    );
+    eprintln!("# PGX.D reproduction harness — scale: {scale:?}, experiments: {wanted:?}");
     for exp in wanted {
         let t0 = std::time::Instant::now();
         eprintln!("== {exp} ==");
@@ -69,6 +86,12 @@ fn main() {
                 emit(&[fig8::run_fig8a()], "fig8a");
                 emit(&[fig8::run_fig8b()], "fig8b");
             }
+            "telemetry" => {
+                let dir = telemetry_dir
+                    .clone()
+                    .unwrap_or_else(|| results_dir().join("telemetry"));
+                emit(&telemetry::run_experiment(scale, &dir), "telemetry");
+            }
             "verify" => {
                 let checks = verify::run_checks(scale);
                 let (text, all) = verify::report(&checks);
@@ -79,7 +102,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment '{other}'");
-                eprintln!("known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 verify all");
+                eprintln!(
+                    "known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 telemetry verify all"
+                );
                 std::process::exit(2);
             }
         }

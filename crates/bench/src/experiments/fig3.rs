@@ -19,7 +19,11 @@ pub fn relative_series(data: &Table3Data, algo: Algo) -> Option<Table> {
         .find(|&&(s, m, a, _)| s == System::Gl && m == 2 && a == algo)
         .and_then(|&(_, _, _, v)| v)?;
     let mut t = Table::new(
-        &format!("Figure 3 — {} on {} (relative to GL@2)", algo.name(), data.graph),
+        &format!(
+            "Figure 3 — {} on {} (relative to GL@2)",
+            algo.name(),
+            data.graph
+        ),
         vec!["relative".into()],
         "speedup over GraphLab on 2 machines; higher is better",
     );

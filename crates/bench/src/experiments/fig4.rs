@@ -42,7 +42,10 @@ pub fn run_experiment(scale: Scale, verbose: bool) -> Vec<Table> {
         }
         let base = gl2.expect("GL@2 baseline");
         let mut t = Table::new(
-            &format!("Figure 4 — PageRank(exact) on {} (relative to GL@2)", bg.name()),
+            &format!(
+                "Figure 4 — PageRank(exact) on {} (relative to GL@2)",
+                bg.name()
+            ),
             vec!["relative".into()],
             "speedup over GraphLab on 2 machines",
         );

@@ -64,15 +64,24 @@ pub fn run_fig5a(scale: Scale) -> Table {
     );
     t.push_row(
         "OpenMP (SA)",
-        threads.iter().map(|&k| Some(sa_edge_iteration_meps(&g, k))).collect(),
+        threads
+            .iter()
+            .map(|&k| Some(sa_edge_iteration_meps(&g, k)))
+            .collect(),
     );
     t.push_row(
         "PGX.D",
-        threads.iter().map(|&k| Some(pgx_edge_iteration_meps(&g, k))).collect(),
+        threads
+            .iter()
+            .map(|&k| Some(pgx_edge_iteration_meps(&g, k)))
+            .collect(),
     );
     t.push_row(
         "GraphLab-like",
-        threads.iter().map(|&k| Some(gas_edge_iteration_meps(&g, k))).collect(),
+        threads
+            .iter()
+            .map(|&k| Some(gas_edge_iteration_meps(&g, k)))
+            .collect(),
     );
     t
 }

@@ -62,12 +62,18 @@ pub fn run_fig6a(scale: Scale, machines: usize) -> Table {
     let base = &points[0];
     let mut t = Table::new(
         &format!("Figure 6a — ghost node effect (PR-pull on TWT-S, {machines} machines)"),
-        points.iter().map(|p| format!("{} ghosts", p.ghosts)).collect(),
+        points
+            .iter()
+            .map(|p| format!("{} ghosts", p.ghosts))
+            .collect(),
         "relative to no ghosts (1.0); lower is better",
     );
     t.push_row(
         "runtime",
-        points.iter().map(|p| Some(p.seconds / base.seconds)).collect(),
+        points
+            .iter()
+            .map(|p| Some(p.seconds / base.seconds))
+            .collect(),
     );
     t.push_row(
         "traffic",
@@ -129,8 +135,16 @@ pub fn run_fig6b(scale: Scale) -> Table {
 pub fn run_fig6c(scale: Scale, machines: usize) -> Table {
     let g = BenchGraph::Twt.generate(scale);
     let configs: [(&str, PartitioningMode, ChunkingMode); 3] = [
-        ("vertex+node-chunk", PartitioningMode::Vertex, ChunkingMode::Node),
-        ("+edge-partition", PartitioningMode::Edge, ChunkingMode::Node),
+        (
+            "vertex+node-chunk",
+            PartitioningMode::Vertex,
+            ChunkingMode::Node,
+        ),
+        (
+            "+edge-partition",
+            PartitioningMode::Edge,
+            ChunkingMode::Node,
+        ),
         ("+edge-chunking", PartitioningMode::Edge, ChunkingMode::Edge),
     ];
     let mut t = Table::new(
@@ -139,6 +153,7 @@ pub fn run_fig6c(scale: Scale, machines: usize) -> Table {
             "fully parallel".into(),
             "intra-machine idle".into(),
             "inter-machine idle".into(),
+            "drain".into(),
             "total".into(),
         ],
         "seconds of the pull job's main phases, summed over iterations",
@@ -152,6 +167,7 @@ pub fn run_fig6c(scale: Scale, machines: usize) -> Table {
                 Some(b.fully_parallel),
                 Some(b.intra_machine),
                 Some(b.inter_machine),
+                Some(b.drain),
                 Some(b.total()),
             ],
         );
@@ -196,14 +212,11 @@ pub fn measure_breakdown(engine: &mut Engine) -> Breakdown {
     let mut acc = Breakdown::default();
     for _ in 0..3 {
         engine.run_node_job(&JobSpec::new(), Scale2 { pr, tmp });
-        let report = engine.run_edge_job(
-            Dir::In,
-            &JobSpec::new().read(tmp),
-            Pull2 { tmp, nxt },
-        );
+        let report = engine.run_edge_job(Dir::In, &JobSpec::new().read(tmp), Pull2 { tmp, nxt });
         acc.fully_parallel += report.breakdown.fully_parallel;
         acc.intra_machine += report.breakdown.intra_machine;
         acc.inter_machine += report.breakdown.inter_machine;
+        acc.drain += report.breakdown.drain;
         engine.fill(nxt, 0.0f64);
     }
     engine.drop_prop(pr);

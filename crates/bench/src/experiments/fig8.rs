@@ -60,7 +60,11 @@ pub struct ReadBandwidth {
 }
 
 /// Measures remote random-read bandwidth between two machines.
-pub fn remote_read_bandwidth(copiers: usize, reads_per_worker: usize, workers: usize) -> ReadBandwidth {
+pub fn remote_read_bandwidth(
+    copiers: usize,
+    reads_per_worker: usize,
+    workers: usize,
+) -> ReadBandwidth {
     // The target column must be DRAM-sized (not cache-resident), as in the
     // paper's microbenchmark of random reads over the remote machine's
     // memory: 2^22 vertices ≈ 32 MB of property data per machine.
@@ -92,12 +96,7 @@ pub fn remote_read_bandwidth(copiers: usize, reads_per_worker: usize, workers: u
 
     // Warm-up + measured run.
     for measured in [false, true] {
-        let job = JobState::new(
-            2 * workers,
-            cluster.pending().clone(),
-            2,
-            workers,
-        );
+        let job = JobState::new(2 * workers, cluster.pending().clone(), 2, workers);
         let phase = Arc::new(RandomReadPhase {
             prop,
             offsets: offsets.clone(),
@@ -190,9 +189,23 @@ impl Phase for FloodPhase {
     }
 }
 
-/// One Figure 8b measurement: attained aggregate bandwidth for an N:N
-/// flood with the given buffer size.
-pub fn flood_bandwidth_gbps(machines: usize, buffer_bytes: usize, total_bytes_per_link: usize) -> f64 {
+/// One Figure 8b measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodResult {
+    /// Attained aggregate bandwidth.
+    pub gbps: f64,
+    /// Times a sender found the buffer pool empty during the measured run
+    /// (back-pressure events; the cost small buffers pay).
+    pub pool_stalls: u64,
+}
+
+/// Measures an N:N flood with the given buffer size: attained aggregate
+/// bandwidth plus the number of buffer-pool back-pressure stalls.
+pub fn flood_bandwidth(
+    machines: usize,
+    buffer_bytes: usize,
+    total_bytes_per_link: usize,
+) -> FloodResult {
     let g = generate::ring(1024);
     let mut config = Config::test(machines);
     config.workers = 1;
@@ -209,16 +222,29 @@ pub fn flood_bandwidth_gbps(machines: usize, buffer_bytes: usize, total_bytes_pe
             count,
             job,
         });
+        let before = cluster.total_stats();
         let t0 = Instant::now();
         cluster.run_phase(phase);
         if measured {
             let secs = t0.elapsed().as_secs_f64();
             let links = (machines * (machines - 1)) as f64;
             let bytes = links * (count * buffer_bytes) as f64;
-            return bytes / secs / 1e9;
+            return FloodResult {
+                gbps: bytes / secs / 1e9,
+                pool_stalls: (cluster.total_stats() - before).pool_exhausted,
+            };
         }
     }
     unreachable!()
+}
+
+/// Bandwidth-only wrapper of [`flood_bandwidth`].
+pub fn flood_bandwidth_gbps(
+    machines: usize,
+    buffer_bytes: usize,
+    total_bytes_per_link: usize,
+) -> f64 {
+    flood_bandwidth(machines, buffer_bytes, total_bytes_per_link).gbps
 }
 
 /// Figure 8a: bandwidth lines vs copier count.
@@ -226,7 +252,10 @@ pub fn run_fig8a() -> Table {
     let copier_counts = [1usize, 2, 4];
     let mut t = Table::new(
         "Figure 8a — remote random read bandwidth (2 machines)",
-        copier_counts.iter().map(|c| format!("{c} copiers")).collect(),
+        copier_counts
+            .iter()
+            .map(|c| format!("{c} copiers"))
+            .collect(),
         "GB/s; Utilized = 2 × Effective for 8-byte address/data",
     );
     let reads = 200_000usize;
@@ -264,15 +293,22 @@ pub fn run_fig8b() -> Table {
     let mut t = Table::new(
         "Figure 8b — attained bandwidth vs buffer size (N:N flood)",
         sizes.iter().map(|s| format!("{}KB", s >> 10)).collect(),
-        "GB/s aggregate; larger buffers amortize per-message cost",
+        "GB/s aggregate (stall rows: buffer-pool back-pressure event counts)",
     );
     for machines in [2usize, 4, 8] {
         let per_link = 8usize << 20;
-        let row: Vec<Option<f64>> = sizes
+        let points: Vec<FloodResult> = sizes
             .iter()
-            .map(|&b| Some(flood_bandwidth_gbps(machines, b, per_link)))
+            .map(|&b| flood_bandwidth(machines, b, per_link))
             .collect();
-        t.push_row(&format!("{machines} machines"), row);
+        t.push_row(
+            &format!("{machines} machines"),
+            points.iter().map(|p| Some(p.gbps)).collect(),
+        );
+        t.push_row(
+            &format!("{machines} machines pool stalls"),
+            points.iter().map(|p| Some(p.pool_stalls as f64)).collect(),
+        );
     }
     t
 }

@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod table3;
 pub mod table4;
+pub mod telemetry;
 pub mod verify;
 
 use crate::datasets::Scale;

@@ -70,7 +70,10 @@ pub fn measure_graph(
             }
         }
     }
-    Table3Data { graph: label, cells }
+    Table3Data {
+        graph: label,
+        cells,
+    }
 }
 
 /// Renders one graph's measurements in the paper's layout: rows =
@@ -78,7 +81,10 @@ pub fn measure_graph(
 pub fn render(data: &Table3Data, algos: &[Algo]) -> Table {
     let columns = algos.iter().map(|a| a.name().to_string()).collect();
     let mut t = Table::new(
-        &format!("Table 3 — {} (per-iter for PR/EV, total otherwise)", data.graph),
+        &format!(
+            "Table 3 — {} (per-iter for PR/EV, total otherwise)",
+            data.graph
+        ),
         columns,
         "seconds",
     );

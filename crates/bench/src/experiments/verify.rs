@@ -23,9 +23,7 @@ pub struct Check {
 
 /// Best (lowest) of N timing measurements — damps single-core noise.
 fn best_of<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
-    (0..reps.max(1))
-        .map(|_| f())
-        .fold(f64::INFINITY, f64::min)
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
 }
 
 /// Best (highest) of N throughput measurements.
@@ -55,7 +53,12 @@ pub fn run_checks(scale: Scale) -> Vec<Check> {
     checks.push(Check {
         id: "T3-pgx-beats-gl",
         claim: "PGX.D faster than GraphLab-class engine (paper: 3-90x)",
-        evidence: format!("PGX {:.4}s vs GL {:.4}s per iter ({:.1}x)", pgx, gl, gl / pgx),
+        evidence: format!(
+            "PGX {:.4}s vs GL {:.4}s per iter ({:.1}x)",
+            pgx,
+            gl,
+            gl / pgx
+        ),
         pass: pgx < gl,
     });
     checks.push(Check {
@@ -114,7 +117,10 @@ pub fn run_checks(scale: Scale) -> Vec<Check> {
     checks.push(Check {
         id: "F5a-iteration-order",
         claim: "edge iteration: raw CSR > PGX.D >> GraphLab-class",
-        evidence: format!("SA {:.0} / PGX {:.0} / GL {:.0} M edges/s", sa_meps, pgx_meps, gl_meps),
+        evidence: format!(
+            "SA {:.0} / PGX {:.0} / GL {:.0} M edges/s",
+            sa_meps, pgx_meps, gl_meps
+        ),
         pass: sa_meps > pgx_meps && pgx_meps > gl_meps,
     });
 
@@ -153,7 +159,11 @@ pub fn run_checks(scale: Scale) -> Vec<Check> {
     checks.push(Check {
         id: "F5b-barrier-cheap",
         claim: "barrier latency is small against one algorithm iteration",
-        evidence: format!("barrier {:.1} us vs PR iter {:.0} us", barrier * 1e6, pgx * 1e6),
+        evidence: format!(
+            "barrier {:.1} us vs PR iter {:.0} us",
+            barrier * 1e6,
+            pgx * 1e6
+        ),
         pass: barrier < pgx / 10.0,
     });
 

@@ -1,12 +1,12 @@
 //! Table formatting and machine-readable result output.
 
-use serde::Serialize;
+use pgxd_runtime::telemetry::export::json::Value;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// A generic results table: row labels × column labels, `Option<f64>`
 /// cells (`None` prints as `n/a`, matching Table 3's convention).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table title (e.g. "Table 3 — TWT-S").
     pub title: String,
@@ -76,15 +76,80 @@ impl Table {
         out
     }
 
+    /// Serializes the table into the runtime's JSON value model.
+    pub fn to_json(&self) -> Value {
+        let cell = |c: Option<f64>| c.map(Value::from).unwrap_or(Value::Null);
+        Value::obj(vec![
+            ("title", self.title.as_str().into()),
+            (
+                "columns",
+                Value::Arr(self.columns.iter().map(|c| c.as_str().into()).collect()),
+            ),
+            (
+                "rows",
+                Value::Arr(self.rows.iter().map(|r| r.as_str().into()).collect()),
+            ),
+            (
+                "cells",
+                Value::Arr(
+                    self.cells
+                        .iter()
+                        .map(|row| Value::Arr(row.iter().map(|c| cell(*c)).collect()))
+                        .collect(),
+                ),
+            ),
+            ("unit", self.unit.as_str().into()),
+        ])
+    }
+
     /// Writes the table as JSON under `dir/<slug>.json` and returns the
     /// path. Errors are reported, not fatal (benches still print).
     pub fn save_json(&self, dir: &Path, slug: &str) -> Option<std::path::PathBuf> {
         std::fs::create_dir_all(dir).ok()?;
         let path = dir.join(format!("{slug}.json"));
-        let json = serde_json::to_string_pretty(self).ok()?;
-        std::fs::write(&path, json).ok()?;
+        std::fs::write(&path, self.to_json().to_pretty()).ok()?;
         Some(path)
     }
+}
+
+/// Builds the per-phase breakdown table ("which phase spent its time
+/// where") from a cluster's telemetry report JSON, for embedding in bench
+/// output. Returns `None` when the report carries no phase trace.
+pub fn phase_table(report: &Value) -> Option<Table> {
+    let phases = report.get("phases")?.as_arr()?;
+    if phases.is_empty() {
+        return None;
+    }
+    let machines = report.get("machines")?.as_arr()?;
+    // Per phase, per machine: wall time = max worker (end - start) from the
+    // trace summary the exporter embeds under "phase_wall_s".
+    let mut t = Table::new(
+        "Telemetry — per-phase wall time",
+        machines
+            .iter()
+            .map(|m| {
+                m.get("machine")
+                    .and_then(Value::as_u64)
+                    .map(|id| format!("m{id}"))
+                    .unwrap_or_else(|| "m?".to_string())
+            })
+            .collect(),
+        "seconds per phase, per machine",
+    );
+    for (i, p) in phases.iter().enumerate() {
+        let label = p.as_str().unwrap_or("phase");
+        let cells: Vec<Option<f64>> = machines
+            .iter()
+            .map(|m| {
+                m.get("phase_wall_s")
+                    .and_then(Value::as_arr)
+                    .and_then(|w| w.get(i))
+                    .and_then(Value::as_f64)
+            })
+            .collect();
+        t.push_row(&format!("{}:{label}", i + 1), cells);
+    }
+    Some(t)
 }
 
 /// Formats seconds compactly: 3 significant-ish digits like the paper.
@@ -120,11 +185,7 @@ mod tests {
 
     #[test]
     fn render_basic() {
-        let mut t = Table::new(
-            "Demo",
-            vec!["a".into(), "b".into()],
-            "seconds",
-        );
+        let mut t = Table::new("Demo", vec!["a".into(), "b".into()], "seconds");
         t.push_row("r1", vec![Some(1.234), None]);
         t.push_row("row2", vec![Some(123.4), Some(0.00042)]);
         let s = t.render();

@@ -91,7 +91,10 @@ impl Algo {
 
     /// True when Table 3 reports per-iteration time for this algorithm.
     pub fn per_iteration(self) -> bool {
-        matches!(self, Algo::PrPull | Algo::PrPush | Algo::PrApprox | Algo::Ev)
+        matches!(
+            self,
+            Algo::PrPull | Algo::PrPush | Algo::PrApprox | Algo::Ev
+        )
     }
 
     /// Whether the algorithm needs edge weights.
@@ -144,7 +147,10 @@ fn checksum_u32(v: &[u32]) -> f64 {
 }
 
 fn checksum_i64(v: &[i64]) -> f64 {
-    v.iter().filter(|&&x| x != i64::MAX).map(|&x| x as f64).sum()
+    v.iter()
+        .filter(|&&x| x != i64::MAX)
+        .map(|&x| x as f64)
+        .sum()
 }
 
 /// Threads used by the standalone baseline (the paper's SA uses all cores
@@ -193,11 +199,21 @@ fn run_sa(algo: Algo, g: &Graph) -> RunResult {
     match algo {
         Algo::PrPull => {
             let pr = sa::pagerank_pull(g, DAMPING, FIXED_ITERS, t);
-            result(t0.elapsed().as_secs_f64(), FIXED_ITERS, true, checksum_f64(&pr))
+            result(
+                t0.elapsed().as_secs_f64(),
+                FIXED_ITERS,
+                true,
+                checksum_f64(&pr),
+            )
         }
         Algo::PrPush => {
             let pr = sa::pagerank_push(g, DAMPING, FIXED_ITERS, t);
-            result(t0.elapsed().as_secs_f64(), FIXED_ITERS, true, checksum_f64(&pr))
+            result(
+                t0.elapsed().as_secs_f64(),
+                FIXED_ITERS,
+                true,
+                checksum_f64(&pr),
+            )
         }
         Algo::PrApprox => {
             let (pr, iters) = sa::pagerank_approx(g, DAMPING, APPROX_THRESHOLD, t);
@@ -217,7 +233,12 @@ fn run_sa(algo: Algo, g: &Graph) -> RunResult {
         }
         Algo::Ev => {
             let e = sa::eigenvector(g, FIXED_ITERS, t);
-            result(t0.elapsed().as_secs_f64(), FIXED_ITERS, true, checksum_f64(&e))
+            result(
+                t0.elapsed().as_secs_f64(),
+                FIXED_ITERS,
+                true,
+                checksum_f64(&e),
+            )
         }
         Algo::KCore => {
             let (k, _c) = sa::kcore(g, t);
@@ -232,7 +253,12 @@ fn run_comparator(engine: Comparator, algo: Algo, g: &Graph, machines: usize) ->
         Algo::PrPull => return None, // push-only frameworks (§2)
         Algo::PrPush => {
             let pr = programs::pagerank(engine, g, machines, DAMPING, FIXED_ITERS);
-            result(t0.elapsed().as_secs_f64(), FIXED_ITERS, true, checksum_f64(&pr))
+            result(
+                t0.elapsed().as_secs_f64(),
+                FIXED_ITERS,
+                true,
+                checksum_f64(&pr),
+            )
         }
         Algo::PrApprox => {
             let (pr, steps) =
@@ -253,7 +279,12 @@ fn run_comparator(engine: Comparator, algo: Algo, g: &Graph, machines: usize) ->
         }
         Algo::Ev => {
             let e = programs::eigenvector(engine, g, machines, FIXED_ITERS);
-            result(t0.elapsed().as_secs_f64(), FIXED_ITERS, true, checksum_f64(&e))
+            result(
+                t0.elapsed().as_secs_f64(),
+                FIXED_ITERS,
+                true,
+                checksum_f64(&e),
+            )
         }
         Algo::KCore => {
             let (k, _c, _steps) = programs::kcore(engine, g, machines);
@@ -269,35 +300,75 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
     match algo {
         Algo::PrPull => {
             let r = pgxd_algorithms::pagerank_pull(engine, DAMPING, FIXED_ITERS, 0.0);
-            result(t0.elapsed().as_secs_f64(), r.iterations, true, checksum_f64(&r.scores))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                true,
+                checksum_f64(&r.scores),
+            )
         }
         Algo::PrPush => {
             let r = pgxd_algorithms::pagerank_push(engine, DAMPING, FIXED_ITERS, 0.0);
-            result(t0.elapsed().as_secs_f64(), r.iterations, true, checksum_f64(&r.scores))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                true,
+                checksum_f64(&r.scores),
+            )
         }
         Algo::PrApprox => {
             let r = pgxd_algorithms::pagerank_approx(engine, DAMPING, APPROX_THRESHOLD, 100_000);
-            result(t0.elapsed().as_secs_f64(), r.iterations, true, checksum_f64(&r.scores))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                true,
+                checksum_f64(&r.scores),
+            )
         }
         Algo::Wcc => {
             let r = pgxd_algorithms::wcc(engine);
-            result(t0.elapsed().as_secs_f64(), r.iterations, false, checksum_u32(&r.component))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                false,
+                checksum_u32(&r.component),
+            )
         }
         Algo::Sssp => {
             let r = pgxd_algorithms::sssp(engine, ROOT);
-            result(t0.elapsed().as_secs_f64(), r.iterations, false, checksum_f64(&r.dist))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                false,
+                checksum_f64(&r.dist),
+            )
         }
         Algo::HopDist => {
             let r = pgxd_algorithms::hopdist(engine, ROOT);
-            result(t0.elapsed().as_secs_f64(), r.iterations, false, checksum_i64(&r.hops))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                false,
+                checksum_i64(&r.hops),
+            )
         }
         Algo::Ev => {
             let r = pgxd_algorithms::eigenvector(engine, FIXED_ITERS, 0.0);
-            result(t0.elapsed().as_secs_f64(), r.iterations, true, checksum_f64(&r.centrality))
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                true,
+                checksum_f64(&r.centrality),
+            )
         }
         Algo::KCore => {
             let r = pgxd_algorithms::kcore(engine, i64::MAX);
-            result(t0.elapsed().as_secs_f64(), r.iterations, false, r.max_core as f64)
+            result(
+                t0.elapsed().as_secs_f64(),
+                r.iterations,
+                false,
+                r.max_core as f64,
+            )
         }
     }
 }

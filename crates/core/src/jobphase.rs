@@ -52,8 +52,8 @@ fn drain_responses<F: Fn(&mut ReadDoneCtx<'_, '_>)>(
                 }
             }
             MsgKind::RmiResp => {
-                for (bytes, rec) in pgxd_runtime::message::rmi_resp_entries(&resp.env.payload)
-                    .zip(resp.recs.iter())
+                for (bytes, rec) in
+                    pgxd_runtime::message::rmi_resp_entries(&resp.env.payload).zip(resp.recs.iter())
                 {
                     let mut first = [0u8; 8];
                     let n = bytes.len().min(8);
@@ -122,7 +122,9 @@ impl<T: EdgeTask> Phase for EdgeJobPhase<T> {
         let read_done = |ctx: &mut ReadDoneCtx<'_, '_>| task.read_done(ctx);
         let queue = &self.queues[machine_id];
 
+        let mut claims = 0u64;
         while let Some(chunk) = queue.pop() {
+            claims += 1;
             for node in chunk {
                 {
                     let mut nctx = NodeCtx {
@@ -153,6 +155,7 @@ impl<T: EdgeTask> Phase for EdgeJobPhase<T> {
             self.job.retire();
             drain_responses(&mut scope, &read_done);
         }
+        machine.telemetry.record_chunk_claims(claims);
         finish_phase(&mut scope, &self.job, machine_id, worker_idx, &read_done);
     }
 }
@@ -176,7 +179,9 @@ impl<T: NodeTask> Phase for NodeJobPhase<T> {
         let read_done = |ctx: &mut ReadDoneCtx<'_, '_>| task.read_done(ctx);
         let queue = &self.queues[machine_id];
 
+        let mut claims = 0u64;
         while let Some(chunk) = queue.pop() {
+            claims += 1;
             for node in chunk {
                 let skip = {
                     let mut nctx = NodeCtx {
@@ -197,6 +202,7 @@ impl<T: NodeTask> Phase for NodeJobPhase<T> {
             self.job.retire();
             drain_responses(&mut scope, &read_done);
         }
+        machine.telemetry.record_chunk_claims(claims);
         finish_phase(&mut scope, &self.job, machine_id, worker_idx, &read_done);
     }
 }

@@ -56,8 +56,8 @@ mod prop;
 mod scope;
 mod spec;
 mod task;
-pub mod vector;
 pub mod tune;
+pub mod vector;
 
 pub use engine::{Engine, EngineBuilder, JobReport};
 pub use prop::Prop;
@@ -73,7 +73,7 @@ pub mod tasks {
 }
 
 // Re-exports so algorithm code only needs `pgxd`.
+pub use pgxd_graph::NodeId;
 pub use pgxd_runtime::config::{ChunkingMode, Config, NetConfig, PartitioningMode};
 pub use pgxd_runtime::props::{PropValue, ReduceOp};
 pub use pgxd_runtime::stats::{Breakdown, StatsSnapshot};
-pub use pgxd_graph::NodeId;

@@ -172,7 +172,8 @@ impl EdgeCtx<'_, '_> {
     /// into a write-request message otherwise (the *data pushing* pattern).
     #[inline]
     pub fn write_nbr<T: PropValue>(&mut self, p: Prop<T>, op: ReduceOp, val: T) {
-        self.scope.reduce_target(self.target, p.id, op, val.to_bits());
+        self.scope
+            .reduce_target(self.target, p.id, op, val.to_bits());
     }
 
     /// `read_remote`: requests the neighbor's property value; continues in

@@ -138,9 +138,7 @@ impl GraphBuilder {
                             .copied()
                             .zip(w[lo..hi].iter().copied())
                             .collect();
-                        pairs.sort_unstable_by(|a, b| {
-                            a.0.cmp(&b.0).then(a.1.total_cmp(&b.1))
-                        });
+                        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
                         for (k, (c, ww)) in pairs.into_iter().enumerate() {
                             col_idx[lo + k] = c;
                             w[lo + k] = ww;
@@ -232,7 +230,10 @@ mod tests {
     #[test]
     fn dedup_removes_parallel_edges() {
         let mut b = GraphBuilder::new().dedup(true);
-        b.add_edge(0, 1).add_edge(0, 1).add_edge(0, 2).add_edge(0, 1);
+        b.add_edge(0, 1)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 1);
         let g = b.build();
         assert_eq!(g.out_neighbors(0), &[1, 2]);
         assert!(g.validate().is_ok());

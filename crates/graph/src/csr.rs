@@ -415,9 +415,6 @@ mod tests {
     fn iter_edges_covers_all() {
         let c = diamond();
         let edges: Vec<_> = c.iter_edges().collect();
-        assert_eq!(
-            edges,
-            vec![(0, 0, 1), (0, 1, 2), (1, 2, 3), (2, 3, 3)]
-        );
+        assert_eq!(edges, vec![(0, 0, 1), (0, 1, 2), (1, 2, 3), (2, 3, 3)]);
     }
 }

@@ -45,8 +45,7 @@ impl GraphDelta {
     /// of the same pair earlier in this delta.
     pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
         self.removed_edges.insert((src, dst));
-        self.added_edges
-            .retain(|&(s, d, _)| (s, d) != (src, dst));
+        self.added_edges.retain(|&(s, d, _)| (s, d) != (src, dst));
         self
     }
 
@@ -78,10 +77,7 @@ impl GraphDelta {
     pub fn apply(&self, base: &Graph) -> Graph {
         let weighted = base.weights().is_some() || self.added_edges.iter().any(|e| e.2.is_some());
         let n = base.num_nodes().max(self.new_min_nodes);
-        let mut b = GraphBuilder::with_capacity(
-            n,
-            base.num_edges() + self.added_edges.len(),
-        );
+        let mut b = GraphBuilder::with_capacity(n, base.num_edges() + self.added_edges.len());
         b.set_num_nodes(n);
         for (src, e, dst) in base.out_csr().iter_edges() {
             if self.removed_edges.contains(&(src, dst)) {

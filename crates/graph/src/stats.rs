@@ -55,7 +55,11 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
         max_in,
         mean_total: sum as f64 / n as f64,
         isolated,
-        top1pct_share: if sum == 0 { 0.0 } else { top as f64 / sum as f64 },
+        top1pct_share: if sum == 0 {
+            0.0
+        } else {
+            top as f64 / sum as f64
+        },
     }
 }
 

@@ -20,13 +20,16 @@ use crate::partition::Partitioning;
 use crate::phase::{DistBarrierPhase, Phase, WorkerEnv};
 use crate::props::{PropId, PropValue, ReduceOp, TypeTag};
 use crate::stats::StatsSnapshot;
+use crate::telemetry::{export, EventKind, Telemetry};
 use crate::worker::WorkerComm;
 use crossbeam::channel::unbounded;
 use parking_lot::{Condvar, Mutex};
 use pgxd_graph::{Graph, NodeId};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Broadcast slot through which the driver hands phases to every worker.
 struct PhaseControl {
@@ -73,6 +76,9 @@ pub struct Cluster {
     next_prop: u16,
     next_rmi: u16,
     dist_epoch: u64,
+    /// Driver-supplied name of each phase run so far, indexed by
+    /// `epoch - 1`; resolves trace events back to phase names at export.
+    phase_labels: Vec<String>,
 }
 
 impl Cluster {
@@ -95,7 +101,11 @@ impl Cluster {
         ghost_nodes: Vec<NodeId>,
     ) -> Result<Cluster, String> {
         config.validate()?;
-        let partition = Arc::new(Partitioning::build(graph, config.machines, config.partitioning));
+        let partition = Arc::new(Partitioning::build(
+            graph,
+            config.machines,
+            config.partitioning,
+        ));
         let ghosts = GhostTable::from_nodes(graph, ghost_nodes);
         Self::assemble(graph, config, partition, ghosts)
     }
@@ -110,10 +120,17 @@ impl Cluster {
         let pending = Arc::new(AtomicI64::new(0));
         let (endpoints, mut receivers) = make_endpoints(p, config.workers);
 
-        // Build machines.
+        // Build machines. All telemetry registries share one epoch Instant
+        // so their timestamps land on a single comparable timeline.
+        let epoch = Instant::now();
         let mut machines = Vec::with_capacity(p);
         for m in 0..p {
-            let local = Arc::new(LocalGraph::build(graph, &partition, &ghosts, m as MachineId));
+            let local = Arc::new(LocalGraph::build(
+                graph,
+                &partition,
+                &ghosts,
+                m as MachineId,
+            ));
             let (out_tx, out_rx) = unbounded();
             let rx = receivers.remove(0);
             machines.push(Arc::new(MachineState::new(
@@ -125,11 +142,12 @@ impl Cluster {
                 rx,
                 (out_tx, out_rx),
                 pending.clone(),
+                Telemetry::new(m as u16, &config, epoch),
             )));
         }
 
-        let stats = machines.iter().map(|m| m.stats.clone()).collect();
-        let fabric = Arc::new(Fabric::new(endpoints.clone(), stats, config.net));
+        let telemetry = machines.iter().map(|m| m.telemetry.clone()).collect();
+        let fabric = Arc::new(Fabric::new(endpoints.clone(), telemetry, config.net));
 
         let ctl = Arc::new(PhaseControl::new());
         let barrier = Arc::new(CentralBarrier::new(p * config.workers));
@@ -188,6 +206,7 @@ impl Cluster {
             next_prop: 0,
             next_rmi: 0,
             dist_epoch: 0,
+            phase_labels: Vec::new(),
         })
     }
 
@@ -264,7 +283,10 @@ impl Cluster {
     /// Registers a property from raw parts.
     pub fn add_prop_raw(&mut self, name: &str, tag: TypeTag, default_bits: u64) -> PropId {
         let id = PropId(self.next_prop);
-        self.next_prop = self.next_prop.checked_add(1).expect("property ids exhausted");
+        self.next_prop = self
+            .next_prop
+            .checked_add(1)
+            .expect("property ids exhausted");
         for m in &self.machines {
             m.props.register_at(id, name, tag, default_bits);
         }
@@ -290,7 +312,10 @@ impl Cluster {
     pub fn set<T: PropValue>(&self, id: PropId, v: NodeId, value: T) {
         let owner = self.partition.owner(v);
         let off = (v - self.partition.start(owner)) as usize;
-        self.machines[owner as usize].props.column(id).set(off, value);
+        self.machines[owner as usize]
+            .props
+            .column(id)
+            .set(off, value);
     }
 
     /// Fills a property (owned cells and ghost slots) on every machine.
@@ -367,15 +392,22 @@ impl Cluster {
     /// inter-phase synchronization goes through the fabric exactly as on a
     /// real cluster.
     pub fn run_phase(&mut self, phase: Arc<dyn Phase>) {
-        self.run_phase_inner(phase);
+        self.run_labeled_phase("phase", phase);
+    }
+
+    /// Like [`Cluster::run_phase`] but names the phase; the label shows up
+    /// in exported traces and reports.
+    pub fn run_labeled_phase(&mut self, label: &str, phase: Arc<dyn Phase>) {
+        self.run_phase_inner(phase, label);
         if self.config.strict_distributed {
             let epoch = self.dist_epoch;
             self.dist_epoch += 1;
-            self.run_phase_inner(Arc::new(DistBarrierPhase { epoch }));
+            self.run_phase_inner(Arc::new(DistBarrierPhase { epoch }), "dist_barrier");
         }
     }
 
-    fn run_phase_inner(&mut self, phase: Arc<dyn Phase>) {
+    fn run_phase_inner(&mut self, phase: Arc<dyn Phase>, label: &str) {
+        self.phase_labels.push(label.to_string());
         debug_assert_eq!(
             self.pending.load(Ordering::SeqCst),
             0,
@@ -405,7 +437,62 @@ impl Cluster {
     pub fn run_dist_barrier(&mut self) {
         let epoch = self.dist_epoch;
         self.dist_epoch += 1;
-        self.run_phase_inner(Arc::new(DistBarrierPhase { epoch }));
+        self.run_phase_inner(Arc::new(DistBarrierPhase { epoch }), "dist_barrier");
+    }
+
+    // -----------------------------------------------------------------
+    // Telemetry export
+    // -----------------------------------------------------------------
+
+    /// Whether histogram/tracer telemetry is being recorded.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.machines
+            .first()
+            .map(|m| m.telemetry.enabled())
+            .unwrap_or(false)
+    }
+
+    /// Labels of the phases run so far (index = epoch − 1).
+    pub fn phase_labels(&self) -> &[String] {
+        &self.phase_labels
+    }
+
+    /// Per-machine telemetry registries.
+    pub fn telemetries(&self) -> Vec<Arc<Telemetry>> {
+        self.machines.iter().map(|m| m.telemetry.clone()).collect()
+    }
+
+    /// Renders the run so far as a Chrome `trace_event` JSON document
+    /// (open in Perfetto or chrome://tracing). Call between phases — the
+    /// tracers must be quiescent.
+    pub fn trace_json(&self) -> String {
+        export::chrome_trace(&self.telemetries(), &self.phase_labels).to_pretty()
+    }
+
+    /// Renders the metrics report (stats, histograms, traffic matrix) as
+    /// JSON, with `extra` driver-supplied top-level fields appended.
+    pub fn report_json(&self, extra: Vec<(String, export::json::Value)>) -> String {
+        export::metrics_report(&self.telemetries(), &self.phase_labels, extra).to_pretty()
+    }
+
+    /// Writes `trace.json` and `report.json` into `dir` (created if
+    /// needed); returns their paths.
+    pub fn export_telemetry(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        self.export_telemetry_with(dir, Vec::new())
+    }
+
+    /// [`Cluster::export_telemetry`] with extra report fields.
+    pub fn export_telemetry_with(
+        &self,
+        dir: &Path,
+        extra: Vec<(String, export::json::Value)>,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let trace_path = dir.join("trace.json");
+        let report_path = dir.join("report.json");
+        std::fs::write(&trace_path, self.trace_json())?;
+        std::fs::write(&report_path, self.report_json(extra))?;
+        Ok((trace_path, report_path))
     }
 
     fn shutdown(&mut self) {
@@ -482,8 +569,7 @@ fn worker_loop(
     m: Arc<MachineState>,
     worker_idx: usize,
     ctl: Arc<PhaseControl>,
-    #[allow(dead_code)]
-    barrier: Arc<CentralBarrier>,
+    #[allow(dead_code)] barrier: Arc<CentralBarrier>,
     pending: Arc<AtomicI64>,
 ) {
     let mut comm = WorkerComm::new(
@@ -495,8 +581,9 @@ fn worker_loop(
         m.outbox_tx.clone(),
         m.send_pool.clone(),
         pending,
-        m.stats.clone(),
+        m.telemetry.clone(),
     );
+    let tele = m.telemetry.clone();
     let mut my_epoch = 0u64;
     loop {
         let phase = {
@@ -512,6 +599,7 @@ fn worker_loop(
                 ctl.workers_cv.wait(&mut slot);
             }
         };
+        tele.trace(worker_idx, EventKind::PhaseStart, my_epoch);
         {
             let mut env = WorkerEnv {
                 machine: &m,
@@ -520,12 +608,15 @@ fn worker_loop(
             };
             phase.execute(&mut env);
         }
+        tele.trace(worker_idx, EventKind::PhaseEnd, my_epoch);
+        tele.trace(worker_idx, EventKind::BarrierEnter, my_epoch);
         if barrier.wait() {
             // Leader: tell the driver this phase is complete.
             let mut done = ctl.done.lock();
             *done = my_epoch;
             ctl.done_cv.notify_all();
         }
+        tele.trace(worker_idx, EventKind::BarrierExit, my_epoch);
     }
 }
 
@@ -613,7 +704,12 @@ mod tests {
         let mut c = ring_cluster(4);
         let p = c.add_prop::<i64>("cnt", 0);
         let workers_total = c.num_machines() * c.config().workers;
-        let job = JobState::new(workers_total, c.pending().clone(), c.num_machines(), c.config().workers);
+        let job = JobState::new(
+            workers_total,
+            c.pending().clone(),
+            c.num_machines(),
+            c.config().workers,
+        );
         c.run_phase(Arc::new(PokePhase { prop: p, job }));
         // Every worker contributed exactly +1.
         assert_eq!(c.get::<i64>(p, 0), workers_total as i64);
@@ -648,7 +744,8 @@ mod tests {
         impl Phase for RmiPhase {
             fn execute(&self, env: &mut WorkerEnv<'_>) {
                 if env.machine.id == 0 && env.comm.worker() == 0 {
-                    env.comm.push_rmi(1, 0, &[5u8], crate::worker::SideRec { node: 0, aux: 0 });
+                    env.comm
+                        .push_rmi(1, 0, &[5u8], crate::worker::SideRec { node: 0, aux: 0 });
                     env.comm.flush();
                 }
                 self.job.retire();

@@ -74,6 +74,42 @@ impl Default for NetConfig {
     }
 }
 
+/// Telemetry switches (see [`crate::telemetry`]).
+///
+/// The always-on [`crate::stats::MachineStats`] counters are unaffected by
+/// these settings; `enabled` gates the histograms and per-worker event
+/// tracers, whose hot-path cost when off is one branch per hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Record histograms and trace events.
+    pub enabled: bool,
+    /// Trace-ring slots per worker (rounded up to a power of two; the ring
+    /// overwrites oldest events on overflow).
+    pub ring_capacity: usize,
+}
+
+impl TelemetryConfig {
+    pub const fn off() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            ring_capacity: 4096,
+        }
+    }
+
+    pub const fn on() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::off()
+    }
+}
+
 /// Full cluster configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -107,6 +143,8 @@ pub struct Config {
     pub strict_distributed: bool,
     /// Simulated network model.
     pub net: NetConfig,
+    /// Histogram/tracer switches.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Config {
@@ -127,6 +165,7 @@ impl Config {
             ghost_privatization: true,
             strict_distributed: false,
             net: NetConfig::null(),
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -146,6 +185,7 @@ impl Config {
             ghost_privatization: true,
             strict_distributed: false,
             net: NetConfig::null(),
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -171,6 +211,9 @@ impl Config {
         }
         if self.chunk_edges == 0 {
             return Err("chunk_edges must be >= 1".into());
+        }
+        if self.telemetry.enabled && self.telemetry.ring_capacity == 0 {
+            return Err("telemetry ring_capacity must be >= 1 when enabled".into());
         }
         Ok(())
     }

@@ -9,8 +9,8 @@
 
 use crate::machine::MachineState;
 use crate::message::{
-    mut_entry, mut_entry_count, push_resp_entry, push_rmi_resp_entry, read_entry,
-    read_entry_count, rmi_entries, Envelope, MsgKind,
+    mut_entry, mut_entry_count, push_resp_entry, push_rmi_resp_entry, read_entry, read_entry_count,
+    rmi_entries, Envelope, MsgKind,
 };
 use crate::props::{Column, PropId};
 use std::sync::atomic::Ordering;
@@ -39,11 +39,18 @@ impl ColCache {
 /// Runs one copier thread until a `Shutdown` envelope arrives.
 pub fn copier_loop(m: Arc<MachineState>) {
     let mut cache = ColCache::default();
+    let tele = m.telemetry.clone();
     while let Ok(env) = m.copier_rx.recv() {
         if env.kind == MsgKind::Shutdown {
             break;
         }
-        process_request(&m, &mut cache, env);
+        if tele.enabled() {
+            let t0 = tele.now_ns();
+            process_request(&m, &mut cache, env);
+            tele.record_copier_service(tele.now_ns().saturating_sub(t0));
+        } else {
+            process_request(&m, &mut cache, env);
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::config::NetConfig;
 use crate::message::Envelope;
 use crate::stats::MachineStats;
+use crate::telemetry::Telemetry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,10 +26,11 @@ pub struct MachineEndpoints {
 }
 
 /// The cluster-wide message switch.
-#[derive(Debug)]
 pub struct Fabric {
     endpoints: Vec<MachineEndpoints>,
     stats: Vec<Arc<MachineStats>>,
+    /// Per-source telemetry registries (per-destination traffic matrix).
+    telemetry: Vec<Arc<Telemetry>>,
     net: NetConfig,
     /// Modeled (virtual) wire-busy nanoseconds per source machine —
     /// accumulated even when the model also spins, so benches can report
@@ -37,18 +39,20 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Builds a fabric over the given endpoints; `stats[m]` receives the
+    /// Builds a fabric over the given endpoints; `telemetry[m]` receives the
     /// send-side accounting for machine `m`.
     pub fn new(
         endpoints: Vec<MachineEndpoints>,
-        stats: Vec<Arc<MachineStats>>,
+        telemetry: Vec<Arc<Telemetry>>,
         net: NetConfig,
     ) -> Self {
-        assert_eq!(endpoints.len(), stats.len());
+        assert_eq!(endpoints.len(), telemetry.len());
+        let stats = telemetry.iter().map(|t| t.stats().clone()).collect();
         let virtual_busy_ns = (0..endpoints.len()).map(|_| AtomicU64::new(0)).collect();
         Fabric {
             endpoints,
             stats,
+            telemetry,
             net,
             virtual_busy_ns,
         }
@@ -83,6 +87,7 @@ impl Fabric {
         stats
             .header_bytes_sent
             .fetch_add(crate::message::HEADER_BYTES, Ordering::Relaxed);
+        self.telemetry[src].record_dest_bytes(dst, env.wire_bytes());
 
         if !self.net.is_null() {
             self.apply_net_model(src, env.wire_bytes());
@@ -166,12 +171,18 @@ mod tests {
     use super::*;
     use crate::message::MsgKind;
 
+    fn test_telemetry(machines: usize) -> Vec<Arc<Telemetry>> {
+        (0..machines)
+            .map(|_| Telemetry::detached(machines, true))
+            .collect()
+    }
+
     fn test_fabric(machines: usize, workers: usize) -> (Fabric, Vec<MachineReceivers>) {
         let (eps, rxs) = make_endpoints(machines, workers);
-        let stats = (0..machines)
-            .map(|_| Arc::new(MachineStats::default()))
-            .collect();
-        (Fabric::new(eps, stats, NetConfig::null()), rxs)
+        (
+            Fabric::new(eps, test_telemetry(machines), NetConfig::null()),
+            rxs,
+        )
     }
 
     fn env(src: u16, dst: u16, kind: MsgKind, worker: u16, len: usize) -> Envelope {
@@ -213,9 +224,9 @@ mod tests {
     #[test]
     fn accounting_charged_to_sender() {
         let (eps, _rxs) = make_endpoints(2, 1);
-        let stats: Vec<Arc<MachineStats>> =
-            (0..2).map(|_| Arc::new(MachineStats::default())).collect();
-        let f = Fabric::new(eps, stats.clone(), NetConfig::null());
+        let tele = test_telemetry(2);
+        let stats: Vec<Arc<MachineStats>> = tele.iter().map(|t| t.stats().clone()).collect();
+        let f = Fabric::new(eps, tele.clone(), NetConfig::null());
         f.send(env(0, 1, MsgKind::Write, 0, 100));
         f.send(env(0, 1, MsgKind::Write, 0, 50));
         let s0 = stats[0].snapshot();
@@ -223,12 +234,15 @@ mod tests {
         assert_eq!(s0.bytes_sent, 150);
         assert_eq!(s0.header_bytes_sent, 32);
         assert_eq!(stats[1].snapshot().msgs_sent, 0);
+        // Per-destination traffic lands on the source's telemetry.
+        #[cfg(feature = "telemetry")]
+        assert_eq!(tele[0].dest_bytes_snapshot(), vec![0, 150 + 32]);
     }
 
     #[test]
     fn net_model_accumulates_virtual_time() {
         let (eps, _rxs) = make_endpoints(2, 1);
-        let stats = (0..2).map(|_| Arc::new(MachineStats::default())).collect();
+        let stats = test_telemetry(2);
         let net = NetConfig {
             per_message_ns: 1_000,
             bandwidth_bytes_per_sec: 1_000_000_000, // 1 GB/s → 1 ns/byte

@@ -44,9 +44,11 @@ pub mod partition;
 pub mod phase;
 pub mod props;
 pub mod stats;
+pub mod telemetry;
 pub mod worker;
 
 pub use cluster::Cluster;
-pub use config::{ChunkingMode, Config, NetConfig, PartitioningMode};
+pub use config::{ChunkingMode, Config, NetConfig, PartitioningMode, TelemetryConfig};
 pub use ids::{GlobalId, MachineId};
 pub use props::{PropId, PropValue, ReduceOp};
+pub use telemetry::Telemetry;

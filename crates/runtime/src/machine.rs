@@ -11,6 +11,7 @@ use crate::message::Envelope;
 use crate::partition::Partitioning;
 use crate::props::PropertyStore;
 use crate::stats::MachineStats;
+use crate::telemetry::Telemetry;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::RwLock;
 use std::sync::atomic::AtomicI64;
@@ -46,7 +47,11 @@ pub struct MachineState {
     pub worker_rx: Vec<Receiver<Envelope>>,
     /// Pool for outgoing message payloads (back-pressure accounting).
     pub send_pool: Arc<BufferPool>,
-    /// Traffic and work counters.
+    /// Telemetry registry: histograms, per-worker tracers, and the owner of
+    /// this machine's [`MachineStats`].
+    pub telemetry: Arc<Telemetry>,
+    /// Traffic and work counters (a clone of `telemetry.stats()`, kept as a
+    /// direct field because the hot paths touch it constantly).
     pub stats: Arc<MachineStats>,
     /// Cluster-global count of buffered-but-unconsumed entries; zero (with
     /// no tasks left) means a parallel region is complete (§3.2: "A
@@ -71,6 +76,7 @@ impl MachineState {
         receivers: MachineReceivers,
         outbox: (Sender<Envelope>, Receiver<Envelope>),
         pending: Arc<AtomicI64>,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
         let props = PropertyStore::new(graph.num_local(), graph.num_ghosts());
         let send_pool = Arc::new(BufferPool::new(
@@ -78,6 +84,7 @@ impl MachineState {
             config.buffer_bytes,
         ));
         let dist_barrier = Arc::new(DistBarrier::new(config.workers, config.machines));
+        let stats = telemetry.stats().clone();
         MachineState {
             id,
             config: config.clone(),
@@ -90,7 +97,8 @@ impl MachineState {
             copier_rx: receivers.copier_rx,
             worker_rx: receivers.worker_rx,
             send_pool,
-            stats: Arc::new(MachineStats::default()),
+            telemetry,
+            stats,
             pending,
             dist_barrier,
             rmi: RwLock::new(Vec::new()),
@@ -108,7 +116,9 @@ impl MachineState {
         let mut rmi = self.rmi.write();
         let idx = id as usize;
         if rmi.len() <= idx {
-            rmi.resize_with(idx + 1, || Arc::new(|_: &MachineState, _: &[u8]| Vec::new()));
+            rmi.resize_with(idx + 1, || {
+                Arc::new(|_: &MachineState, _: &[u8]| Vec::new())
+            });
         }
         rmi[idx] = f;
     }

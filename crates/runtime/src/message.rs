@@ -133,7 +133,12 @@ pub fn push_read_entry(buf: &mut Vec<u8>, prop: u16, offset: u32) {
 pub fn read_entry(payload: &[u8], i: usize) -> (u16, u32) {
     let o = i * READ_ENTRY_BYTES;
     let prop = u16::from_le_bytes([payload[o], payload[o + 1]]);
-    let offset = u32::from_le_bytes([payload[o + 4], payload[o + 5], payload[o + 6], payload[o + 7]]);
+    let offset = u32::from_le_bytes([
+        payload[o + 4],
+        payload[o + 5],
+        payload[o + 6],
+        payload[o + 7],
+    ]);
     (prop, offset)
 }
 
@@ -162,7 +167,12 @@ pub fn mut_entry(payload: &[u8], i: usize) -> (u16, ReduceOp, u32, u64) {
     let o = i * MUT_ENTRY_BYTES;
     let prop = u16::from_le_bytes([payload[o], payload[o + 1]]);
     let op = ReduceOp::from_u8(payload[o + 2]).expect("invalid reduce op on wire");
-    let offset = u32::from_le_bytes([payload[o + 4], payload[o + 5], payload[o + 6], payload[o + 7]]);
+    let offset = u32::from_le_bytes([
+        payload[o + 4],
+        payload[o + 5],
+        payload[o + 6],
+        payload[o + 7],
+    ]);
     let bits = u64::from_le_bytes(payload[o + 8..o + 16].try_into().unwrap());
     (prop, op, offset, bits)
 }
@@ -297,9 +307,7 @@ mod tests {
         push_rmi_entry(&mut buf, 1, b"hello");
         push_rmi_entry(&mut buf, 2, b"");
         push_rmi_entry(&mut buf, 3, &[9u8; 300]);
-        let got: Vec<(u16, Vec<u8>)> = rmi_entries(&buf)
-            .map(|(f, a)| (f, a.to_vec()))
-            .collect();
+        let got: Vec<(u16, Vec<u8>)> = rmi_entries(&buf).map(|(f, a)| (f, a.to_vec())).collect();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0], (1, b"hello".to_vec()));
         assert_eq!(got[1], (2, Vec::new()));

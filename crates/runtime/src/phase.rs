@@ -20,6 +20,7 @@ use crate::machine::MachineState;
 use crate::message::MsgKind;
 use crate::props::{bottom_bits, PropId, ReduceOp};
 use crate::stats::WorkerTiming;
+use crate::telemetry::EventKind;
 use crate::worker::{SideRec, WorkerComm};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
@@ -87,8 +88,7 @@ impl JobState {
     /// consumed cluster-wide.
     #[inline]
     pub fn is_complete(&self) -> bool {
-        self.outstanding.load(Ordering::Acquire) == 0
-            && self.pending.load(Ordering::Acquire) == 0
+        self.outstanding.load(Ordering::Acquire) == 0 && self.pending.load(Ordering::Acquire) == 0
     }
 
     /// Nanoseconds since the phase was created.
@@ -226,6 +226,8 @@ impl Phase for GhostPushPhase {
             let owned_lo = ghosts.nodes().partition_point(|&v| v < start);
             let owned_hi = ghosts.nodes().partition_point(|&v| v < end);
             let my_share = share(owned_hi - owned_lo, workers, env.worker_idx);
+            m.telemetry
+                .trace(env.worker_idx, EventKind::GhostPush, my_share.len() as u64);
             for k in my_share {
                 let ord = (owned_lo + k) as u32;
                 let v = ghosts.node_at(ord);
@@ -238,8 +240,7 @@ impl Phase for GhostPushPhase {
                     col.store_bits(num_local + ord as usize, bits);
                     for dst in 0..m.config.machines as u16 {
                         if dst != m.id {
-                            env.comm
-                                .push_mut(dst, prop, ReduceOp::Assign, ord, bits);
+                            env.comm.push_mut(dst, prop, ReduceOp::Assign, ord, bits);
                         }
                     }
                 }
@@ -274,6 +275,11 @@ impl Phase for GhostReducePhase {
 
         env.comm.set_mut_kind(MsgKind::GhostReduce);
         let my_share = share(ghosts.len(), workers, env.worker_idx);
+        m.telemetry.trace(
+            env.worker_idx,
+            EventKind::GhostReduce,
+            my_share.len() as u64,
+        );
         for ord in my_share {
             let v = ghosts.node_at(ord as u32);
             if v >= start && v < end {

@@ -393,7 +393,12 @@ impl PropertyStore {
         entries[idx] = Some(Arc::new(PropEntry {
             name: name.to_string(),
             default_bits,
-            column: Arc::new(Column::new(tag, self.len_local, self.len_ghost, default_bits)),
+            column: Arc::new(Column::new(
+                tag,
+                self.len_local,
+                self.len_ghost,
+                default_bits,
+            )),
         }));
     }
 
@@ -441,9 +446,19 @@ mod tests {
 
     #[test]
     fn reduce_bits_f64() {
-        let s = reduce_bits(TypeTag::F64, ReduceOp::Sum, 1.5f64.to_bits(), 2.25f64.to_bits());
+        let s = reduce_bits(
+            TypeTag::F64,
+            ReduceOp::Sum,
+            1.5f64.to_bits(),
+            2.25f64.to_bits(),
+        );
         assert_eq!(f64::from_bits(s), 3.75);
-        let m = reduce_bits(TypeTag::F64, ReduceOp::Min, 5.0f64.to_bits(), 3.0f64.to_bits());
+        let m = reduce_bits(
+            TypeTag::F64,
+            ReduceOp::Min,
+            5.0f64.to_bits(),
+            3.0f64.to_bits(),
+        );
         assert_eq!(f64::from_bits(m), 3.0);
     }
 
@@ -466,7 +481,10 @@ mod tests {
 
     #[test]
     fn bottom_values() {
-        assert_eq!(f64::from_bits(bottom_bits(TypeTag::F64, ReduceOp::Sum)), 0.0);
+        assert_eq!(
+            f64::from_bits(bottom_bits(TypeTag::F64, ReduceOp::Sum)),
+            0.0
+        );
         assert_eq!(
             f64::from_bits(bottom_bits(TypeTag::F64, ReduceOp::Min)),
             f64::INFINITY

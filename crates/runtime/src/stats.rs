@@ -1,5 +1,10 @@
 //! Counters and timings: traffic accounting (Figure 6a, Figure 8) and
 //! per-worker busy/idle breakdowns (Figure 6c).
+//!
+//! [`MachineStats`] is owned by the machine's
+//! [`Telemetry`](crate::telemetry::Telemetry) registry; the direct fields
+//! on `MachineState`/`WorkerComm` are clones of that same `Arc`. Unlike the
+//! registry's histograms and tracers, these counters are always live.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -132,6 +137,10 @@ pub struct Breakdown {
     pub intra_machine: f64,
     /// Seconds attributable to waiting on *other* machines.
     pub inter_machine: f64,
+    /// Seconds spent draining in-flight responses *after* the last worker
+    /// finished its tasks — termination-detection tail not attributable to
+    /// load imbalance (buffered entries still crossing the fabric).
+    pub drain: f64,
 }
 
 impl Breakdown {
@@ -141,8 +150,11 @@ impl Breakdown {
     /// time runs to the global finish; the portion after its own tasks
     /// finished but before its machine finished counts as intra-machine
     /// idle, and the remainder up to the global finish as inter-machine
-    /// idle. We report the mean over workers, so the three components sum
-    /// to the phase wall time.
+    /// idle. Time a worker spends in the drain loop *past* the global task
+    /// finish (waiting for in-flight entries to land, `drained_ns` beyond
+    /// the last `tasks_done_ns`) is the fourth component. We report the
+    /// mean over workers, so the four components sum to the phase wall
+    /// time.
     pub fn from_timings(timings: &[Vec<WorkerTiming>]) -> Breakdown {
         let global_end_ns = timings
             .iter()
@@ -152,6 +164,7 @@ impl Breakdown {
         let mut busy = 0.0f64;
         let mut intra = 0.0f64;
         let mut inter = 0.0f64;
+        let mut drain = 0.0f64;
         let mut count = 0usize;
         for m in timings {
             let machine_end = m.iter().map(|t| t.tasks_done_ns).max().unwrap_or(0);
@@ -159,6 +172,7 @@ impl Breakdown {
                 busy += t.tasks_done_ns as f64;
                 intra += machine_end.saturating_sub(t.tasks_done_ns) as f64;
                 inter += global_end_ns.saturating_sub(machine_end) as f64;
+                drain += t.drained_ns.saturating_sub(global_end_ns) as f64;
                 count += 1;
             }
         }
@@ -167,12 +181,13 @@ impl Breakdown {
             fully_parallel: busy * norm,
             intra_machine: intra * norm,
             inter_machine: inter * norm,
+            drain: drain * norm,
         }
     }
 
     /// Total accounted wall time.
     pub fn total(&self) -> f64 {
-        self.fully_parallel + self.intra_machine + self.inter_machine
+        self.fully_parallel + self.intra_machine + self.inter_machine + self.drain
     }
 }
 
@@ -265,6 +280,23 @@ mod tests {
         assert!(b.inter_machine > 0.0);
         assert_eq!(b.intra_machine, 0.0);
         assert!((b.total() - 100e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_drain_tail() {
+        // Both workers finish tasks at 100 but keep draining until 130:
+        // the 30ns tail is drain time, not imbalance.
+        let t = WorkerTiming {
+            tasks_done_ns: 100,
+            drained_ns: 130,
+        };
+        let timings = vec![vec![t], vec![t]];
+        let b = Breakdown::from_timings(&timings);
+        assert!((b.fully_parallel - 100e-9).abs() < 1e-12);
+        assert_eq!(b.intra_machine, 0.0);
+        assert_eq!(b.inter_machine, 0.0);
+        assert!((b.drain - 30e-9).abs() < 1e-12);
+        assert!((b.total() - 130e-9).abs() < 1e-12);
     }
 
     #[test]

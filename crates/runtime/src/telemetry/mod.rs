@@ -1,0 +1,339 @@
+//! Engine-wide telemetry: metrics registry, per-worker event tracing, and
+//! structured run reports.
+//!
+//! One [`Telemetry`] instance exists per machine. It owns that machine's
+//! [`MachineStats`] counters (always live — they are plain relaxed atomics
+//! the engine has always paid for) plus the optional instruments gated by
+//! [`TelemetryConfig::enabled`](crate::config::TelemetryConfig):
+//!
+//! - log-scale [`Histogram`]s: remote-read round-trip latency, copier
+//!   service time, message-buffer fill ratio at flush, side-structure
+//!   occupancy, and per-worker chunk-claim counts;
+//! - per-destination byte counters (traffic matrix);
+//! - one ring-buffer [`Tracer`] per worker recording timestamped phase,
+//!   barrier, flush, stall, and ghost events.
+//!
+//! Every recording entry point starts with a single `enabled` branch, so a
+//! run with telemetry off pays one predictable-not-taken branch per hook.
+//! Compiling the crate without the `telemetry` feature replaces the
+//! instruments with no-op stubs (the stats counters remain).
+//!
+//! Timestamps are nanoseconds since a cluster-wide epoch `Instant` that
+//! [`Cluster::assemble`](crate::cluster::Cluster) hands to every machine,
+//! so events from different machines land on one comparable timeline.
+//! [`export`] turns a finished run into a JSON metrics report and a Chrome
+//! `trace_event` file viewable in Perfetto.
+
+pub mod export;
+pub mod histogram;
+pub mod tracer;
+
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use tracer::{EventKind, TraceEvent, Tracer};
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::Config;
+use crate::stats::MachineStats;
+
+/// Per-machine telemetry registry. See the module docs.
+#[cfg(feature = "telemetry")]
+pub struct Telemetry {
+    enabled: bool,
+    machine: u16,
+    epoch: Instant,
+    stats: Arc<MachineStats>,
+    read_rtt_ns: Histogram,
+    copier_service_ns: Histogram,
+    flush_fill_pct: Histogram,
+    side_occupancy: Histogram,
+    chunk_claims: Histogram,
+    dest_bytes: Vec<AtomicU64>,
+    tracers: Vec<Tracer>,
+}
+
+#[cfg(feature = "telemetry")]
+impl Telemetry {
+    pub fn new(machine: u16, config: &Config, epoch: Instant) -> Arc<Telemetry> {
+        let enabled = config.telemetry.enabled;
+        Arc::new(Telemetry {
+            enabled,
+            machine,
+            epoch,
+            stats: Arc::new(MachineStats::default()),
+            read_rtt_ns: Histogram::new(),
+            copier_service_ns: Histogram::new(),
+            flush_fill_pct: Histogram::new(),
+            side_occupancy: Histogram::new(),
+            chunk_claims: Histogram::new(),
+            dest_bytes: if enabled {
+                (0..config.machines).map(|_| AtomicU64::new(0)).collect()
+            } else {
+                Vec::new()
+            },
+            tracers: (0..config.workers)
+                .map(|_| Tracer::new(config.telemetry.ring_capacity, enabled))
+                .collect(),
+        })
+    }
+
+    /// A standalone registry for unit tests and benches that build
+    /// communication pieces without a full cluster.
+    pub fn detached(machines: usize, enabled: bool) -> Arc<Telemetry> {
+        let mut config = Config::test(machines);
+        config.telemetry.enabled = enabled;
+        Telemetry::new(0, &config, Instant::now())
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn machine(&self) -> u16 {
+        self.machine
+    }
+
+    /// The machine's always-on counters; [`MachineStats`] lives here.
+    pub fn stats(&self) -> &Arc<MachineStats> {
+        &self.stats
+    }
+
+    /// Nanoseconds since the cluster-wide epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a trace event on `worker`'s ring. One branch when disabled.
+    #[inline]
+    pub fn trace(&self, worker: usize, kind: EventKind, arg: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.now_ns();
+        if let Some(t) = self.tracers.get(worker) {
+            t.record(ts, kind, arg);
+        }
+    }
+
+    #[inline]
+    pub fn record_read_rtt(&self, ns: u64) {
+        if self.enabled {
+            self.read_rtt_ns.record(ns);
+        }
+    }
+
+    #[inline]
+    pub fn record_copier_service(&self, ns: u64) {
+        if self.enabled {
+            self.copier_service_ns.record(ns);
+        }
+    }
+
+    /// `pct` is payload bytes × 100 / buffer capacity at seal time.
+    #[inline]
+    pub fn record_flush_fill(&self, pct: u64) {
+        if self.enabled {
+            self.flush_fill_pct.record(pct);
+        }
+    }
+
+    /// Side-structure entries in flight when a read buffer seals.
+    #[inline]
+    pub fn record_side_occupancy(&self, entries: u64) {
+        if self.enabled {
+            self.side_occupancy.record(entries);
+        }
+    }
+
+    /// Chunks one worker claimed from the shared queue during a phase.
+    #[inline]
+    pub fn record_chunk_claims(&self, chunks: u64) {
+        if self.enabled {
+            self.chunk_claims.record(chunks);
+        }
+    }
+
+    /// Payload bytes sent from this machine to `dest`.
+    #[inline]
+    pub fn record_dest_bytes(&self, dest: usize, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(d) = self.dest_bytes.get(dest) {
+            d.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.tracers.len()
+    }
+
+    /// Decoded events for one worker, oldest first.
+    pub fn worker_events(&self, worker: usize) -> Vec<TraceEvent> {
+        self.tracers
+            .get(worker)
+            .map(|t| t.events())
+            .unwrap_or_default()
+    }
+
+    /// `(recorded, dropped)` event totals across this machine's workers.
+    pub fn trace_volume(&self) -> (u64, u64) {
+        let recorded: usize = self.tracers.iter().map(|t| t.recorded()).sum();
+        let dropped: usize = self.tracers.iter().map(|t| t.dropped()).sum();
+        (recorded as u64, dropped as u64)
+    }
+
+    pub fn read_rtt_snapshot(&self) -> HistogramSnapshot {
+        self.read_rtt_ns.snapshot()
+    }
+
+    pub fn copier_service_snapshot(&self) -> HistogramSnapshot {
+        self.copier_service_ns.snapshot()
+    }
+
+    pub fn flush_fill_snapshot(&self) -> HistogramSnapshot {
+        self.flush_fill_pct.snapshot()
+    }
+
+    pub fn side_occupancy_snapshot(&self) -> HistogramSnapshot {
+        self.side_occupancy.snapshot()
+    }
+
+    pub fn chunk_claims_snapshot(&self) -> HistogramSnapshot {
+        self.chunk_claims.snapshot()
+    }
+
+    pub fn dest_bytes_snapshot(&self) -> Vec<u64> {
+        self.dest_bytes
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// No-op telemetry: the crate was built without the `telemetry` feature.
+/// The API matches the instrumented version so call sites compile
+/// unchanged; only the always-on [`MachineStats`] counters remain live.
+#[cfg(not(feature = "telemetry"))]
+pub struct Telemetry {
+    machine: u16,
+    stats: Arc<MachineStats>,
+}
+
+#[cfg(not(feature = "telemetry"))]
+impl Telemetry {
+    pub fn new(machine: u16, _config: &Config, _epoch: Instant) -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            machine,
+            stats: Arc::new(MachineStats::default()),
+        })
+    }
+
+    pub fn detached(_machines: usize, _enabled: bool) -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            machine: 0,
+            stats: Arc::new(MachineStats::default()),
+        })
+    }
+
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        false
+    }
+
+    pub fn machine(&self) -> u16 {
+        self.machine
+    }
+
+    pub fn stats(&self) -> &Arc<MachineStats> {
+        &self.stats
+    }
+
+    #[inline(always)]
+    pub fn now_ns(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn trace(&self, _worker: usize, _kind: EventKind, _arg: u64) {}
+    #[inline(always)]
+    pub fn record_read_rtt(&self, _ns: u64) {}
+    #[inline(always)]
+    pub fn record_copier_service(&self, _ns: u64) {}
+    #[inline(always)]
+    pub fn record_flush_fill(&self, _pct: u64) {}
+    #[inline(always)]
+    pub fn record_side_occupancy(&self, _entries: u64) {}
+    #[inline(always)]
+    pub fn record_chunk_claims(&self, _chunks: u64) {}
+    #[inline(always)]
+    pub fn record_dest_bytes(&self, _dest: usize, _bytes: u64) {}
+
+    pub fn workers(&self) -> usize {
+        0
+    }
+
+    pub fn worker_events(&self, _worker: usize) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    pub fn trace_volume(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    pub fn read_rtt_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn copier_service_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn flush_fill_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn side_occupancy_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn chunk_claims_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn dest_bytes_snapshot(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::detached(2, false);
+        t.record_read_rtt(100);
+        t.record_dest_bytes(1, 64);
+        t.trace(0, EventKind::PhaseStart, 1);
+        assert_eq!(t.read_rtt_snapshot().count(), 0);
+        assert!(t.dest_bytes_snapshot().is_empty());
+        assert_eq!(t.trace_volume(), (0, 0));
+    }
+
+    #[test]
+    fn enabled_registry_records() {
+        let t = Telemetry::detached(2, true);
+        t.record_read_rtt(100);
+        t.record_flush_fill(85);
+        t.record_dest_bytes(1, 64);
+        t.trace(0, EventKind::BufferFlush, 512);
+        assert_eq!(t.read_rtt_snapshot().count(), 1);
+        assert_eq!(t.flush_fill_snapshot().count(), 1);
+        assert_eq!(t.dest_bytes_snapshot(), vec![0, 64]);
+        let ev = t.worker_events(0);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, EventKind::BufferFlush);
+        assert_eq!(ev[0].arg, 512);
+    }
+}

@@ -23,6 +23,7 @@ use crate::message::{
 };
 use crate::props::{PropId, ReduceOp};
 use crate::stats::MachineStats;
+use crate::telemetry::{EventKind, Telemetry};
 use crossbeam::channel::{Receiver, Sender};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -99,7 +100,14 @@ pub struct WorkerComm {
     outbox: Sender<Envelope>,
     pool: Arc<BufferPool>,
     pending: Arc<AtomicI64>,
+    telemetry: Arc<Telemetry>,
     stats: Arc<MachineStats>,
+    /// Send timestamps per `side_id` (ns since the telemetry epoch) for
+    /// remote-read round-trip measurement. Only written when telemetry is
+    /// enabled.
+    sent_at: Vec<u64>,
+    /// Pool-exhaustion count already traced, to report only deltas.
+    last_exhausted: u64,
     rec_pool: Vec<Vec<SideRec>>,
     // Entry statistics are batched locally and published at flush time so
     // the per-edge hot path touches no shared counters.
@@ -122,8 +130,9 @@ impl WorkerComm {
         outbox: Sender<Envelope>,
         pool: Arc<BufferPool>,
         pending: Arc<AtomicI64>,
-        stats: Arc<MachineStats>,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
+        let stats = telemetry.stats().clone();
         WorkerComm {
             machine,
             worker,
@@ -137,7 +146,10 @@ impl WorkerComm {
             outbox,
             pool,
             pending,
+            telemetry,
             stats,
+            sent_at: Vec::new(),
+            last_exhausted: 0,
             rec_pool: Vec::new(),
             stat_reads: 0,
             stat_writes: 0,
@@ -187,8 +199,7 @@ impl WorkerComm {
             push_read_entry(buf, prop.0, offset);
             recs.push(rec);
         }
-        if self.read_payloads[slot].as_ref().unwrap().0.len() + READ_ENTRY_BYTES
-            > self.buffer_bytes
+        if self.read_payloads[slot].as_ref().unwrap().0.len() + READ_ENTRY_BYTES > self.buffer_bytes
         {
             self.seal_read(dst);
         }
@@ -235,9 +246,35 @@ impl WorkerComm {
         }
     }
 
+    /// Telemetry for one sealed buffer: fill ratio, a flush trace event,
+    /// and optionally (for request kinds expecting a response) the send
+    /// timestamp for round-trip measurement plus side-slab occupancy.
+    fn note_seal(&mut self, payload_len: usize, side_id: Option<u32>) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.telemetry
+            .record_flush_fill((payload_len * 100 / self.buffer_bytes.max(1)) as u64);
+        self.telemetry.trace(
+            self.worker as usize,
+            EventKind::BufferFlush,
+            payload_len as u64,
+        );
+        if let Some(id) = side_id {
+            self.telemetry
+                .record_side_occupancy(self.slab.in_flight() as u64);
+            let i = id as usize;
+            if self.sent_at.len() <= i {
+                self.sent_at.resize(i + 1, 0);
+            }
+            self.sent_at[i] = self.telemetry.now_ns();
+        }
+    }
+
     fn seal_read(&mut self, dst: MachineId) {
         if let Some((payload, recs)) = self.read_payloads[dst as usize].take() {
             let side_id = self.slab.insert(recs);
+            self.note_seal(payload.len(), Some(side_id));
             let _ = self.outbox.send(Envelope {
                 src: self.machine,
                 dst,
@@ -251,6 +288,7 @@ impl WorkerComm {
 
     fn seal_mut(&mut self, dst: MachineId) {
         if let Some(payload) = self.mut_payloads[dst as usize].take() {
+            self.note_seal(payload.len(), None);
             let _ = self.outbox.send(Envelope {
                 src: self.machine,
                 dst,
@@ -265,6 +303,7 @@ impl WorkerComm {
     fn seal_rmi(&mut self, dst: MachineId) {
         if let Some((payload, recs)) = self.rmi_payloads[dst as usize].take() {
             let side_id = self.slab.insert(recs);
+            self.note_seal(payload.len(), Some(side_id));
             let _ = self.outbox.send(Envelope {
                 src: self.machine,
                 dst,
@@ -284,25 +323,44 @@ impl WorkerComm {
             self.seal_mut(dst);
             self.seal_rmi(dst);
         }
+        if self.telemetry.enabled() {
+            let exhausted = self.pool.exhausted_events();
+            if exhausted > self.last_exhausted {
+                self.telemetry.trace(
+                    self.worker as usize,
+                    EventKind::PoolStall,
+                    exhausted - self.last_exhausted,
+                );
+                self.last_exhausted = exhausted;
+            }
+        }
         self.publish_stats();
     }
 
     /// Publishes the batched entry counters to the machine statistics.
     pub fn publish_stats(&mut self) {
         if self.stat_reads > 0 {
-            self.stats.read_entries.fetch_add(self.stat_reads, Ordering::Relaxed);
+            self.stats
+                .read_entries
+                .fetch_add(self.stat_reads, Ordering::Relaxed);
             self.stat_reads = 0;
         }
         if self.stat_writes > 0 {
-            self.stats.write_entries.fetch_add(self.stat_writes, Ordering::Relaxed);
+            self.stats
+                .write_entries
+                .fetch_add(self.stat_writes, Ordering::Relaxed);
             self.stat_writes = 0;
         }
         if self.stat_ghosts > 0 {
-            self.stats.ghost_entries.fetch_add(self.stat_ghosts, Ordering::Relaxed);
+            self.stats
+                .ghost_entries
+                .fetch_add(self.stat_ghosts, Ordering::Relaxed);
             self.stat_ghosts = 0;
         }
         if self.stat_rmis > 0 {
-            self.stats.rmi_entries.fetch_add(self.stat_rmis, Ordering::Relaxed);
+            self.stats
+                .rmi_entries
+                .fetch_add(self.stat_rmis, Ordering::Relaxed);
             self.stat_rmis = 0;
         }
     }
@@ -311,6 +369,14 @@ impl WorkerComm {
     pub fn try_pop_response(&mut self) -> Option<Response> {
         let env = self.resp_rx.try_recv().ok()?;
         debug_assert!(env.kind.is_response());
+        if self.telemetry.enabled() {
+            if let Some(&sent) = self.sent_at.get(env.side_id as usize) {
+                if sent > 0 {
+                    self.telemetry
+                        .record_read_rtt(self.telemetry.now_ns().saturating_sub(sent));
+                }
+            }
+        }
         let recs = self.slab.take(env.side_id);
         Some(Response { env, recs })
     }
@@ -367,7 +433,7 @@ mod tests {
             out_tx,
             Arc::new(BufferPool::new(8, buffer_bytes)),
             Arc::new(AtomicI64::new(0)),
-            Arc::new(MachineStats::default()),
+            Telemetry::detached(2, true),
         );
         (comm, out_rx, resp_tx)
     }
@@ -483,7 +549,15 @@ mod tests {
     fn side_slab_recycles_ids() {
         let (mut comm, out, resp_tx) = make_comm(READ_ENTRY_BYTES);
         for round in 0..3 {
-            comm.push_read(1, PropId(0), round, SideRec { node: round, aux: 0 });
+            comm.push_read(
+                1,
+                PropId(0),
+                round,
+                SideRec {
+                    node: round,
+                    aux: 0,
+                },
+            );
             let req = out.try_recv().unwrap();
             assert_eq!(req.side_id, 0, "slab should recycle slot 0");
             let mut payload = Vec::new();

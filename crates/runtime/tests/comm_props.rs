@@ -7,7 +7,7 @@ use crossbeam::channel::unbounded;
 use pgxd_runtime::buffer::BufferPool;
 use pgxd_runtime::message::{self, Envelope, MsgKind};
 use pgxd_runtime::props::{PropId, ReduceOp};
-use pgxd_runtime::stats::MachineStats;
+use pgxd_runtime::telemetry::Telemetry;
 use pgxd_runtime::worker::{SideRec, WorkerComm};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -22,10 +22,16 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..3, any::<u32>(), any::<u64>())
-            .prop_map(|(dst, offset, aux)| Op::Read { dst, offset, aux }),
-        (0u8..3, any::<u32>(), any::<u64>())
-            .prop_map(|(dst, offset, bits)| Op::Write { dst, offset, bits }),
+        (0u8..3, any::<u32>(), any::<u64>()).prop_map(|(dst, offset, aux)| Op::Read {
+            dst,
+            offset,
+            aux
+        }),
+        (0u8..3, any::<u32>(), any::<u64>()).prop_map(|(dst, offset, bits)| Op::Write {
+            dst,
+            offset,
+            bits
+        }),
         Just(Op::Flush),
     ]
 }
@@ -87,7 +93,7 @@ proptest! {
             out_tx,
             Arc::new(BufferPool::new(4, buffer_bytes)),
             pending.clone(),
-            Arc::new(MachineStats::default()),
+            Telemetry::detached(3, true),
         );
 
         let mut issued_reads = 0usize;
@@ -149,7 +155,7 @@ proptest! {
             0, 0, 2, buffer_bytes, resp_rx, out_tx,
             Arc::new(BufferPool::new(4, buffer_bytes)),
             pending.clone(),
-            Arc::new(MachineStats::default()),
+            Telemetry::detached(2, false),
         );
         for (i, &off) in offsets.iter().enumerate() {
             comm.push_read(1, PropId(0), off, SideRec { node: 0, aux: i as u64 });

@@ -1,0 +1,86 @@
+//! Property tests of the telemetry histogram: bucket placement must be
+//! consistent with the power-of-two bucket bounds for arbitrary values,
+//! and snapshot merging must be associative and equal to recording the
+//! union of the samples.
+
+use pgxd_runtime::telemetry::{Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in exactly one bucket whose `[lower, 2×lower)`
+    /// range contains it (bucket 0 holds only zeros).
+    #[test]
+    fn bucket_bounds_contain_value(v in any::<u64>()) {
+        let h = Histogram::new();
+        h.record(v);
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), 1);
+        prop_assert_eq!(s.sum, v);
+        let populated: Vec<usize> = (0..NUM_BUCKETS).filter(|&i| s.counts[i] > 0).collect();
+        prop_assert_eq!(populated.len(), 1);
+        let i = populated[0];
+        let lo = Histogram::bucket_lower_bound(i);
+        prop_assert!(v >= lo, "value {} below bucket {} lower bound {}", v, i, lo);
+        if i + 1 < NUM_BUCKETS {
+            let next = Histogram::bucket_lower_bound(i + 1);
+            prop_assert!(v < next, "value {} not below bucket {} bound {}", v, i + 1, next);
+        }
+    }
+
+    /// Merging per-shard snapshots equals recording everything into one
+    /// histogram, regardless of how the samples are split.
+    #[test]
+    fn merge_equals_union(samples in prop::collection::vec(any::<u64>(), 0..200),
+                          split in any::<usize>()) {
+        let cut = if samples.is_empty() { 0 } else { split % samples.len() };
+        let (left, right) = samples.split_at(cut);
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in left {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in right {
+            hb.record(v);
+            hall.record(v);
+        }
+        let merged = ha.snapshot() + hb.snapshot();
+        prop_assert_eq!(merged, hall.snapshot());
+    }
+
+    /// Merge associativity: (a + b) + c == a + (b + c).
+    #[test]
+    fn merge_associative(a in prop::collection::vec(any::<u64>(), 0..50),
+                         b in prop::collection::vec(any::<u64>(), 0..50),
+                         c in prop::collection::vec(any::<u64>(), 0..50)) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        prop_assert_eq!((sa + sb) + sc, sa + (sb + sc));
+    }
+
+    /// Quantile lower bounds are monotone in `q` and never exceed the
+    /// largest recorded value.
+    #[test]
+    fn quantiles_monotone(samples in prop::collection::vec(1u64..u64::MAX, 1..100)) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let max = *samples.iter().max().unwrap();
+        let mut prev = 0u64;
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let lb = s.quantile_lower_bound(q);
+            prop_assert!(lb >= prev, "quantiles must be monotone");
+            prop_assert!(lb <= max, "lower bound {} beyond max {}", lb, max);
+            prev = lb;
+        }
+    }
+}

@@ -74,7 +74,10 @@ fn main() {
     let sm = shifted.reduce(&engine, ReduceOp::Sum) / n;
     let shifted_centered = shifted.zip_map(&mut engine, &shifted, "zs", move |x, _| x - sm);
     let dot = z.dot(&mut engine, &shifted_centered);
-    println!("covariance-style inner product with shifted signal: {:.1}", dot);
+    println!(
+        "covariance-style inner product with shifted signal: {:.1}",
+        dot
+    );
 
     println!(
         "cluster traffic for the whole pipeline: {} messages",

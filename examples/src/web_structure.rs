@@ -9,9 +9,7 @@
 //! cargo run -p pgxd-examples --release --bin web_structure
 //! ```
 
-use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, Prop, ReadDoneCtx,
-};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, Prop, ReadDoneCtx};
 use pgxd_algorithms::{eigenvector, kcore};
 use pgxd_graph::generate::{rmat, RmatParams};
 
@@ -88,7 +86,10 @@ fn main() {
     // nevertheless endorsed by even stronger ones.
     let mut order: Vec<usize> = (0..graph.num_nodes()).collect();
     order.sort_by(|&a, &b| {
-        (stronger_counts[b], ev.centrality[b].total_cmp(&ev.centrality[a]))
+        (
+            stronger_counts[b],
+            ev.centrality[b].total_cmp(&ev.centrality[a]),
+        )
             .cmp(&(stronger_counts[a], std::cmp::Ordering::Equal))
     });
     println!("pages with the most endorsements from stronger pages:");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, test suite, formatting, lints.
+# Run from anywhere; exits non-zero on the first failing check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1: all checks passed"

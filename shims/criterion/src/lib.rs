@@ -1,0 +1,206 @@
+//! Minimal `criterion` stand-in for an offline build environment.
+//!
+//! Supports the API surface the workspace benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a simple
+//! warmup-then-median-of-samples timer printed to stdout — adequate for
+//! relative comparisons, with none of upstream's statistical machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    /// Median per-iteration time of the measured samples.
+    elapsed: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup call, then `sample_size` timed samples.
+        black_box(routine());
+        let mut samples: Vec<Duration> = (0..self.sample_size.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.elapsed = samples[samples.len() / 2];
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(id, None, sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<S: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        sample_size,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" ({:.2} MiB/s)", n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => {
+            format!(" ({:.2} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+    });
+    println!("bench: {:<48} {:>12.3?}{}", id, per_iter, rate.unwrap_or_default());
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = 0;
+        group.bench_function("f", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("h", 7), &7u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -69,15 +69,7 @@ fn wcc_identical_across_key_configurations() {
         (3, PartitioningMode::Edge, Some(16)),
         (4, PartitioningMode::Edge, Some(0)),
     ] {
-        let mut e = build(
-            &g,
-            machines,
-            2,
-            part,
-            ChunkingMode::Edge,
-            ghosts,
-            true,
-        );
+        let mut e = build(&g, machines, 2, part, ChunkingMode::Edge, ghosts, true);
         let got = algos::wcc(&mut e);
         assert_eq!(got.component, reference, "m={machines} {part:?} {ghosts:?}");
     }
@@ -124,7 +116,10 @@ fn ghost_everything_extreme() {
     }
     // With every edge local, remote write traffic must be zero.
     let stats = e.cluster().total_stats();
-    assert_eq!(stats.write_entries, 0, "ghosting all nodes kills remote writes");
+    assert_eq!(
+        stats.write_entries, 0,
+        "ghosting all nodes kills remote writes"
+    );
 }
 
 #[test]

@@ -226,7 +226,9 @@ fn modeled_network_gives_same_results() {
         assert!((r - x).abs() < 1e-9);
     }
     // The model must have charged virtual wire time.
-    let charged: u64 = (0..2).map(|m| e.cluster().fabric().virtual_busy_ns(m)).sum();
+    let charged: u64 = (0..2)
+        .map(|m| e.cluster().fabric().virtual_busy_ns(m))
+        .sum();
     assert!(charged > 0, "cost model should have been exercised");
 }
 

@@ -11,13 +11,17 @@ use proptest::prelude::*;
 
 /// An arbitrary small digraph: up to `n` nodes, up to `m` edges.
 fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
-    (2..n, prop::collection::vec((0..n as u32, 0..n as u32), 0..m)).prop_map(|(nodes, edges)| {
-        let edges: Vec<(NodeId, NodeId)> = edges
-            .into_iter()
-            .map(|(a, b)| (a % nodes as u32, b % nodes as u32))
-            .collect();
-        graph_from_edges(nodes, edges)
-    })
+    (
+        2..n,
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..m),
+    )
+        .prop_map(|(nodes, edges)| {
+            let edges: Vec<(NodeId, NodeId)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % nodes as u32, b % nodes as u32))
+                .collect();
+            graph_from_edges(nodes, edges)
+        })
 }
 
 fn engine(machines: usize, ghosts: Option<usize>, g: &Graph) -> Engine {

@@ -13,13 +13,17 @@ use pgxd_runtime::props::{bottom_bits, reduce_bits, ReduceOp, TypeTag};
 use proptest::prelude::*;
 
 fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
-    (2..n, prop::collection::vec((0..n as u32, 0..n as u32), 0..m)).prop_map(|(nodes, edges)| {
-        let edges: Vec<(NodeId, NodeId)> = edges
-            .into_iter()
-            .map(|(a, b)| (a % nodes as u32, b % nodes as u32))
-            .collect();
-        graph_from_edges(nodes, edges)
-    })
+    (
+        2..n,
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..m),
+    )
+        .prop_map(|(nodes, edges)| {
+            let edges: Vec<(NodeId, NodeId)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % nodes as u32, b % nodes as u32))
+                .collect();
+            graph_from_edges(nodes, edges)
+        })
 }
 
 proptest! {
