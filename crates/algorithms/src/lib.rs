@@ -34,6 +34,6 @@ pub use eigenvector::eigenvector;
 pub use hopdist::hopdist;
 pub use kcore::kcore;
 pub use mis::mis;
-pub use pagerank::{pagerank_approx, pagerank_pull, pagerank_push};
+pub use pagerank::{pagerank_approx, pagerank_pull, pagerank_push, try_pagerank_pull};
 pub use sssp::sssp;
 pub use wcc::wcc;

@@ -1,7 +1,8 @@
 //! PageRank: the paper's running example (§5.2), in all three variants.
 
 use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReadDoneCtx, ReduceOp,
+    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReadDoneCtx,
+    ReduceOp,
 };
 
 /// Result of a PageRank computation.
@@ -84,6 +85,17 @@ fn pagerank_exact(
     tol: f64,
     pull: bool,
 ) -> PageRankResult {
+    try_pagerank_exact(engine, damping, max_iters, tol, pull)
+        .unwrap_or_else(|e| panic!("pagerank job failed: {e}"))
+}
+
+fn try_pagerank_exact(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+    pull: bool,
+) -> Result<PageRankResult, JobError> {
     let n = engine.num_nodes();
     let pr = engine.add_prop("pr", 1.0 / n as f64);
     let tmp = engine.add_prop("pr_tmp", 0.0f64);
@@ -91,41 +103,54 @@ fn pagerank_exact(
     let diff = engine.add_prop("pr_diff", 0.0f64);
     let base = (1.0 - damping) / n as f64;
 
+    let run = |engine: &mut Engine, iterations: &mut usize| -> Result<(), JobError> {
+        loop {
+            if *iterations >= max_iters {
+                return Ok(());
+            }
+            *iterations += 1;
+            engine.try_run_node_job(&JobSpec::new(), Scale { pr, tmp })?;
+            if pull {
+                engine.try_run_edge_job(
+                    Dir::In,
+                    &JobSpec::new().read(tmp),
+                    PullKernel { tmp, nxt },
+                )?;
+            } else {
+                engine.try_run_edge_job(
+                    Dir::Out,
+                    &JobSpec::new().reduce(nxt, ReduceOp::Sum),
+                    PushKernel { tmp, nxt },
+                )?;
+            }
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                Apply {
+                    pr,
+                    nxt,
+                    diff,
+                    base,
+                    damping,
+                },
+            )?;
+            // Sequential region: convergence check (driver side).
+            if engine.reduce(diff, ReduceOp::Sum) < tol {
+                return Ok(());
+            }
+        }
+    };
     let mut iterations = 0;
-    for _ in 0..max_iters {
-        iterations += 1;
-        engine.run_node_job(&JobSpec::new(), Scale { pr, tmp });
-        if pull {
-            engine.run_edge_job(Dir::In, &JobSpec::new().read(tmp), PullKernel { tmp, nxt });
-        } else {
-            engine.run_edge_job(
-                Dir::Out,
-                &JobSpec::new().reduce(nxt, ReduceOp::Sum),
-                PushKernel { tmp, nxt },
-            );
-        }
-        engine.run_node_job(
-            &JobSpec::new(),
-            Apply {
-                pr,
-                nxt,
-                diff,
-                base,
-                damping,
-            },
-        );
-        // Sequential region: convergence check (driver side).
-        if engine.reduce(diff, ReduceOp::Sum) < tol {
-            break;
-        }
-    }
+    let outcome = run(engine, &mut iterations);
 
+    // Always release the scratch properties, even on a failed job — the
+    // caller may keep using the engine object for diagnostics.
     let scores = engine.gather(pr);
     engine.drop_prop(pr);
     engine.drop_prop(tmp);
     engine.drop_prop(nxt);
     engine.drop_prop(diff);
-    PageRankResult { scores, iterations }
+    outcome?;
+    Ok(PageRankResult { scores, iterations })
 }
 
 /// Exact PageRank with the *data pulling* pattern (in-neighbor reads).
@@ -136,6 +161,18 @@ pub fn pagerank_pull(
     tol: f64,
 ) -> PageRankResult {
     pagerank_exact(engine, damping, max_iters, tol, true)
+}
+
+/// Fallible [`pagerank_pull`]: returns `Err` instead of panicking when the
+/// cluster aborts mid-job (machine crash, retry exhaustion). Used by the
+/// chaos experiments, where a failed run is an expected outcome.
+pub fn try_pagerank_pull(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> Result<PageRankResult, JobError> {
+    try_pagerank_exact(engine, damping, max_iters, tol, true)
 }
 
 /// Exact PageRank with the *data pushing* pattern (out-neighbor writes).

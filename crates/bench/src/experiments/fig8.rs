@@ -180,6 +180,7 @@ impl Phase for FloodPhase {
                     kind: MsgKind::Ping,
                     worker: env.worker_idx as u16,
                     side_id: 0,
+                    seq: 0,
                     payload,
                 });
             }

@@ -1,5 +1,6 @@
 //! One module per table/figure of the paper's evaluation.
 
+pub mod chaos;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -94,6 +94,13 @@ fn finish_phase<F: Fn(&mut ReadDoneCtx<'_, '_>)>(
         if job.is_complete() {
             break;
         }
+        if scope.machine.health.is_aborted() {
+            // Exact termination can never be reached once envelopes were
+            // lost; fail the pending continuations and reach the barrier
+            // so every thread joins (the driver surfaces the JobError).
+            scope.comm.abort_in_flight();
+            break;
+        }
         std::thread::yield_now();
     }
     job.mark_drained(machine_id, worker_idx);

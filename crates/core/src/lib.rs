@@ -74,6 +74,10 @@ pub mod tasks {
 
 // Re-exports so algorithm code only needs `pgxd`.
 pub use pgxd_graph::NodeId;
-pub use pgxd_runtime::config::{ChunkingMode, Config, NetConfig, PartitioningMode};
+pub use pgxd_runtime::config::{
+    ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode, ReliabilityConfig,
+    SlowPlan,
+};
+pub use pgxd_runtime::health::JobError;
 pub use pgxd_runtime::props::{PropValue, ReduceOp};
 pub use pgxd_runtime::stats::{Breakdown, StatsSnapshot};

@@ -12,8 +12,10 @@
 //!   `BarrierRelease` once all machines arrived. Enabled by
 //!   `Config::strict_distributed` and measured by the Figure 5b bench.
 
+use crate::health::ClusterHealth;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Shared-memory sense-reversing barrier for `n` participants.
 #[derive(Debug)]
@@ -149,6 +151,23 @@ impl DistBarrier {
         }
     }
 
+    /// Like [`wait_release`](DistBarrier::wait_release), but gives up once
+    /// the cluster aborts — a crashed machine's `BarrierArrive` will never
+    /// come, so an unconditional wait would hang forever. Returns `true`
+    /// if the epoch was actually released, `false` on abort.
+    pub fn wait_release_or_abort(&self, epoch: u64, health: &ClusterHealth) -> bool {
+        let mut g = self.mutex.lock();
+        loop {
+            if self.released_epoch.load(Ordering::Acquire) > epoch {
+                return true;
+            }
+            if health.is_aborted() {
+                return false;
+            }
+            self.cvar.wait_for(&mut g, Duration::from_millis(5));
+        }
+    }
+
     /// Current released epoch (for diagnostics/tests).
     pub fn released(&self) -> u64 {
         self.released_epoch.load(Ordering::Acquire)
@@ -244,5 +263,21 @@ mod tests {
         d.on_release();
         h.join().unwrap();
         assert_eq!(d.released(), 1);
+    }
+
+    #[test]
+    fn dist_barrier_abort_unblocks_waiter() {
+        use crate::health::{ClusterHealth, JobError};
+        let d = Arc::new(DistBarrier::new(1, 2));
+        let health = Arc::new(ClusterHealth::new(2));
+        let d2 = d.clone();
+        let h2 = health.clone();
+        let t = std::thread::spawn(move || d2.wait_release_or_abort(0, &h2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        health.abort(JobError::MachineDown { machine: 1 });
+        assert!(!t.join().unwrap(), "abort path reports no release");
+        // A normally-released wait still reports success.
+        d.on_release();
+        assert!(d.wait_release_or_abort(0, &health));
     }
 }

@@ -12,6 +12,7 @@ use crate::config::Config;
 use crate::copier;
 use crate::fabric::{make_endpoints, Fabric, MachineEndpoints};
 use crate::ghost::GhostTable;
+use crate::health::{ClusterHealth, JobError};
 use crate::ids::MachineId;
 use crate::localgraph::LocalGraph;
 use crate::machine::{MachineState, RmiFn};
@@ -22,14 +23,14 @@ use crate::props::{PropId, PropValue, ReduceOp, TypeTag};
 use crate::stats::StatsSnapshot;
 use crate::telemetry::{export, EventKind, Telemetry};
 use crate::worker::WorkerComm;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, RecvTimeoutError};
 use parking_lot::{Condvar, Mutex};
 use pgxd_graph::{Graph, NodeId};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Broadcast slot through which the driver hands phases to every worker.
 struct PhaseControl {
@@ -69,6 +70,7 @@ pub struct Cluster {
     ghosts: GhostTable,
     config: Config,
     pending: Arc<AtomicI64>,
+    health: Arc<ClusterHealth>,
     ctl: Arc<PhaseControl>,
     #[allow(dead_code)]
     barrier: Arc<CentralBarrier>,
@@ -118,6 +120,7 @@ impl Cluster {
     ) -> Result<Cluster, String> {
         let p = config.machines;
         let pending = Arc::new(AtomicI64::new(0));
+        let health = Arc::new(ClusterHealth::new(p));
         let (endpoints, mut receivers) = make_endpoints(p, config.workers);
 
         // Build machines. All telemetry registries share one epoch Instant
@@ -143,14 +146,23 @@ impl Cluster {
                 (out_tx, out_rx),
                 pending.clone(),
                 Telemetry::new(m as u16, &config, epoch),
+                health.clone(),
             )));
         }
 
         let telemetry = machines.iter().map(|m| m.telemetry.clone()).collect();
-        let fabric = Arc::new(Fabric::new(endpoints.clone(), telemetry, config.net));
+        let fabric = Arc::new(Fabric::with_faults(
+            endpoints.clone(),
+            telemetry,
+            config.net,
+            config.fault,
+        ));
 
         let ctl = Arc::new(PhaseControl::new());
         let barrier = Arc::new(CentralBarrier::new(p * config.workers));
+
+        // The watchdog grace period starts at cluster birth, not epoch zero.
+        health.reset_clocks();
 
         let mut threads = Vec::new();
         // Pollers: one per machine.
@@ -200,6 +212,7 @@ impl Cluster {
             ghosts,
             config,
             pending,
+            health,
             ctl,
             barrier,
             threads,
@@ -253,6 +266,11 @@ impl Cluster {
     /// The cluster-global pending-entry counter.
     pub fn pending(&self) -> &Arc<AtomicI64> {
         &self.pending
+    }
+
+    /// The shared liveness/abort state.
+    pub fn health(&self) -> &Arc<ClusterHealth> {
+        &self.health
     }
 
     /// Sum of all machines' traffic counters (buffer-pool back-pressure
@@ -398,11 +416,49 @@ impl Cluster {
     /// Like [`Cluster::run_phase`] but names the phase; the label shows up
     /// in exported traces and reports.
     pub fn run_labeled_phase(&mut self, label: &str, phase: Arc<dyn Phase>) {
+        if let Err(e) = self.try_run_labeled_phase(label, phase) {
+            panic!("cluster job failed: {e}");
+        }
+    }
+
+    /// Fallible [`Cluster::run_phase`]: returns the recorded [`JobError`]
+    /// if the cluster aborted during (or before) the phase instead of
+    /// panicking. An aborted cluster is terminal — every subsequent call
+    /// reports the same error without running anything.
+    pub fn try_run_phase(&mut self, phase: Arc<dyn Phase>) -> Result<(), JobError> {
+        self.try_run_labeled_phase("phase", phase)
+    }
+
+    /// Fallible [`Cluster::run_labeled_phase`].
+    pub fn try_run_labeled_phase(
+        &mut self,
+        label: &str,
+        phase: Arc<dyn Phase>,
+    ) -> Result<(), JobError> {
+        if let Some(err) = self.health.error() {
+            return Err(err);
+        }
         self.run_phase_inner(phase, label);
+        self.reap_abort()?;
         if self.config.strict_distributed {
             let epoch = self.dist_epoch;
             self.dist_epoch += 1;
             self.run_phase_inner(Arc::new(DistBarrierPhase { epoch }), "dist_barrier");
+            self.reap_abort()?;
+        }
+        Ok(())
+    }
+
+    /// Converts a recorded abort into an error, resetting the pending
+    /// counter: once envelopes were lost or abandoned, its accounting is
+    /// unrecoverable and it must not poison the leak assertion.
+    fn reap_abort(&mut self) -> Result<(), JobError> {
+        match self.health.error() {
+            Some(err) => {
+                self.pending.store(0, Ordering::SeqCst);
+                Err(err)
+            }
+            None => Ok(()),
         }
     }
 
@@ -512,6 +568,7 @@ impl Cluster {
                     kind: MsgKind::Shutdown,
                     worker: 0,
                     side_id: 0,
+                    seq: 0,
                     payload: Vec::new(),
                 });
             }
@@ -524,6 +581,7 @@ impl Cluster {
                 kind: MsgKind::Shutdown,
                 worker: 0,
                 side_id: 0,
+                seq: 0,
                 payload: Vec::new(),
             });
         }
@@ -553,13 +611,102 @@ impl std::fmt::Debug for Cluster {
 
 /// Poller thread: drains the machine's outbox into the fabric ("PGX.D
 /// maintains a dedicated thread for traffic control, namely the poller
-/// thread", §3.4).
+/// thread", §3.4). With the reliability protocol disabled this is a plain
+/// drain; enabled, the poller also stamps sequence numbers, emits
+/// heartbeats, sweeps the retransmission store, and runs the watchdog.
 fn poller_loop(m: Arc<MachineState>, fabric: Arc<Fabric>) {
-    while let Ok(env) = m.outbox_rx.recv() {
-        if env.kind == MsgKind::Shutdown && env.dst == m.id {
-            break;
+    if m.reliability.enabled() {
+        reliable_poller_loop(&m, &fabric);
+    } else {
+        while let Ok(env) = m.outbox_rx.recv() {
+            if env.kind == MsgKind::Shutdown && env.dst == m.id {
+                break;
+            }
+            if let Err(err) = fabric.send(env) {
+                m.health.abort(err);
+            }
         }
-        fabric.send(env);
+    }
+}
+
+fn reliable_poller_loop(m: &MachineState, fabric: &Fabric) {
+    let tick = Duration::from_millis(m.reliability.config().tick_ms);
+    let watchdog_ms = m.reliability.config().watchdog_ms;
+    let mut last_tick = Instant::now();
+    loop {
+        match m.outbox_rx.recv_timeout(tick) {
+            Ok(mut env) => {
+                if env.kind == MsgKind::Shutdown && env.dst == m.id {
+                    return;
+                }
+                // Retransmissions re-enter through the fabric directly, so
+                // anything in the outbox with seq != 0 cannot occur; fresh
+                // reliable envelopes get their sequence number here.
+                if env.kind.is_reliable() {
+                    m.reliability.register(&mut env, Instant::now());
+                }
+                if let Err(err) = fabric.send(env) {
+                    m.health.abort(err);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        let now = Instant::now();
+        if now.duration_since(last_tick) >= tick {
+            last_tick = now;
+            poller_tick(m, fabric, watchdog_ms);
+        }
+    }
+}
+
+/// One reliability maintenance tick: heartbeats, retransmit sweep,
+/// watchdog. Skipped (and the retransmission store drained) once the
+/// cluster has aborted — the job is dead, re-driving its traffic would
+/// only churn.
+fn poller_tick(m: &MachineState, fabric: &Fabric, watchdog_ms: u64) {
+    if m.health.is_aborted() {
+        m.reliability.clear();
+        return;
+    }
+    // Heartbeats keep peers' watchdogs quiet on otherwise-idle links (and
+    // advance the fault injector's virtual clock, so held envelopes are
+    // eventually released).
+    for dst in 0..m.config.machines as MachineId {
+        if dst != m.id {
+            let _ = fabric.send(Envelope {
+                src: m.id,
+                dst,
+                kind: MsgKind::Heartbeat,
+                worker: 0,
+                side_id: 0,
+                seq: 0,
+                payload: Vec::new(),
+            });
+        }
+    }
+    match m.reliability.due_retransmits(Instant::now()) {
+        Ok(due) => {
+            if !due.is_empty() {
+                m.telemetry
+                    .trace(0, EventKind::Retransmit, due.len() as u64);
+                for env in due {
+                    if let Err(err) = fabric.send(env) {
+                        m.health.abort(err);
+                        return;
+                    }
+                }
+            }
+        }
+        Err(err) => {
+            m.health.abort(err);
+            m.reliability.clear();
+            return;
+        }
+    }
+    if let Some(peer) = m.health.stale_peer(m.id, watchdog_ms) {
+        m.health.abort(JobError::MachineDown { machine: peer });
+        m.reliability.clear();
     }
 }
 
@@ -582,6 +729,8 @@ fn worker_loop(
         m.send_pool.clone(),
         pending,
         m.telemetry.clone(),
+        m.health.clone(),
+        m.reliability.enabled(),
     );
     let tele = m.telemetry.clone();
     let mut my_epoch = 0u64;
@@ -714,6 +863,69 @@ mod tests {
         // Every worker contributed exactly +1.
         assert_eq!(c.get::<i64>(p, 0), workers_total as i64);
         assert_eq!(c.pending().load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn reliable_cluster_delivers_exactly_once() {
+        // Reliability on, no faults: sequencing/ack/dedup must be invisible.
+        let g = generate::ring(16);
+        let mut config = Config::test(3);
+        config.reliability = crate::config::ReliabilityConfig::on();
+        let mut c = Cluster::load(&g, config).unwrap();
+        let p = c.add_prop::<i64>("cnt", 0);
+        let workers_total = c.num_machines() * c.config().workers;
+        let job = JobState::new(
+            workers_total,
+            c.pending().clone(),
+            c.num_machines(),
+            c.config().workers,
+        );
+        c.try_run_phase(Arc::new(PokePhase { prop: p, job }))
+            .unwrap();
+        assert_eq!(c.get::<i64>(p, 0), workers_total as i64);
+        assert!(
+            c.total_stats().acks_sent > 0,
+            "sequenced envelopes were acknowledged"
+        );
+        assert_eq!(c.pending().load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn lossy_fabric_still_delivers_exactly_once() {
+        // 10% drop + 5% dup + 5% reorder: retransmission and dedup must
+        // reconstruct exactly-once delivery, bit-identically.
+        let g = generate::ring(16);
+        let config = Config::test(4).with_fault(crate::config::FaultPlan::lossy(42, 100, 50, 50));
+        let mut c = Cluster::load(&g, config).unwrap();
+        let p = c.add_prop::<i64>("cnt", 0);
+        let workers_total = c.num_machines() * c.config().workers;
+        for _ in 0..3 {
+            let job = JobState::new(
+                workers_total,
+                c.pending().clone(),
+                c.num_machines(),
+                c.config().workers,
+            );
+            c.try_run_phase(Arc::new(PokePhase { prop: p, job }))
+                .unwrap();
+        }
+        assert_eq!(
+            c.get::<i64>(p, 0),
+            3 * workers_total as i64,
+            "every +1 applied exactly once despite drops and dups"
+        );
+        assert_eq!(c.pending().load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn aborted_cluster_is_terminal() {
+        let mut c = ring_cluster(2);
+        c.health()
+            .abort(crate::health::JobError::MachineDown { machine: 1 });
+        let err = c.try_run_phase(Arc::new(NoopPhase)).unwrap_err();
+        assert_eq!(err, crate::health::JobError::MachineDown { machine: 1 });
+        // Still terminal on the next attempt, and shutdown joins cleanly.
+        assert!(c.try_run_phase(Arc::new(NoopPhase)).is_err());
     }
 
     #[test]

@@ -74,6 +74,171 @@ impl Default for NetConfig {
     }
 }
 
+/// Crash a machine at a deterministic point in virtual time.
+///
+/// Virtual time is the fabric's global send counter, so "after N sends"
+/// names the same instant on every run with the same seed and workload.
+/// A crash is modeled as a permanent partition: once triggered, the fabric
+/// silently swallows every envelope to or from the machine (its threads
+/// keep running — exactly what a surviving peer observes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Machine to partition away.
+    pub machine: u16,
+    /// Trigger after this many envelopes have entered the fabric.
+    pub after_sends: u64,
+}
+
+/// Slow a machine down from a chosen virtual time: every send it performs
+/// afterwards spins for `extra_ns` before hitting the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowPlan {
+    /// Machine to degrade.
+    pub machine: u16,
+    /// Trigger after this many envelopes have entered the fabric.
+    pub after_sends: u64,
+    /// Extra per-send stall, nanoseconds.
+    pub extra_ns: u64,
+}
+
+/// Deterministic fault-injection schedule applied inside `Fabric::send`.
+///
+/// Every per-envelope decision (drop / duplicate / reorder / delay) is a
+/// pure function of `seed` and the global send counter, so a given plan
+/// replays identically run after run. Rates are per-mille (‰): `10` means
+/// 1% of envelopes. Reordered envelopes are held in a limbo buffer and
+/// released after 1..=`reorder_depth` further sends; delayed envelopes use
+/// the same mechanism with the fixed horizon `delay_sends`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-envelope fault dice.
+    pub seed: u64,
+    /// Probability (‰) of silently dropping an envelope.
+    pub drop_per_mille: u16,
+    /// Probability (‰) of delivering an envelope twice.
+    pub dup_per_mille: u16,
+    /// Probability (‰) of holding an envelope back so later traffic
+    /// overtakes it.
+    pub reorder_per_mille: u16,
+    /// Maximum number of subsequent sends a reordered envelope is held for.
+    pub reorder_depth: u32,
+    /// Probability (‰) of delaying an envelope by `delay_sends` sends.
+    pub delay_per_mille: u16,
+    /// Hold horizon for delayed envelopes, in global sends.
+    pub delay_sends: u64,
+    /// Optional machine crash (permanent partition).
+    pub crash: Option<CrashPlan>,
+    /// Optional machine slowdown.
+    pub slow: Option<SlowPlan>,
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, zero overhead in the fabric.
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            reorder_depth: 4,
+            delay_per_mille: 0,
+            delay_sends: 64,
+            crash: None,
+            slow: None,
+        }
+    }
+
+    /// A message-level plan: drop / duplicate / reorder rates in ‰.
+    pub const fn lossy(seed: u64, drop: u16, dup: u16, reorder: u16) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille: drop,
+            dup_per_mille: dup,
+            reorder_per_mille: reorder,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan whose only fault is crashing `machine` after `after_sends`
+    /// envelopes.
+    pub const fn crash(machine: u16, after_sends: u64) -> Self {
+        FaultPlan {
+            crash: Some(CrashPlan {
+                machine,
+                after_sends,
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.drop_per_mille > 0
+            || self.dup_per_mille > 0
+            || self.reorder_per_mille > 0
+            || self.delay_per_mille > 0
+            || self.crash.is_some()
+            || self.slow.is_some()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Reliable-delivery protocol knobs (sequence numbers, ack/retransmit,
+/// heartbeats, crash watchdog). Off by default: the fault-free hot path
+/// pays nothing. Any active [`FaultPlan`] requires `enabled = true` —
+/// [`Config::validate`] enforces this, because the exact pending-entry
+/// termination counter deadlocks forever on a single lost envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Master switch for sequencing, acks, retransmits, heartbeats, and the
+    /// watchdog.
+    pub enabled: bool,
+    /// Poller housekeeping interval (heartbeats, retransmit sweep,
+    /// watchdog check), milliseconds.
+    pub tick_ms: u64,
+    /// Initial retransmission timeout, milliseconds; doubles per retry.
+    pub rto_base_ms: u64,
+    /// Ceiling on the backed-off retransmission timeout, milliseconds.
+    pub rto_max_ms: u64,
+    /// Retransmissions of one envelope before the destination is declared
+    /// dead.
+    pub max_retries: u32,
+    /// Silence threshold after which the watchdog declares a peer machine
+    /// crashed, milliseconds.
+    pub watchdog_ms: u64,
+}
+
+impl ReliabilityConfig {
+    pub const fn off() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            tick_ms: 5,
+            rto_base_ms: 25,
+            rto_max_ms: 200,
+            max_retries: 12,
+            watchdog_ms: 500,
+        }
+    }
+
+    pub const fn on() -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            ..ReliabilityConfig::off()
+        }
+    }
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig::off()
+    }
+}
+
 /// Telemetry switches (see [`crate::telemetry`]).
 ///
 /// The always-on [`crate::stats::MachineStats`] counters are unaffected by
@@ -145,6 +310,10 @@ pub struct Config {
     pub net: NetConfig,
     /// Histogram/tracer switches.
     pub telemetry: TelemetryConfig,
+    /// Deterministic fault-injection schedule (inert by default).
+    pub fault: FaultPlan,
+    /// Reliable-delivery protocol (off by default).
+    pub reliability: ReliabilityConfig,
 }
 
 impl Config {
@@ -166,6 +335,8 @@ impl Config {
             strict_distributed: false,
             net: NetConfig::null(),
             telemetry: TelemetryConfig::off(),
+            fault: FaultPlan::none(),
+            reliability: ReliabilityConfig::off(),
         }
     }
 
@@ -186,7 +357,19 @@ impl Config {
             strict_distributed: false,
             net: NetConfig::null(),
             telemetry: TelemetryConfig::off(),
+            fault: FaultPlan::none(),
+            reliability: ReliabilityConfig::off(),
         }
+    }
+
+    /// Installs a fault plan and switches the reliability protocol on —
+    /// the only configuration in which active faults are survivable.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        if plan.is_active() {
+            self.reliability.enabled = true;
+        }
+        self
     }
 
     /// Validates internal consistency.
@@ -214,6 +397,38 @@ impl Config {
         }
         if self.telemetry.enabled && self.telemetry.ring_capacity == 0 {
             return Err("telemetry ring_capacity must be >= 1 when enabled".into());
+        }
+        if self.fault.is_active() && !self.reliability.enabled {
+            return Err(
+                "an active FaultPlan requires reliability.enabled (lost envelopes \
+                 deadlock the termination counter otherwise)"
+                    .into(),
+            );
+        }
+        if self.fault.reorder_per_mille > 0 && self.fault.reorder_depth == 0 {
+            return Err("fault.reorder_depth must be >= 1 when reordering".into());
+        }
+        if let Some(c) = self.fault.crash {
+            if (c.machine as usize) >= self.machines {
+                return Err("fault.crash.machine out of range".into());
+            }
+        }
+        if let Some(s) = self.fault.slow {
+            if (s.machine as usize) >= self.machines {
+                return Err("fault.slow.machine out of range".into());
+            }
+        }
+        if self.reliability.enabled {
+            let r = &self.reliability;
+            if r.tick_ms == 0 || r.rto_base_ms == 0 || r.max_retries == 0 {
+                return Err("reliability tick_ms/rto_base_ms/max_retries must be >= 1".into());
+            }
+            if r.rto_max_ms < r.rto_base_ms {
+                return Err("reliability rto_max_ms must be >= rto_base_ms".into());
+            }
+            if r.watchdog_ms < 2 * r.tick_ms {
+                return Err("reliability watchdog_ms must be >= 2 * tick_ms".into());
+            }
         }
         Ok(())
     }
@@ -259,5 +474,56 @@ mod tests {
     fn net_null_detection() {
         assert!(NetConfig::null().is_null());
         assert!(!NetConfig::infiniband_like().is_null());
+    }
+
+    #[test]
+    fn active_fault_requires_reliability() {
+        let mut c = Config::test(2);
+        c.fault = FaultPlan::lossy(1, 10, 10, 0);
+        assert!(c.validate().is_err());
+        c.reliability.enabled = true;
+        assert!(c.validate().is_ok());
+        // with_fault enables reliability automatically.
+        let c = Config::test(2).with_fault(FaultPlan::crash(1, 100));
+        assert!(c.validate().is_ok());
+        assert!(c.reliability.enabled);
+    }
+
+    #[test]
+    fn fault_plan_bounds_checked() {
+        let mut c = Config::test(2).with_fault(FaultPlan::crash(5, 1));
+        assert!(c.validate().is_err());
+        c.fault.crash = None;
+        c.fault.slow = Some(SlowPlan {
+            machine: 9,
+            after_sends: 0,
+            extra_ns: 100,
+        });
+        assert!(c.validate().is_err());
+        let mut c = Config::test(2).with_fault(FaultPlan::lossy(7, 0, 0, 5));
+        c.fault.reorder_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reliability_knobs_validated() {
+        let mut c = Config::test(2);
+        c.reliability = ReliabilityConfig::on();
+        assert!(c.validate().is_ok());
+        c.reliability.rto_max_ms = 1;
+        assert!(c.validate().is_err());
+        c.reliability = ReliabilityConfig::on();
+        c.reliability.watchdog_ms = c.reliability.tick_ms;
+        assert!(c.validate().is_err());
+        c.reliability = ReliabilityConfig::on();
+        c.reliability.max_retries = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn inert_fault_plan_is_inactive() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan::lossy(3, 1, 0, 0).is_active());
+        assert!(FaultPlan::crash(0, 10).is_active());
     }
 }

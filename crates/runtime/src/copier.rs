@@ -6,13 +6,22 @@
 //! the copier creates a corresponding response message and sends it back to
 //! the originating machine. The remote method invocation (RMI) is also
 //! handled by the copier threads."
+//!
+//! When the reliability protocol is enabled the copier is also the
+//! request-lane endpoint of it: every received envelope refreshes the
+//! sender's liveness clock, sequenced requests are acknowledged and
+//! dedup-filtered before processing, and `Ack`/`Heartbeat` control
+//! messages are consumed here without touching the data path.
 
+use crate::health::JobError;
+use crate::ids::MachineId;
 use crate::machine::MachineState;
 use crate::message::{
-    mut_entry, mut_entry_count, push_resp_entry, push_rmi_resp_entry, read_entry, read_entry_count,
-    rmi_entries, Envelope, MsgKind,
+    ack_entries, mut_entry, mut_entry_count, push_ack_entry, push_resp_entry, push_rmi_resp_entry,
+    read_entry, read_entry_count, rmi_entries, Envelope, MsgKind, ACK_ENTRY_BYTES,
 };
 use crate::props::{Column, PropId};
+use crate::reliable::REQUEST_LANE;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -24,39 +33,104 @@ pub struct ColCache {
 }
 
 impl ColCache {
-    fn get(&mut self, m: &MachineState, prop: u16) -> &Arc<Column> {
+    /// Resolves a property id to its column, caching the lookup. A request
+    /// naming a dropped (or never-registered) property is a protocol
+    /// violation — the classic symptom is a duplicated request replayed
+    /// after the driver retired the property — and surfaces as a
+    /// descriptive error instead of a panic.
+    fn get(&mut self, m: &MachineState, prop: u16) -> Result<&Arc<Column>, String> {
         let idx = prop as usize;
         if self.slots.len() <= idx {
             self.slots.resize_with(idx + 1, || None);
         }
         if self.slots[idx].is_none() {
-            self.slots[idx] = Some(m.props.column(PropId(prop)));
+            match m.props.try_column(PropId(prop)) {
+                Some(col) => self.slots[idx] = Some(col),
+                None => {
+                    return Err(format!(
+                        "machine {}: request entry names property {} which is not \
+                         registered (dropped or never created) — stale or duplicated \
+                         request",
+                        m.id, prop
+                    ))
+                }
+            }
         }
-        self.slots[idx].as_ref().unwrap()
+        Ok(self.slots[idx].as_ref().unwrap())
     }
+}
+
+/// Sends a single-entry acknowledgement for `(lane, seq)` back to `dst`.
+fn send_ack(m: &MachineState, dst: MachineId, lane: u32, seq: u64) {
+    let mut payload = Vec::with_capacity(ACK_ENTRY_BYTES);
+    push_ack_entry(&mut payload, lane, seq);
+    let _ = m.outbox_tx.send(Envelope {
+        src: m.id,
+        dst,
+        kind: MsgKind::Ack,
+        worker: 0,
+        side_id: 0,
+        seq: 0,
+        payload,
+    });
+    m.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Runs one copier thread until a `Shutdown` envelope arrives.
 pub fn copier_loop(m: Arc<MachineState>) {
     let mut cache = ColCache::default();
     let tele = m.telemetry.clone();
+    let reliable = m.reliability.enabled();
     while let Ok(env) = m.copier_rx.recv() {
-        if env.kind == MsgKind::Shutdown {
-            break;
+        match env.kind {
+            MsgKind::Shutdown => break,
+            MsgKind::Ack => {
+                m.health.heard(env.src);
+                for (lane, seq) in ack_entries(&env.payload) {
+                    m.reliability.on_ack(env.src, lane, seq);
+                }
+                continue;
+            }
+            MsgKind::Heartbeat => {
+                m.health.heard(env.src);
+                continue;
+            }
+            _ => {}
         }
-        if tele.enabled() {
+        if reliable {
+            m.health.heard(env.src);
+            if env.seq != 0 {
+                // Always re-ack: the original ack may itself have been lost.
+                send_ack(&m, env.src, REQUEST_LANE, env.seq);
+                if !m.reliability.accept_request(env.src, env.seq) {
+                    m.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+        let result = if tele.enabled() {
             let t0 = tele.now_ns();
-            process_request(&m, &mut cache, env);
+            let r = process_request(&m, &mut cache, env);
             tele.record_copier_service(tele.now_ns().saturating_sub(t0));
+            r
         } else {
-            process_request(&m, &mut cache, env);
+            process_request(&m, &mut cache, env)
+        };
+        if let Err(msg) = result {
+            m.health.abort(JobError::Protocol(msg));
         }
     }
 }
 
 /// Processes a single incoming request envelope. Public so tests (and the
-/// bandwidth microbenchmarks) can drive a copier synchronously.
-pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
+/// bandwidth microbenchmarks) can drive a copier synchronously. Errors
+/// describe protocol violations (stale property ids, misrouted kinds) the
+/// caller should surface through [`crate::health::ClusterHealth::abort`].
+pub fn process_request(
+    m: &MachineState,
+    cache: &mut ColCache,
+    env: Envelope,
+) -> Result<(), String> {
     m.stats.msgs_processed.fetch_add(1, Ordering::Relaxed);
     match env.kind {
         MsgKind::ReadReq => {
@@ -64,7 +138,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
             let mut payload = m.send_pool.acquire_or_alloc();
             for i in 0..n {
                 let (prop, offset) = read_entry(&env.payload, i);
-                let col = cache.get(m, prop);
+                let col = cache.get(m, prop)?;
                 push_resp_entry(&mut payload, col.load_bits(offset as usize));
             }
             let _ = m.outbox_tx.send(Envelope {
@@ -73,6 +147,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
                 kind: MsgKind::ReadResp,
                 worker: env.worker,
                 side_id: env.side_id,
+                seq: 0,
                 payload,
             });
         }
@@ -80,7 +155,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
             let n = mut_entry_count(&env.payload);
             for i in 0..n {
                 let (prop, op, offset, bits) = mut_entry(&env.payload, i);
-                let col = cache.get(m, prop);
+                let col = cache.get(m, prop)?;
                 col.reduce_bits_atomic(offset as usize, op, bits);
             }
             m.pending.fetch_sub(n as i64, Ordering::AcqRel);
@@ -92,7 +167,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
             let base = m.graph.num_local();
             for i in 0..n {
                 let (prop, _op, ordinal, bits) = mut_entry(&env.payload, i);
-                let col = cache.get(m, prop);
+                let col = cache.get(m, prop)?;
                 col.store_bits(base + ordinal as usize, bits);
             }
             m.pending.fetch_sub(n as i64, Ordering::AcqRel);
@@ -103,7 +178,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
             let n = mut_entry_count(&env.payload);
             for i in 0..n {
                 let (prop, op, offset, bits) = mut_entry(&env.payload, i);
-                let col = cache.get(m, prop);
+                let col = cache.get(m, prop)?;
                 col.reduce_bits_atomic(offset as usize, op, bits);
             }
             m.pending.fetch_sub(n as i64, Ordering::AcqRel);
@@ -121,6 +196,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
                 kind: MsgKind::RmiResp,
                 worker: env.worker,
                 side_id: env.side_id,
+                seq: 0,
                 payload,
             });
         }
@@ -135,6 +211,7 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
                         kind: MsgKind::BarrierRelease,
                         worker: 0,
                         side_id: 0,
+                        seq: 0,
                         payload: Vec::new(),
                     });
                 }
@@ -153,10 +230,18 @@ pub fn process_request(m: &MachineState, cache: &mut ColCache, env: Envelope) {
             m.send_pool.release(env.payload);
             m.pending.fetch_sub(1, Ordering::AcqRel);
         }
-        MsgKind::ReadResp | MsgKind::RmiResp | MsgKind::Shutdown => {
-            unreachable!("response/shutdown kinds are not routed to copiers")
+        MsgKind::ReadResp
+        | MsgKind::RmiResp
+        | MsgKind::Shutdown
+        | MsgKind::Ack
+        | MsgKind::Heartbeat => {
+            return Err(format!(
+                "machine {}: {:?} envelope routed into request processing",
+                m.id, env.kind
+            ));
         }
     }
+    Ok(())
 }
 
 /// Convenience constructor for a fresh column cache (used by benches that

@@ -7,7 +7,10 @@
 //! response queue (responses) — the dispatch the paper's poller thread
 //! performs against the real NIC driver (§3.4).
 
-use crate::config::NetConfig;
+use crate::config::{FaultPlan, NetConfig};
+use crate::fault::{FaultCounters, FaultInjector};
+use crate::health::JobError;
+use crate::ids::MachineId;
 use crate::message::Envelope;
 use crate::stats::MachineStats;
 use crate::telemetry::Telemetry;
@@ -36,6 +39,8 @@ pub struct Fabric {
     /// accumulated even when the model also spins, so benches can report
     /// modeled bandwidth independent of host jitter.
     virtual_busy_ns: Vec<AtomicU64>,
+    /// Optional fault-injection schedule (chaos testing).
+    chaos: Option<FaultInjector>,
 }
 
 impl Fabric {
@@ -46,6 +51,17 @@ impl Fabric {
         telemetry: Vec<Arc<Telemetry>>,
         net: NetConfig,
     ) -> Self {
+        Fabric::with_faults(endpoints, telemetry, net, FaultPlan::none())
+    }
+
+    /// Builds a fabric with an active fault-injection plan. An inert plan
+    /// costs nothing: the chaos path is skipped entirely.
+    pub fn with_faults(
+        endpoints: Vec<MachineEndpoints>,
+        telemetry: Vec<Arc<Telemetry>>,
+        net: NetConfig,
+        plan: FaultPlan,
+    ) -> Self {
         assert_eq!(endpoints.len(), telemetry.len());
         let stats = telemetry.iter().map(|t| t.stats().clone()).collect();
         let virtual_busy_ns = (0..endpoints.len()).map(|_| AtomicU64::new(0)).collect();
@@ -55,6 +71,7 @@ impl Fabric {
             telemetry,
             net,
             virtual_busy_ns,
+            chaos: plan.is_active().then(|| FaultInjector::new(plan)),
         }
     }
 
@@ -73,8 +90,23 @@ impl Fabric {
         self.virtual_busy_ns[m].load(Ordering::Relaxed)
     }
 
-    /// Sends an envelope: account, model, route.
-    pub fn send(&self, env: Envelope) {
+    /// The machine the fault plan has crashed so far, if any.
+    pub fn crashed_machine(&self) -> Option<MachineId> {
+        self.chaos.as_ref().and_then(|c| c.crashed_machine())
+    }
+
+    /// Fault-injection totals, if a plan is active.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.chaos.as_ref().map(|c| c.counters())
+    }
+
+    /// Sends an envelope: account, model, inject faults, route.
+    ///
+    /// `Err(JobError::MachineDown)` means the destination's queues are
+    /// gone — its threads exited. Delivery of the envelope itself is still
+    /// only as reliable as the fault plan allows; `Ok` is *not* an
+    /// acknowledgement.
+    pub fn send(&self, env: Envelope) -> Result<(), JobError> {
         let src = env.src as usize;
         let dst = env.dst as usize;
         debug_assert!(dst < self.endpoints.len(), "bad destination machine");
@@ -93,13 +125,38 @@ impl Fabric {
             self.apply_net_model(src, env.wire_bytes());
         }
 
+        match &self.chaos {
+            None => self.route(env),
+            Some(inj) => {
+                let mut out = Vec::with_capacity(2);
+                inj.process(env, &mut out);
+                for e in out {
+                    self.route(e)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Hands an envelope to the destination machine's queue.
+    fn route(&self, env: Envelope) -> Result<(), JobError> {
+        let dst = env.dst as usize;
         let ep = &self.endpoints[dst];
-        if env.kind.is_response() {
+        let sent = if env.kind.is_response() {
             let w = env.worker as usize;
             debug_assert!(w < ep.worker_tx.len(), "bad worker index in response");
-            let _ = ep.worker_tx[w].send(env);
+            ep.worker_tx[w].send(env).is_ok()
         } else {
-            let _ = ep.copier_tx.send(env);
+            ep.copier_tx.send(env).is_ok()
+        };
+        if sent {
+            Ok(())
+        } else {
+            // The receiving threads dropped their queue: the machine is
+            // torn down. Surface it instead of silently losing traffic.
+            Err(JobError::MachineDown {
+                machine: dst as MachineId,
+            })
         }
     }
 
@@ -192,6 +249,7 @@ mod tests {
             kind,
             worker,
             side_id: 0,
+            seq: 0,
             payload: vec![0u8; len],
         }
     }
@@ -199,7 +257,7 @@ mod tests {
     #[test]
     fn routes_requests_to_copier() {
         let (f, rxs) = test_fabric(2, 2);
-        f.send(env(0, 1, MsgKind::Write, 0, 16));
+        f.send(env(0, 1, MsgKind::Write, 0, 16)).unwrap();
         let got = rxs[1].copier_rx.try_recv().unwrap();
         assert_eq!(got.kind, MsgKind::Write);
         assert!(rxs[1].worker_rx[0].try_recv().is_err());
@@ -208,7 +266,7 @@ mod tests {
     #[test]
     fn routes_responses_to_worker() {
         let (f, rxs) = test_fabric(2, 2);
-        f.send(env(1, 0, MsgKind::ReadResp, 1, 8));
+        f.send(env(1, 0, MsgKind::ReadResp, 1, 8)).unwrap();
         let got = rxs[0].worker_rx[1].try_recv().unwrap();
         assert_eq!(got.kind, MsgKind::ReadResp);
         assert!(rxs[0].copier_rx.try_recv().is_err());
@@ -217,8 +275,51 @@ mod tests {
     #[test]
     fn self_send_allowed() {
         let (f, rxs) = test_fabric(1, 1);
-        f.send(env(0, 0, MsgKind::BarrierArrive, 0, 0));
+        f.send(env(0, 0, MsgKind::BarrierArrive, 0, 0)).unwrap();
         assert!(rxs[0].copier_rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn torn_down_machine_surfaces_as_machine_down() {
+        let (f, mut rxs) = test_fabric(2, 1);
+        // Simulate machine 1's threads exiting: its receivers are dropped.
+        rxs.remove(1);
+        let err = f.send(env(0, 1, MsgKind::Write, 0, 8)).unwrap_err();
+        assert_eq!(err, JobError::MachineDown { machine: 1 });
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates_deterministically() {
+        let plan = FaultPlan::lossy(0xC0FFEE, 100, 100, 0);
+        let run = || {
+            let (eps, rxs) = make_endpoints(2, 1);
+            let f = Fabric::with_faults(eps, test_telemetry(2), NetConfig::null(), plan);
+            for _ in 0..500 {
+                f.send(env(0, 1, MsgKind::Write, 0, 8)).unwrap();
+            }
+            let delivered = rxs[1].copier_rx.len();
+            (delivered, f.fault_counters().unwrap())
+        };
+        let (d1, c1) = run();
+        let (d2, c2) = run();
+        assert_eq!((d1, c1), (d2, c2), "schedule replays identically");
+        assert!(c1.dropped > 0 && c1.duplicated > 0);
+        assert_eq!(d1 as u64, 500 - c1.dropped + c1.duplicated);
+    }
+
+    #[test]
+    fn crashed_machine_stops_receiving() {
+        let plan = FaultPlan::crash(1, 10);
+        let (eps, rxs) = make_endpoints(3, 1);
+        let f = Fabric::with_faults(eps, test_telemetry(3), NetConfig::null(), plan);
+        for _ in 0..50 {
+            f.send(env(0, 1, MsgKind::Write, 0, 8)).unwrap();
+        }
+        assert_eq!(f.crashed_machine(), Some(1));
+        assert_eq!(rxs[1].copier_rx.len(), 10, "only pre-crash sends landed");
+        // Uninvolved machines still reachable.
+        f.send(env(0, 2, MsgKind::Write, 0, 8)).unwrap();
+        assert_eq!(rxs[2].copier_rx.len(), 1);
     }
 
     #[test]
@@ -227,8 +328,8 @@ mod tests {
         let tele = test_telemetry(2);
         let stats: Vec<Arc<MachineStats>> = tele.iter().map(|t| t.stats().clone()).collect();
         let f = Fabric::new(eps, tele.clone(), NetConfig::null());
-        f.send(env(0, 1, MsgKind::Write, 0, 100));
-        f.send(env(0, 1, MsgKind::Write, 0, 50));
+        f.send(env(0, 1, MsgKind::Write, 0, 100)).unwrap();
+        f.send(env(0, 1, MsgKind::Write, 0, 50)).unwrap();
         let s0 = stats[0].snapshot();
         assert_eq!(s0.msgs_sent, 2);
         assert_eq!(s0.bytes_sent, 150);
@@ -249,7 +350,8 @@ mod tests {
             latency_ns: 0,
         };
         let f = Fabric::new(eps, stats, net);
-        f.send(env(0, 1, MsgKind::Write, 0, 984)); // 984 + 16 header = 1000 bytes
+        // 984 + 16 header = 1000 bytes
+        f.send(env(0, 1, MsgKind::Write, 0, 984)).unwrap();
         assert_eq!(f.virtual_busy_ns(0), 1_000 + 1_000);
         assert_eq!(f.virtual_busy_ns(1), 0);
     }

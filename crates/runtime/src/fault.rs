@@ -1,0 +1,286 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultInjector`] sits inside `Fabric::send` and perturbs delivery
+//! according to a [`FaultPlan`]: dropping, duplicating, reordering, or
+//! delaying envelopes, crashing (permanently partitioning) a machine, or
+//! slowing one down. Every decision is a pure function of the plan's seed
+//! and the fabric's global send counter — the injector's *virtual clock* —
+//! so a plan fires the same schedule of faults at the same virtual times on
+//! every run.
+//!
+//! Reordered and delayed envelopes sit in a limbo buffer keyed by a
+//! release deadline on the same counter; any later send (data, ack, or
+//! heartbeat — the poller tick guarantees a steady trickle) flushes the
+//! limbo entries that have come due, so nothing is held forever.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::config::FaultPlan;
+use crate::ids::MachineId;
+use crate::message::Envelope;
+
+/// Injection totals, for experiments and assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Envelopes silently dropped by the dice.
+    pub dropped: u64,
+    /// Dropped envelopes of reliable kinds — the ones the protocol is
+    /// obliged to repair (so `dropped_reliable > 0` implies retransmits).
+    pub dropped_reliable: u64,
+    /// Envelopes delivered twice.
+    pub duplicated: u64,
+    /// Duplicated envelopes of reliable kinds — the ones the dedup
+    /// windows must filter (so `duplicated_reliable > 0` implies
+    /// duplicate suppressions).
+    pub duplicated_reliable: u64,
+    /// Envelopes held in limbo (reordered or delayed).
+    pub held: u64,
+    /// Envelopes swallowed because an endpoint was crashed.
+    pub crash_swallowed: u64,
+}
+
+/// Seed-driven fault schedule. See the module docs.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Global send counter — the virtual clock.
+    counter: AtomicU64,
+    /// Envelopes held back, with the counter value that releases them.
+    limbo: Mutex<Vec<(u64, Envelope)>>,
+    crashed: AtomicBool,
+    dropped: AtomicU64,
+    dropped_reliable: AtomicU64,
+    duplicated: AtomicU64,
+    duplicated_reliable: AtomicU64,
+    held: AtomicU64,
+    crash_swallowed: AtomicU64,
+}
+
+/// splitmix64: independent 64-bit hash per (seed, event) pair.
+#[inline]
+fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            counter: AtomicU64::new(0),
+            limbo: Mutex::new(Vec::new()),
+            crashed: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            dropped_reliable: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            duplicated_reliable: AtomicU64::new(0),
+            held: AtomicU64::new(0),
+            crash_swallowed: AtomicU64::new(0),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The machine the plan has crashed so far, if any.
+    pub fn crashed_machine(&self) -> Option<MachineId> {
+        if self.crashed.load(Ordering::Acquire) {
+            self.plan.crash.map(|c| c.machine)
+        } else {
+            None
+        }
+    }
+
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            dropped_reliable: self.dropped_reliable.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            duplicated_reliable: self.duplicated_reliable.load(Ordering::Relaxed),
+            held: self.held.load(Ordering::Relaxed),
+            crash_swallowed: self.crash_swallowed.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn is_dead(&self, m: MachineId) -> bool {
+        self.crashed.load(Ordering::Acquire) && self.plan.crash.map(|c| c.machine) == Some(m)
+    }
+
+    /// Runs one envelope through the fault schedule. Deliverable envelopes
+    /// (possibly none, possibly several: duplicates and released limbo
+    /// traffic) are appended to `out`.
+    pub fn process(&self, env: Envelope, out: &mut Vec<Envelope>) {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(c) = self.plan.crash {
+            if n >= c.after_sends {
+                self.crashed.store(true, Ordering::Release);
+            }
+        }
+        if let Some(s) = self.plan.slow {
+            if n >= s.after_sends && env.src == s.machine && s.extra_ns > 0 {
+                let start = Instant::now();
+                while (start.elapsed().as_nanos() as u64) < s.extra_ns {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+
+        // Release limbo traffic that has come due on the virtual clock.
+        {
+            let mut limbo = self.limbo.lock().unwrap_or_else(|e| e.into_inner());
+            let mut i = 0;
+            while i < limbo.len() {
+                if limbo[i].0 <= n {
+                    let (_, e) = limbo.swap_remove(i);
+                    self.deliver(e, out);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let h = mix(self.plan.seed, n);
+        if (h % 1000) < self.plan.drop_per_mille as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if env.kind.is_reliable() {
+                self.dropped_reliable.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        if ((h >> 10) % 1000) < self.plan.dup_per_mille as u64 {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            if env.kind.is_reliable() {
+                self.duplicated_reliable.fetch_add(1, Ordering::Relaxed);
+            }
+            self.deliver(env.clone(), out);
+            self.deliver(env, out);
+            return;
+        }
+        if ((h >> 20) % 1000) < self.plan.reorder_per_mille as u64 {
+            let hold = 1 + (h >> 40) % self.plan.reorder_depth.max(1) as u64;
+            self.held.fetch_add(1, Ordering::Relaxed);
+            self.limbo
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((n + hold, env));
+            return;
+        }
+        if ((h >> 30) % 1000) < self.plan.delay_per_mille as u64 {
+            self.held.fetch_add(1, Ordering::Relaxed);
+            self.limbo
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((n + self.plan.delay_sends.max(1), env));
+            return;
+        }
+        self.deliver(env, out);
+    }
+
+    /// Final delivery gate: a crashed machine neither sends nor receives.
+    fn deliver(&self, env: Envelope, out: &mut Vec<Envelope>) {
+        if self.is_dead(env.src) || self.is_dead(env.dst) {
+            self.crash_swallowed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        out.push(env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgKind;
+
+    fn env(src: MachineId, dst: MachineId) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            kind: MsgKind::Write,
+            worker: 0,
+            side_id: 0,
+            seq: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    fn run_plan(plan: FaultPlan, sends: u64) -> (Vec<usize>, FaultCounters) {
+        let inj = FaultInjector::new(plan);
+        let mut deliveries = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..sends {
+            out.clear();
+            inj.process(env(0, 1), &mut out);
+            deliveries.push(out.len());
+        }
+        (deliveries, inj.counters())
+    }
+
+    #[test]
+    fn inert_plan_delivers_everything_once() {
+        let (d, c) = run_plan(FaultPlan::none(), 500);
+        assert!(d.iter().all(|&n| n == 1));
+        assert_eq!(c, FaultCounters::default());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = FaultPlan::lossy(42, 50, 50, 50);
+        let (a, ca) = run_plan(plan, 1000);
+        let (b, cb) = run_plan(plan, 1000);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(ca.dropped > 0 && ca.duplicated > 0 && ca.held > 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = run_plan(FaultPlan::lossy(1, 100, 0, 0), 1000);
+        let (b, _) = run_plan(FaultPlan::lossy(2, 100, 0, 0), 1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reordered_traffic_is_released_not_lost() {
+        let mut plan = FaultPlan::lossy(7, 0, 0, 200);
+        plan.reorder_depth = 4;
+        let (d, c) = run_plan(plan, 2000);
+        let delivered: usize = d.iter().sum();
+        assert!(c.held > 0);
+        // Only envelopes held within the last `reorder_depth` sends can
+        // still sit in limbo; everything else must have been released.
+        assert!(delivered >= 2000 - plan.reorder_depth as usize);
+        assert_eq!(c.dropped, 0);
+    }
+
+    #[test]
+    fn crash_partitions_both_directions() {
+        let inj = FaultInjector::new(FaultPlan::crash(1, 3));
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            out.clear();
+            inj.process(env(0, 1), &mut out);
+            if i < 3 {
+                assert_eq!(out.len(), 1, "send {i} precedes the crash");
+            } else {
+                assert!(out.is_empty(), "send {i} follows the crash");
+            }
+        }
+        // Traffic *from* the crashed machine is swallowed too.
+        out.clear();
+        inj.process(env(1, 0), &mut out);
+        assert!(out.is_empty());
+        // Unrelated pairs still communicate.
+        out.clear();
+        inj.process(env(0, 2), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(inj.crashed_machine(), Some(1));
+        assert!(inj.counters().crash_swallowed >= 8);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cluster failure detection and structured job failure.
+//!
+//! One [`ClusterHealth`] is shared by every machine of a cluster. It is the
+//! rendezvous point for the reliability layer: copiers refresh the
+//! last-heard clock for each peer as traffic (or an explicit heartbeat)
+//! arrives, the per-machine poller tick runs the watchdog over those
+//! clocks, and any component that detects an unrecoverable condition
+//! records a [`JobError`] here. Workers blocked in a drain or barrier wait
+//! poll [`ClusterHealth::is_aborted`] from their idle branches, so a single
+//! recorded error unwinds every thread of the cluster instead of leaving
+//! the exact termination counter deadlocked.
+//!
+//! The first recorded error wins; an aborted cluster is terminal — stale
+//! retransmissions and limbo envelopes may still be in flight, so no
+//! further phase is allowed to run on it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::ids::MachineId;
+
+/// Why a job failed. Returned by the fallible `run` APIs instead of
+/// hanging or panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// A machine crashed or was partitioned away: its heartbeats went
+    /// silent past the watchdog deadline, or an envelope to it exhausted
+    /// its retransmission budget, or its queues were torn down.
+    MachineDown {
+        /// The machine the failure was attributed to.
+        machine: MachineId,
+    },
+    /// The engine observed a protocol violation it could not recover from
+    /// (e.g. an envelope referencing a retired property or side slot while
+    /// the reliability protocol is off).
+    Protocol(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::MachineDown { machine } => {
+                write!(f, "machine {machine} is down (crashed or partitioned)")
+            }
+            JobError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Shared cluster liveness state. See the module docs.
+pub struct ClusterHealth {
+    aborted: AtomicBool,
+    error: Mutex<Option<JobError>>,
+    /// Per-machine last-heard timestamps, nanoseconds since `epoch`.
+    last_heard: Vec<AtomicU64>,
+    epoch: Instant,
+}
+
+impl ClusterHealth {
+    pub fn new(machines: usize) -> Self {
+        ClusterHealth {
+            aborted: AtomicBool::new(false),
+            error: Mutex::new(None),
+            last_heard: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    pub fn machines(&self) -> usize {
+        self.last_heard.len()
+    }
+
+    /// Nanoseconds since this cluster's health epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Refreshes the last-heard clock for `src`. Called by copiers on every
+    /// received envelope, so any traffic counts as liveness — heartbeats
+    /// only matter on otherwise-idle links.
+    #[inline]
+    pub fn heard(&self, src: MachineId) {
+        if let Some(c) = self.last_heard.get(src as usize) {
+            c.store(self.now_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// Records a failure and flips the cluster into the aborted state.
+    /// Only the first error is kept; returns whether this call was first.
+    pub fn abort(&self, err: JobError) -> bool {
+        let mut slot = self.error.lock().unwrap_or_else(|e| e.into_inner());
+        let first = slot.is_none();
+        if first {
+            *slot = Some(err);
+        }
+        drop(slot);
+        self.aborted.store(true, Ordering::Release);
+        first
+    }
+
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// The recorded failure, if any.
+    pub fn error(&self) -> Option<JobError> {
+        self.error.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Watchdog check run from machine `me`'s poller tick: scans peer
+    /// last-heard clocks against `deadline_ms` of silence. Returns the
+    /// machine to blame, or `None` if all peers are live. When *every*
+    /// peer has gone silent simultaneously, the caller itself is the
+    /// partitioned one, so the blame lands on `me` — this keeps the error
+    /// deterministic under a single-machine crash plan.
+    pub fn stale_peer(&self, me: MachineId, deadline_ms: u64) -> Option<MachineId> {
+        let machines = self.last_heard.len();
+        if machines <= 1 {
+            return None;
+        }
+        let now = self.now_ns();
+        let deadline_ns = deadline_ms.saturating_mul(1_000_000);
+        let mut first_stale = None;
+        let mut stale = 0usize;
+        for (p, clock) in self.last_heard.iter().enumerate() {
+            if p == me as usize {
+                continue;
+            }
+            let heard = clock.load(Ordering::Relaxed);
+            if now.saturating_sub(heard) > deadline_ns {
+                stale += 1;
+                if first_stale.is_none() {
+                    first_stale = Some(p as MachineId);
+                }
+            }
+        }
+        if stale == machines - 1 {
+            Some(me)
+        } else {
+            first_stale
+        }
+    }
+
+    /// Marks every machine as freshly heard. Called once at assembly so the
+    /// watchdog grace period starts at cluster birth, not at epoch zero.
+    pub fn reset_clocks(&self) {
+        let now = self.now_ns();
+        for c in &self.last_heard {
+            c.store(now, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_error_wins() {
+        let h = ClusterHealth::new(3);
+        assert!(!h.is_aborted());
+        assert!(h.abort(JobError::MachineDown { machine: 2 }));
+        assert!(!h.abort(JobError::Protocol("later".into())));
+        assert!(h.is_aborted());
+        assert_eq!(h.error(), Some(JobError::MachineDown { machine: 2 }));
+    }
+
+    #[test]
+    fn watchdog_blames_silent_peer() {
+        let h = ClusterHealth::new(3);
+        h.reset_clocks();
+        // Everyone fresh: no blame.
+        assert_eq!(h.stale_peer(0, 1_000), None);
+        std::thread::sleep(std::time::Duration::from_millis(8));
+        // Machines 0 and 1 keep talking; machine 2 goes silent.
+        h.heard(0);
+        h.heard(1);
+        assert_eq!(h.stale_peer(0, 5), Some(2));
+        assert_eq!(h.stale_peer(1, 5), Some(2));
+    }
+
+    #[test]
+    fn watchdog_blames_self_when_fully_partitioned() {
+        let h = ClusterHealth::new(4);
+        h.reset_clocks();
+        std::thread::sleep(std::time::Duration::from_millis(8));
+        // Machine 3 heard from nobody: it is the partitioned one.
+        h.heard(3);
+        assert_eq!(h.stale_peer(3, 5), Some(3));
+    }
+
+    #[test]
+    fn single_machine_never_trips() {
+        let h = ClusterHealth::new(1);
+        assert_eq!(h.stale_peer(0, 0), None);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = JobError::MachineDown { machine: 1 };
+        assert!(e.to_string().contains("machine 1"));
+        let e = JobError::Protocol("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -35,7 +35,9 @@ pub mod cluster;
 pub mod config;
 pub mod copier;
 pub mod fabric;
+pub mod fault;
 pub mod ghost;
+pub mod health;
 pub mod ids;
 pub mod localgraph;
 pub mod machine;
@@ -43,12 +45,17 @@ pub mod message;
 pub mod partition;
 pub mod phase;
 pub mod props;
+pub mod reliable;
 pub mod stats;
 pub mod telemetry;
 pub mod worker;
 
 pub use cluster::Cluster;
-pub use config::{ChunkingMode, Config, NetConfig, PartitioningMode, TelemetryConfig};
+pub use config::{
+    ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode, ReliabilityConfig,
+    SlowPlan, TelemetryConfig,
+};
+pub use health::{ClusterHealth, JobError};
 pub use ids::{GlobalId, MachineId};
 pub use props::{PropId, PropValue, ReduceOp};
 pub use telemetry::Telemetry;

@@ -5,11 +5,13 @@ use crate::buffer::BufferPool;
 use crate::config::Config;
 use crate::fabric::MachineReceivers;
 use crate::ghost::GhostTable;
+use crate::health::ClusterHealth;
 use crate::ids::MachineId;
 use crate::localgraph::LocalGraph;
 use crate::message::Envelope;
 use crate::partition::Partitioning;
 use crate::props::PropertyStore;
+use crate::reliable::Reliability;
 use crate::stats::MachineStats;
 use crate::telemetry::Telemetry;
 use crossbeam::channel::{Receiver, Sender};
@@ -60,6 +62,11 @@ pub struct MachineState {
     pub pending: Arc<AtomicI64>,
     /// Message-based barrier state (Figure 5b / strict-distributed mode).
     pub dist_barrier: Arc<DistBarrier>,
+    /// Cluster-shared liveness/abort state (reliability layer).
+    pub health: Arc<ClusterHealth>,
+    /// This machine's reliable-delivery state: sequence allocation,
+    /// retransmit store, request-lane dedup windows.
+    pub reliability: Arc<Reliability>,
     /// Registered remote methods, indexed by their RMI identifier.
     pub rmi: RwLock<Vec<Arc<RmiFn>>>,
 }
@@ -77,6 +84,7 @@ impl MachineState {
         outbox: (Sender<Envelope>, Receiver<Envelope>),
         pending: Arc<AtomicI64>,
         telemetry: Arc<Telemetry>,
+        health: Arc<ClusterHealth>,
     ) -> Self {
         let props = PropertyStore::new(graph.num_local(), graph.num_ghosts());
         let send_pool = Arc::new(BufferPool::new(
@@ -85,6 +93,12 @@ impl MachineState {
         ));
         let dist_barrier = Arc::new(DistBarrier::new(config.workers, config.machines));
         let stats = telemetry.stats().clone();
+        let reliability = Arc::new(Reliability::new(
+            config.machines,
+            config.workers,
+            config.reliability,
+            stats.clone(),
+        ));
         MachineState {
             id,
             config: config.clone(),
@@ -101,6 +115,8 @@ impl MachineState {
             stats,
             pending,
             dist_barrier,
+            health,
+            reliability,
             rmi: RwLock::new(Vec::new()),
         }
     }

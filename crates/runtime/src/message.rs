@@ -39,6 +39,13 @@ pub enum MsgKind {
     /// Dummy payload for bandwidth microbenchmarks (Figure 8): counted and
     /// discarded by the receiving copier.
     Ping = 10,
+    /// Cumulative/selective acknowledgement of sequenced envelopes
+    /// (reliability protocol): payload is a list of `(lane, seq)` entries.
+    /// Unsequenced itself — a lost ack only costs a spurious retransmit.
+    Ack = 11,
+    /// Liveness beacon for the crash watchdog. Unsequenced; its only effect
+    /// is refreshing the receiver's last-heard clock for the source.
+    Heartbeat = 12,
 }
 
 impl MsgKind {
@@ -56,6 +63,8 @@ impl MsgKind {
             8 => MsgKind::BarrierRelease,
             9 => MsgKind::Shutdown,
             10 => MsgKind::Ping,
+            11 => MsgKind::Ack,
+            12 => MsgKind::Heartbeat,
             _ => return None,
         })
     }
@@ -79,6 +88,14 @@ impl MsgKind {
     pub fn is_response(self) -> bool {
         matches!(self, MsgKind::ReadResp | MsgKind::RmiResp)
     }
+
+    /// True for kinds covered by the reliability protocol (sequenced,
+    /// acknowledged, retransmitted). Control traffic — `Shutdown`, `Ack`,
+    /// `Heartbeat` — rides outside it: acks acknowledge, they are not
+    /// themselves acknowledged, and heartbeats are periodic by nature.
+    pub fn is_reliable(self) -> bool {
+        !matches!(self, MsgKind::Shutdown | MsgKind::Ack | MsgKind::Heartbeat)
+    }
 }
 
 /// Fixed-size envelope header accounted as wire overhead (the real system
@@ -86,7 +103,7 @@ impl MsgKind {
 pub const HEADER_BYTES: u64 = 16;
 
 /// A message in flight between two machines.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Envelope {
     /// Sending machine.
     pub src: MachineId,
@@ -100,6 +117,11 @@ pub struct Envelope {
     /// Identifier of the side structure holding the continuation records
     /// for this message's requests (echoed verbatim into the response).
     pub side_id: u32,
+    /// Per-(destination, lane) sequence number assigned by the sending
+    /// machine's poller when the reliability protocol is on. `0` means
+    /// unsequenced (protocol off, or control traffic); real numbering
+    /// starts at 1.
+    pub seq: u64,
     /// Entry bytes.
     pub payload: Vec<u8>,
 }
@@ -199,6 +221,25 @@ pub fn resp_entry(payload: &[u8], i: usize) -> u64 {
     u64::from_le_bytes(payload[o..o + 8].try_into().unwrap())
 }
 
+/// Acknowledgement entry: 12 bytes `{lane:u32, seq:u64}`.
+pub const ACK_ENTRY_BYTES: usize = 12;
+
+/// Appends an ack entry.
+#[inline]
+pub fn push_ack_entry(buf: &mut Vec<u8>, lane: u32, seq: u64) {
+    buf.extend_from_slice(&lane.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+}
+
+/// Iterates ack entries as `(lane, seq)`.
+pub fn ack_entries(payload: &[u8]) -> impl Iterator<Item = (u32, u64)> + '_ {
+    payload.chunks_exact(ACK_ENTRY_BYTES).map(|c| {
+        let lane = u32::from_le_bytes(c[0..4].try_into().unwrap());
+        let seq = u64::from_le_bytes(c[4..12].try_into().unwrap());
+        (lane, seq)
+    })
+}
+
 /// Appends an RMI entry `{fn_id:u16, len:u16, args:[u8; len]}`.
 #[inline]
 pub fn push_rmi_entry(buf: &mut Vec<u8>, fn_id: u16, args: &[u8]) {
@@ -251,7 +292,7 @@ mod tests {
 
     #[test]
     fn kind_roundtrip() {
-        for v in 0..11u8 {
+        for v in 0..13u8 {
             let k = MsgKind::from_u8(v).unwrap();
             assert_eq!(k as u8, v);
         }
@@ -267,6 +308,25 @@ mod tests {
         assert!(!MsgKind::ReadResp.is_request());
         assert!(!MsgKind::Shutdown.is_request());
         assert!(!MsgKind::Shutdown.is_response());
+        // Reliability coverage: data kinds are sequenced, control is not.
+        assert!(MsgKind::ReadReq.is_reliable());
+        assert!(MsgKind::ReadResp.is_reliable());
+        assert!(MsgKind::BarrierArrive.is_reliable());
+        assert!(!MsgKind::Ack.is_reliable());
+        assert!(!MsgKind::Heartbeat.is_reliable());
+        assert!(!MsgKind::Shutdown.is_reliable());
+        assert!(!MsgKind::Ack.is_response());
+        assert!(!MsgKind::Heartbeat.is_response());
+    }
+
+    #[test]
+    fn ack_entry_roundtrip() {
+        let mut buf = Vec::new();
+        push_ack_entry(&mut buf, 0, 1);
+        push_ack_entry(&mut buf, 3, u64::MAX);
+        assert_eq!(buf.len(), 2 * ACK_ENTRY_BYTES);
+        let got: Vec<(u32, u64)> = ack_entries(&buf).collect();
+        assert_eq!(got, vec![(0, 1), (3, u64::MAX)]);
     }
 
     #[test]
@@ -331,6 +391,7 @@ mod tests {
             kind: MsgKind::Write,
             worker: 0,
             side_id: 0,
+            seq: 0,
             payload: vec![0u8; 32],
         };
         assert_eq!(e.wire_bytes(), 48);

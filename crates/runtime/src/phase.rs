@@ -135,6 +135,13 @@ where
         if job.is_complete() {
             return;
         }
+        if env.machine.health.is_aborted() {
+            // The exact termination counter can never reach zero once
+            // envelopes were lost: fail the in-flight continuations and
+            // fall through to the phase barrier so every thread joins.
+            env.comm.abort_in_flight();
+            return;
+        }
         std::thread::yield_now();
     }
 }
@@ -323,10 +330,11 @@ impl Phase for DistBarrierPhase {
                 kind: MsgKind::BarrierArrive,
                 worker: 0,
                 side_id: 0,
+                seq: 0,
                 payload: Vec::new(),
             });
         }
-        m.dist_barrier.wait_release(self.epoch);
+        m.dist_barrier.wait_release_or_abort(self.epoch, &m.health);
     }
 }
 

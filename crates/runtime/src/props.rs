@@ -417,6 +417,18 @@ impl PropertyStore {
         self.entry(id).column.clone()
     }
 
+    /// Looks up a property's column, returning `None` when the id was
+    /// never registered or the property has been dropped. Copiers use this
+    /// so a stale or duplicated request surfaces as a structured error
+    /// instead of a panic.
+    pub fn try_column(&self, id: PropId) -> Option<Arc<Column>> {
+        self.entries
+            .read()
+            .get(id.0 as usize)?
+            .as_ref()
+            .map(|e| e.column.clone())
+    }
+
     /// Looks up a property's full entry.
     pub fn entry(&self, id: PropId) -> Arc<PropEntry> {
         self.entries.read()[id.0 as usize]

@@ -38,6 +38,16 @@ pub struct MachineStats {
     pub local_reads: AtomicU64,
     /// Writes applied locally without any message.
     pub local_writes: AtomicU64,
+    /// Envelopes retransmitted after an acknowledgement timeout
+    /// (reliability protocol).
+    pub retransmits: AtomicU64,
+    /// Duplicate envelopes suppressed by receive-side sequence windows.
+    pub dup_suppressed: AtomicU64,
+    /// Acknowledgement envelopes sent.
+    pub acks_sent: AtomicU64,
+    /// Buffered/in-flight entries failed by an abort sweep instead of being
+    /// completed (their `read_done` continuations never ran).
+    pub failed_entries: AtomicU64,
 }
 
 /// A point-in-time copy of [`MachineStats`], subtractable.
@@ -54,6 +64,10 @@ pub struct StatsSnapshot {
     pub pool_exhausted: u64,
     pub local_reads: u64,
     pub local_writes: u64,
+    pub retransmits: u64,
+    pub dup_suppressed: u64,
+    pub acks_sent: u64,
+    pub failed_entries: u64,
 }
 
 impl MachineStats {
@@ -71,6 +85,10 @@ impl MachineStats {
             pool_exhausted: self.pool_exhausted.load(Ordering::Relaxed),
             local_reads: self.local_reads.load(Ordering::Relaxed),
             local_writes: self.local_writes.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            failed_entries: self.failed_entries.load(Ordering::Relaxed),
         }
     }
 }
@@ -90,6 +108,10 @@ impl std::ops::Sub for StatsSnapshot {
             pool_exhausted: self.pool_exhausted - rhs.pool_exhausted,
             local_reads: self.local_reads - rhs.local_reads,
             local_writes: self.local_writes - rhs.local_writes,
+            retransmits: self.retransmits - rhs.retransmits,
+            dup_suppressed: self.dup_suppressed - rhs.dup_suppressed,
+            acks_sent: self.acks_sent - rhs.acks_sent,
+            failed_entries: self.failed_entries - rhs.failed_entries,
         }
     }
 }
@@ -109,6 +131,10 @@ impl std::ops::Add for StatsSnapshot {
             pool_exhausted: self.pool_exhausted + rhs.pool_exhausted,
             local_reads: self.local_reads + rhs.local_reads,
             local_writes: self.local_writes + rhs.local_writes,
+            retransmits: self.retransmits + rhs.retransmits,
+            dup_suppressed: self.dup_suppressed + rhs.dup_suppressed,
+            acks_sent: self.acks_sent + rhs.acks_sent,
+            failed_entries: self.failed_entries + rhs.failed_entries,
         }
     }
 }

@@ -442,6 +442,10 @@ pub fn stats_json(s: &StatsSnapshot) -> Value {
         ("pool_exhausted", s.pool_exhausted.into()),
         ("local_reads", s.local_reads.into()),
         ("local_writes", s.local_writes.into()),
+        ("retransmits", s.retransmits.into()),
+        ("dup_suppressed", s.dup_suppressed.into()),
+        ("acks_sent", s.acks_sent.into()),
+        ("failed_entries", s.failed_entries.into()),
     ])
 }
 
@@ -657,6 +661,12 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                         fields.push(("ph", "i".into()));
                         fields.push(("s", "t".into()));
                     }
+                    EventKind::Retransmit | EventKind::DupDrop | EventKind::AbortSweep => {
+                        fields.push(("name", e.kind.name().into()));
+                        fields.push(("cat", "reliability".into()));
+                        fields.push(("ph", "i".into()));
+                        fields.push(("s", "t".into()));
+                    }
                 }
                 fields.push(("pid", pid.into()));
                 fields.push(("tid", w.into()));
@@ -665,6 +675,8 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                     EventKind::BufferFlush => Some("bytes"),
                     EventKind::PoolStall => Some("events"),
                     EventKind::GhostPush | EventKind::GhostReduce => Some("nodes"),
+                    EventKind::Retransmit | EventKind::AbortSweep => Some("count"),
+                    EventKind::DupDrop => Some("seq"),
                     _ => Some("epoch"),
                 };
                 if let Some(k) = arg_key {

@@ -36,6 +36,13 @@ pub enum EventKind {
     GhostPush = 6,
     /// A worker began pushing ghost reduction partials. `arg` = nodes in its share.
     GhostReduce = 7,
+    /// The poller retransmitted unacknowledged envelopes. `arg` = count.
+    Retransmit = 8,
+    /// A duplicate envelope was suppressed. `arg` = its sequence number.
+    DupDrop = 9,
+    /// A worker failed its in-flight continuations after a cluster abort.
+    /// `arg` = entries failed.
+    AbortSweep = 10,
 }
 
 impl EventKind {
@@ -49,6 +56,9 @@ impl EventKind {
             EventKind::PoolStall => "pool_stall",
             EventKind::GhostPush => "ghost_push",
             EventKind::GhostReduce => "ghost_reduce",
+            EventKind::Retransmit => "retransmit",
+            EventKind::DupDrop => "dup_drop",
+            EventKind::AbortSweep => "abort_sweep",
         }
     }
 
@@ -62,6 +72,9 @@ impl EventKind {
             5 => EventKind::PoolStall,
             6 => EventKind::GhostPush,
             7 => EventKind::GhostReduce,
+            8 => EventKind::Retransmit,
+            9 => EventKind::DupDrop,
+            10 => EventKind::AbortSweep,
             _ => return None,
         })
     }

@@ -16,12 +16,14 @@
 //! * the worker's response receive queue.
 
 use crate::buffer::BufferPool;
+use crate::health::{ClusterHealth, JobError};
 use crate::ids::MachineId;
 use crate::message::{
-    push_mut_entry, push_read_entry, push_rmi_entry, Envelope, MsgKind, MUT_ENTRY_BYTES,
-    READ_ENTRY_BYTES,
+    mut_entry_count, push_ack_entry, push_mut_entry, push_read_entry, push_rmi_entry, Envelope,
+    MsgKind, ACK_ENTRY_BYTES, MUT_ENTRY_BYTES, READ_ENTRY_BYTES,
 };
 use crate::props::{PropId, ReduceOp};
+use crate::reliable::DedupWindow;
 use crate::stats::MachineStats;
 use crate::telemetry::{EventKind, Telemetry};
 use crossbeam::channel::{Receiver, Sender};
@@ -63,12 +65,25 @@ impl SideSlab {
         }
     }
 
-    fn take(&mut self, id: u32) -> Vec<SideRec> {
-        let recs = self.slots[id as usize]
-            .take()
-            .expect("response for unknown side structure");
+    /// Retires slot `id`, returning its records — or `None` when the slot
+    /// is not in flight (out-of-range, never issued, or already consumed
+    /// by an earlier response: the duplicated-response symptom).
+    fn take(&mut self, id: u32) -> Option<Vec<SideRec>> {
+        let recs = self.slots.get_mut(id as usize)?.take()?;
         self.free.push(id);
-        recs
+        Some(recs)
+    }
+
+    /// Abandons every in-flight slot, returning the total record count.
+    fn abandon(&mut self) -> usize {
+        let mut n = 0;
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(recs) = slot.take() {
+                n += recs.len();
+                self.free.push(id as u32);
+            }
+        }
+        n
     }
 
     fn in_flight(&self) -> usize {
@@ -102,6 +117,13 @@ pub struct WorkerComm {
     pending: Arc<AtomicI64>,
     telemetry: Arc<Telemetry>,
     stats: Arc<MachineStats>,
+    health: Arc<ClusterHealth>,
+    /// Whether the reliability protocol is on: responses are then acked
+    /// and dedup-filtered before their continuations run.
+    reliable: bool,
+    /// Response-lane duplicate-suppression windows, one per source
+    /// machine. Worker-owned, hence lock-free.
+    resp_dedup: Vec<DedupWindow>,
     /// Send timestamps per `side_id` (ns since the telemetry epoch) for
     /// remote-read round-trip measurement. Only written when telemetry is
     /// enabled.
@@ -131,6 +153,8 @@ impl WorkerComm {
         pool: Arc<BufferPool>,
         pending: Arc<AtomicI64>,
         telemetry: Arc<Telemetry>,
+        health: Arc<ClusterHealth>,
+        reliable: bool,
     ) -> Self {
         let stats = telemetry.stats().clone();
         WorkerComm {
@@ -148,6 +172,9 @@ impl WorkerComm {
             pending,
             telemetry,
             stats,
+            health,
+            reliable,
+            resp_dedup: (0..num_machines).map(|_| DedupWindow::default()).collect(),
             sent_at: Vec::new(),
             last_exhausted: 0,
             rec_pool: Vec::new(),
@@ -281,6 +308,7 @@ impl WorkerComm {
                 kind: MsgKind::ReadReq,
                 worker: self.worker,
                 side_id,
+                seq: 0,
                 payload,
             });
         }
@@ -295,6 +323,7 @@ impl WorkerComm {
                 kind: self.mut_kind,
                 worker: self.worker,
                 side_id: 0,
+                seq: 0,
                 payload,
             });
         }
@@ -310,6 +339,7 @@ impl WorkerComm {
                 kind: MsgKind::Rmi,
                 worker: self.worker,
                 side_id,
+                seq: 0,
                 payload,
             });
         }
@@ -365,20 +395,61 @@ impl WorkerComm {
         }
     }
 
+    /// Acknowledges a sequenced response envelope on this worker's lane.
+    fn send_ack(&self, peer: MachineId, seq: u64) {
+        let mut payload = Vec::with_capacity(ACK_ENTRY_BYTES);
+        push_ack_entry(&mut payload, 1 + self.worker as u32, seq);
+        let _ = self.outbox.send(Envelope {
+            src: self.machine,
+            dst: peer,
+            kind: MsgKind::Ack,
+            worker: 0,
+            side_id: 0,
+            seq: 0,
+            payload,
+        });
+        self.stats.acks_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Pops one response if available, pairing it with its side structure.
+    /// Under the reliability protocol, sequenced responses are acked and
+    /// duplicates suppressed here; a response whose side structure is not
+    /// in flight (a duplicate that slipped in unsequenced) aborts the
+    /// cluster with a descriptive protocol error rather than panicking.
     pub fn try_pop_response(&mut self) -> Option<Response> {
-        let env = self.resp_rx.try_recv().ok()?;
-        debug_assert!(env.kind.is_response());
-        if self.telemetry.enabled() {
-            if let Some(&sent) = self.sent_at.get(env.side_id as usize) {
-                if sent > 0 {
+        loop {
+            let env = self.resp_rx.try_recv().ok()?;
+            debug_assert!(env.kind.is_response());
+            if self.reliable && env.seq != 0 {
+                // Always re-ack: the original ack may itself have been lost.
+                self.send_ack(env.src, env.seq);
+                if !self.resp_dedup[env.src as usize].accept(env.seq) {
+                    self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
                     self.telemetry
-                        .record_read_rtt(self.telemetry.now_ns().saturating_sub(sent));
+                        .trace(self.worker as usize, EventKind::DupDrop, env.seq);
+                    self.pool.release(env.payload);
+                    continue;
                 }
             }
+            if self.telemetry.enabled() {
+                if let Some(&sent) = self.sent_at.get(env.side_id as usize) {
+                    if sent > 0 {
+                        self.telemetry
+                            .record_read_rtt(self.telemetry.now_ns().saturating_sub(sent));
+                    }
+                }
+            }
+            let Some(recs) = self.slab.take(env.side_id) else {
+                self.health.abort(JobError::Protocol(format!(
+                    "machine {} worker {}: {:?} response names side structure {} which is \
+                     not in flight (duplicated or stale response)",
+                    self.machine, self.worker, env.kind, env.side_id
+                )));
+                self.pool.release(env.payload);
+                return None;
+            };
+            return Some(Response { env, recs });
         }
-        let recs = self.slab.take(env.side_id);
-        Some(Response { env, recs })
     }
 
     /// Returns a processed response's resources to the pools and retires
@@ -391,6 +462,46 @@ impl WorkerComm {
         recs.clear();
         self.rec_pool.push(recs);
         self.pool.release(resp.env.payload);
+    }
+
+    /// Abandons all in-flight communication after a cluster abort: unsealed
+    /// request buffers are returned to the pool, outstanding side
+    /// structures are dropped, and queued responses are drained. The
+    /// cluster-global `pending` counter is deliberately left untouched —
+    /// its accounting is unrecoverable once envelopes were lost, so the
+    /// driver resets it when it reaps the abort.
+    pub fn abort_in_flight(&mut self) {
+        let mut failed = 0u64;
+        for slot in self.read_payloads.iter_mut() {
+            if let Some((buf, recs)) = slot.take() {
+                failed += recs.len() as u64;
+                self.pool.release(buf);
+            }
+        }
+        for slot in self.mut_payloads.iter_mut() {
+            if let Some(buf) = slot.take() {
+                failed += mut_entry_count(&buf) as u64;
+                self.pool.release(buf);
+            }
+        }
+        for slot in self.rmi_payloads.iter_mut() {
+            if let Some((buf, recs)) = slot.take() {
+                failed += recs.len() as u64;
+                self.pool.release(buf);
+            }
+        }
+        failed += self.slab.abandon() as u64;
+        while let Ok(env) = self.resp_rx.try_recv() {
+            self.pool.release(env.payload);
+        }
+        if failed > 0 {
+            self.stats
+                .failed_entries
+                .fetch_add(failed, Ordering::Relaxed);
+            self.telemetry
+                .trace(self.worker as usize, EventKind::AbortSweep, failed);
+        }
+        self.publish_stats();
     }
 
     /// Number of side structures awaiting responses.
@@ -434,6 +545,8 @@ mod tests {
             Arc::new(BufferPool::new(8, buffer_bytes)),
             Arc::new(AtomicI64::new(0)),
             Telemetry::detached(2, true),
+            Arc::new(ClusterHealth::new(2)),
+            false,
         );
         (comm, out_rx, resp_tx)
     }
@@ -483,6 +596,7 @@ mod tests {
                 kind: MsgKind::ReadResp,
                 worker: req.worker,
                 side_id: req.side_id,
+                seq: 0,
                 payload,
             })
             .unwrap();
@@ -535,6 +649,7 @@ mod tests {
                 kind: MsgKind::RmiResp,
                 worker: req.worker,
                 side_id: req.side_id,
+                seq: 0,
                 payload,
             })
             .unwrap();
@@ -569,11 +684,116 @@ mod tests {
                     kind: MsgKind::ReadResp,
                     worker: 0,
                     side_id: req.side_id,
+                    seq: 0,
                     payload,
                 })
                 .unwrap();
             let r = comm.try_pop_response().unwrap();
             comm.finish_response(r);
         }
+    }
+
+    fn make_reliable_comm(
+        buffer_bytes: usize,
+    ) -> (
+        WorkerComm,
+        Receiver<Envelope>,
+        Sender<Envelope>,
+        Arc<ClusterHealth>,
+    ) {
+        let (out_tx, out_rx) = unbounded();
+        let (resp_tx, resp_rx) = unbounded();
+        let health = Arc::new(ClusterHealth::new(2));
+        let comm = WorkerComm::new(
+            0,
+            0,
+            2,
+            buffer_bytes,
+            resp_rx,
+            out_tx,
+            Arc::new(BufferPool::new(8, buffer_bytes)),
+            Arc::new(AtomicI64::new(0)),
+            Telemetry::detached(2, true),
+            health.clone(),
+            true,
+        );
+        (comm, out_rx, resp_tx, health)
+    }
+
+    #[test]
+    fn duplicate_response_suppressed_and_acked() {
+        let (mut comm, out, resp_tx, health) = make_reliable_comm(1024);
+        comm.push_read(1, PropId(0), 3, SideRec { node: 1, aux: 0 });
+        comm.flush();
+        let req = out.try_recv().unwrap();
+        let mut payload = Vec::new();
+        crate::message::push_resp_entry(&mut payload, 7);
+        let resp = Envelope {
+            src: 1,
+            dst: 0,
+            kind: MsgKind::ReadResp,
+            worker: req.worker,
+            side_id: req.side_id,
+            seq: 9,
+            payload,
+        };
+        resp_tx.send(resp.clone()).unwrap();
+        resp_tx.send(resp).unwrap(); // the wire duplicated it
+        let r = comm.try_pop_response().expect("first delivery accepted");
+        comm.finish_response(r);
+        assert!(
+            comm.try_pop_response().is_none(),
+            "replay suppressed without touching the slab"
+        );
+        assert!(!health.is_aborted(), "a suppressed dup is not an error");
+        assert_eq!(comm.stats().dup_suppressed.load(Ordering::Relaxed), 1);
+        // Both deliveries were acked (the first ack may have been lost).
+        let acks: Vec<_> = out.try_iter().filter(|e| e.kind == MsgKind::Ack).collect();
+        assert_eq!(acks.len(), 2);
+        let (lane, seq) = crate::message::ack_entries(&acks[0].payload)
+            .next()
+            .unwrap();
+        assert_eq!((lane, seq), (1, 9), "worker 0 acks on lane 1");
+    }
+
+    #[test]
+    fn unknown_side_structure_aborts_instead_of_panicking() {
+        let (mut comm, _out, resp_tx, health) = make_reliable_comm(1024);
+        resp_tx
+            .send(Envelope {
+                src: 1,
+                dst: 0,
+                kind: MsgKind::ReadResp,
+                worker: 0,
+                side_id: 42,
+                seq: 0,
+                payload: Vec::new(),
+            })
+            .unwrap();
+        assert!(comm.try_pop_response().is_none());
+        assert!(health.is_aborted());
+        match health.error() {
+            Some(JobError::Protocol(msg)) => {
+                assert!(msg.contains("side structure 42"), "got: {msg}")
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_sweep_releases_in_flight_state() {
+        let (mut comm, out, _resp, _health) = make_reliable_comm(1024);
+        // One unsealed read buffer + one sealed (slab-held) request.
+        comm.push_read(1, PropId(0), 0, SideRec { node: 0, aux: 0 });
+        comm.flush();
+        let _ = out.try_recv().unwrap();
+        comm.push_read(1, PropId(0), 1, SideRec { node: 1, aux: 0 });
+        comm.push_mut(1, PropId(0), ReduceOp::Sum, 2, 5);
+        assert_eq!(comm.in_flight_sides(), 1);
+        assert!(!comm.is_flushed());
+        comm.abort_in_flight();
+        assert!(comm.is_flushed(), "unsealed buffers were abandoned");
+        assert_eq!(comm.in_flight_sides(), 0, "side slab was abandoned");
+        assert_eq!(comm.stats().failed_entries.load(Ordering::Relaxed), 3);
     }
 }

@@ -5,6 +5,7 @@
 
 use crossbeam::channel::unbounded;
 use pgxd_runtime::buffer::BufferPool;
+use pgxd_runtime::health::ClusterHealth;
 use pgxd_runtime::message::{self, Envelope, MsgKind};
 use pgxd_runtime::props::{PropId, ReduceOp};
 use pgxd_runtime::telemetry::Telemetry;
@@ -60,6 +61,7 @@ fn answer_all(
                         kind: MsgKind::ReadResp,
                         worker: env.worker,
                         side_id: env.side_id,
+                        seq: 0,
                         payload,
                     })
                     .unwrap();
@@ -94,6 +96,8 @@ proptest! {
             Arc::new(BufferPool::new(4, buffer_bytes)),
             pending.clone(),
             Telemetry::detached(3, true),
+            Arc::new(ClusterHealth::new(3)),
+            false,
         );
 
         let mut issued_reads = 0usize;
@@ -156,6 +160,8 @@ proptest! {
             Arc::new(BufferPool::new(4, buffer_bytes)),
             pending.clone(),
             Telemetry::detached(2, false),
+            Arc::new(ClusterHealth::new(2)),
+            false,
         );
         for (i, &off) in offsets.iter().enumerate() {
             comm.push_read(1, PropId(0), off, SideRec { node: 0, aux: i as u64 });

@@ -16,4 +16,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== chaos-quick smoke (fixed-seed fault plans) =="
+# Sweeps fault-free / lossy / crash plans and asserts the reliability
+# contract internally (exactly-once results, clean MachineDown abort).
+cargo run --release -p pgxd-bench --bin repro -- chaos
+
 echo "tier-1: all checks passed"

@@ -64,6 +64,16 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 #[derive(Default)]
 pub struct Condvar(sync::Condvar);
 
@@ -83,6 +93,22 @@ impl Condvar {
         let inner = guard.0.take().expect("guard already waiting");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
+    }
+
+    /// parking_lot-style timed wait: re-acquires into the same guard slot
+    /// and reports whether the wait hit the timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already waiting");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
     }
 
     pub fn notify_one(&self) -> bool {
@@ -180,6 +206,18 @@ mod tests {
         }
         drop(g);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        // The guard is usable again after the timed wait.
+        *g += 1;
+        assert_eq!(*g, 1);
     }
 
     #[test]

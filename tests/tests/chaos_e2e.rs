@@ -1,0 +1,150 @@
+//! Chaos acceptance tests: the reliability protocol under deterministic
+//! fault injection.
+//!
+//! * Property: any plan of drops/duplicates/reorders (crash disabled)
+//!   yields **bit-identical** results to a fault-free run. Hop-distance is
+//!   the probe kernel — its `i64` `Min`-reductions are order-independent,
+//!   so exactly-once delivery implies exact equality (no f64 slack).
+//! * Integration: crashing one machine of four mid-job surfaces
+//!   `Err(JobError::MachineDown)` in bounded time, every thread joins at
+//!   teardown, and the cluster stays cleanly dead afterwards.
+
+use pgxd::{Engine, FaultPlan, JobError};
+use pgxd_algorithms::{hopdist, try_pagerank_pull};
+use pgxd_graph::generate;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+const MACHINES: usize = 4;
+
+fn engine_with(plan: FaultPlan, g: &pgxd_graph::Graph) -> Engine {
+    Engine::builder()
+        .machines(MACHINES)
+        .workers(2)
+        .fault(plan)
+        .reliability(true)
+        .build(g)
+        .expect("engine")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exactly-once delivery: results never depend on the fault schedule.
+    #[test]
+    fn lossy_plans_preserve_results_bit_for_bit(
+        seed in any::<u64>(),
+        drop in 0u16..80,
+        dup in 0u16..80,
+        reorder in 0u16..80,
+    ) {
+        let g = generate::rmat(7, 6, generate::RmatParams::skewed(), 77);
+
+        let mut clean = engine_with(FaultPlan::none(), &g);
+        let baseline = hopdist(&mut clean, 0);
+
+        let plan = FaultPlan::lossy(seed, drop, dup, reorder);
+        let mut chaotic = engine_with(plan, &g);
+        let r = hopdist(&mut chaotic, 0);
+
+        // i64 Min-reduction: equality is exact, not approximate.
+        prop_assert_eq!(&baseline.hops, &r.hops);
+        prop_assert_eq!(baseline.iterations, r.iterations);
+
+        // Every dropped *reliable* envelope must have been repaired by a
+        // retransmit (dropped heartbeats/acks don't oblige one).
+        let injected = chaotic.cluster().fabric().fault_counters().unwrap_or_default();
+        let stats = chaotic.cluster().total_stats();
+        if injected.dropped_reliable > 0 {
+            prop_assert!(
+                stats.retransmits > 0,
+                "{} reliable drops injected but nothing was retransmitted",
+                injected.dropped_reliable
+            );
+        }
+    }
+}
+
+/// Kill one machine of four mid-iteration: the run must fail — not hang —
+/// with a structured `MachineDown`, within the watchdog deadline, and the
+/// engine must still tear down (joining all threads) afterwards.
+#[test]
+fn machine_crash_fails_cleanly_without_hanging() {
+    // The scenario runs on a helper thread so a protocol bug that hangs
+    // the cluster fails this test instead of wedging the whole suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 78);
+        let mut engine = engine_with(FaultPlan::crash(2, 1_000), &g);
+
+        let t0 = Instant::now();
+        let first = try_pagerank_pull(&mut engine, 0.85, 50, 0.0);
+        let elapsed = t0.elapsed();
+
+        // A second job on the dead cluster must fail fast with the same
+        // error, not attempt to run.
+        let t1 = Instant::now();
+        let second = try_pagerank_pull(&mut engine, 0.85, 50, 0.0);
+        let fast = t1.elapsed();
+
+        drop(engine); // joins every worker/copier/poller thread
+        let _ = tx.send((first, elapsed, second, fast));
+    });
+
+    let (first, elapsed, second, fast) = rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("crash scenario hung: threads never joined");
+
+    match first {
+        Err(JobError::MachineDown { machine }) => {
+            assert_eq!(machine, 2, "blame must land on the crashed machine")
+        }
+        other => panic!("expected MachineDown, got {other:?}"),
+    }
+    // Watchdog deadline is 500ms; allow generous slack for a loaded CI
+    // host, but far below "hung".
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "abort took {elapsed:?} — watchdog missed"
+    );
+    assert!(
+        matches!(second, Err(JobError::MachineDown { .. })),
+        "aborted cluster must stay dead, got {second:?}"
+    );
+    assert!(
+        fast < Duration::from_secs(5),
+        "post-abort job should fail immediately, took {fast:?}"
+    );
+}
+
+/// The lossy sweep at a fixed, aggressive rate — an anchor alongside the
+/// randomized property. 15% drop / 10% dup over the job's hundreds of
+/// reliable envelopes makes zero injected faults astronomically unlikely,
+/// so the telemetry assertions can be unconditional.
+#[test]
+fn aggressive_fixed_plan_is_exactly_once() {
+    let g = generate::rmat(7, 6, generate::RmatParams::skewed(), 79);
+    let mut clean = engine_with(FaultPlan::none(), &g);
+    let baseline = hopdist(&mut clean, 0);
+
+    let mut chaotic = engine_with(FaultPlan::lossy(0xDEAD_BEEF, 150, 100, 50), &g);
+    let r = hopdist(&mut chaotic, 0);
+    assert_eq!(baseline.hops, r.hops);
+
+    let injected = chaotic
+        .cluster()
+        .fabric()
+        .fault_counters()
+        .unwrap_or_default();
+    assert!(injected.dropped_reliable > 0, "plan injected no data drops");
+    assert!(
+        injected.duplicated_reliable > 0,
+        "plan injected no data dups"
+    );
+    let stats = chaotic.cluster().total_stats();
+    assert!(stats.retransmits > 0, "15% drops must force retransmits");
+    assert!(
+        stats.dup_suppressed > 0,
+        "10% dups must trip the dedup windows"
+    );
+}
