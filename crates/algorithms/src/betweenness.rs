@@ -7,7 +7,8 @@
 //! §4.1).
 
 use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReadDoneCtx, ReduceOp,
+    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeId, NodeTask, Prop,
+    ReadDoneCtx, ReduceOp,
 };
 
 /// Result of betweenness centrality.
@@ -152,7 +153,19 @@ impl NodeTask for ResetSource {
 /// Computes (unnormalized, directed) betweenness centrality accumulated
 /// over the given `sources` — pass all vertices for the exact value, a
 /// sample for the approximation.
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_betweenness`].
 pub fn betweenness(engine: &mut Engine, sources: &[NodeId]) -> BetweennessResult {
+    try_betweenness(engine, sources).unwrap_or_else(|e| panic!("betweenness job failed: {e}"))
+}
+
+/// Fallible [`betweenness`]: returns `Err` instead of panicking when the
+/// cluster aborts mid-job (machine crash, retry exhaustion).
+pub fn try_betweenness(
+    engine: &mut Engine,
+    sources: &[NodeId],
+) -> Result<BetweennessResult, JobError> {
     let dist = engine.add_prop("bc_dist", UNSET);
     let sigma = engine.add_prop("bc_sigma", 0.0f64);
     let sigma_add = engine.add_prop("bc_sigma_add", 0.0f64);
@@ -162,95 +175,101 @@ pub fn betweenness(engine: &mut Engine, sources: &[NodeId]) -> BetweennessResult
     let acc = engine.add_prop("bc_acc", 0.0f64);
     let bc = engine.add_prop("bc_out", 0.0f64);
 
-    let mut total_levels = 0usize;
-    for &source in sources {
-        engine.run_node_job(
-            &JobSpec::new(),
-            ResetSource {
-                dist,
-                sigma,
-                delta,
-                source,
-            },
-        );
-        // Forward BFS with path counting.
-        let mut max_level = 0i64;
-        loop {
-            engine.run_edge_job(
-                Dir::Out,
-                &JobSpec::new().read(sigma).reduce(sigma_add, ReduceOp::Sum),
-                Expand {
-                    dist,
-                    sigma,
-                    sigma_add,
-                    level: max_level,
-                },
-            );
-            engine.run_node_job(
+    let run = |engine: &mut Engine, total_levels: &mut usize| -> Result<(), JobError> {
+        for &source in sources {
+            engine.try_run_node_job(
                 &JobSpec::new(),
-                Settle {
-                    dist,
-                    sigma,
-                    sigma_add,
-                    frontier_count,
-                    level: max_level,
-                },
-            );
-            total_levels += 1;
-            if engine.reduce::<i64>(frontier_count, ReduceOp::Sum) == 0 {
-                break;
-            }
-            max_level += 1;
-        }
-        // Backward dependency accumulation, deepest level first.
-        for level in (0..max_level).rev() {
-            engine.run_node_job(
-                &JobSpec::new(),
-                PublishCoef {
+                ResetSource {
                     dist,
                     sigma,
                     delta,
-                    coef,
-                    level,
-                },
-            );
-            engine.run_edge_job(
-                Dir::Out,
-                &JobSpec::new().read(coef),
-                PullCoef {
-                    dist,
-                    coef,
-                    acc,
-                    level,
-                },
-            );
-            engine.run_node_job(
-                &JobSpec::new(),
-                FoldDelta {
-                    dist,
-                    sigma,
-                    delta,
-                    acc,
-                    bc,
-                    level,
                     source,
                 },
-            );
-            total_levels += 1;
+            )?;
+            // Forward BFS with path counting.
+            let mut max_level = 0i64;
+            loop {
+                engine.try_run_edge_job(
+                    Dir::Out,
+                    &JobSpec::new().read(sigma).reduce(sigma_add, ReduceOp::Sum),
+                    Expand {
+                        dist,
+                        sigma,
+                        sigma_add,
+                        level: max_level,
+                    },
+                )?;
+                engine.try_run_node_job(
+                    &JobSpec::new(),
+                    Settle {
+                        dist,
+                        sigma,
+                        sigma_add,
+                        frontier_count,
+                        level: max_level,
+                    },
+                )?;
+                *total_levels += 1;
+                if engine.reduce::<i64>(frontier_count, ReduceOp::Sum) == 0 {
+                    break;
+                }
+                max_level += 1;
+            }
+            // Backward dependency accumulation, deepest level first.
+            for level in (0..max_level).rev() {
+                engine.try_run_node_job(
+                    &JobSpec::new(),
+                    PublishCoef {
+                        dist,
+                        sigma,
+                        delta,
+                        coef,
+                        level,
+                    },
+                )?;
+                engine.try_run_edge_job(
+                    Dir::Out,
+                    &JobSpec::new().read(coef),
+                    PullCoef {
+                        dist,
+                        coef,
+                        acc,
+                        level,
+                    },
+                )?;
+                engine.try_run_node_job(
+                    &JobSpec::new(),
+                    FoldDelta {
+                        dist,
+                        sigma,
+                        delta,
+                        acc,
+                        bc,
+                        level,
+                        source,
+                    },
+                )?;
+                *total_levels += 1;
+            }
         }
-    }
+        Ok(())
+    };
+    let mut total_levels = 0usize;
+    let outcome = run(engine, &mut total_levels);
 
+    // Always release the scratch properties, even on a failed job.
     let centrality = engine.gather(bc);
     for p in [sigma, sigma_add, delta, coef, acc, bc] {
         engine.drop_prop(p);
     }
     engine.drop_prop(dist);
     engine.drop_prop(frontier_count);
-    BetweennessResult {
+    outcome?;
+    Ok(BetweennessResult {
         centrality,
         sources: sources.len(),
         levels: total_levels,
-    }
+    })
 }
 
 #[cfg(test)]

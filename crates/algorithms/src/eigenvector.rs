@@ -4,7 +4,8 @@
 //! algorithm with data pulling." (§5.2)
 
 use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReadDoneCtx, ReduceOp,
+    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReadDoneCtx,
+    ReduceOp,
 };
 
 /// Result of eigenvector centrality.
@@ -66,7 +67,21 @@ impl NodeTask for Square {
 
 /// Computes eigenvector centrality (first principal component of the
 /// adjacency matrix) by power iteration with per-step L2 normalization.
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_eigenvector`].
 pub fn eigenvector(engine: &mut Engine, max_iters: usize, tol: f64) -> EigenVectorResult {
+    try_eigenvector(engine, max_iters, tol)
+        .unwrap_or_else(|e| panic!("eigenvector job failed: {e}"))
+}
+
+/// Fallible [`eigenvector`]: returns `Err` instead of panicking when the
+/// cluster aborts mid-job (machine crash, retry exhaustion).
+pub fn try_eigenvector(
+    engine: &mut Engine,
+    max_iters: usize,
+    tol: f64,
+) -> Result<EigenVectorResult, JobError> {
     let n = engine.num_nodes();
     let init = 1.0 / (n as f64).sqrt();
     let ev = engine.add_prop("ev", init);
@@ -74,38 +89,44 @@ pub fn eigenvector(engine: &mut Engine, max_iters: usize, tol: f64) -> EigenVect
     let sq = engine.add_prop("ev_sq", 0.0f64);
     let diff = engine.add_prop("ev_diff", 0.0f64);
 
-    let mut iterations = 0;
-    for _ in 0..max_iters {
-        iterations += 1;
-        engine.run_edge_job(Dir::In, &JobSpec::new().read(ev), PullEv { ev, nxt });
-        engine.run_node_job(&JobSpec::new(), Square { nxt, sq });
-        // Sequential region: global L2 norm.
-        let norm = engine.reduce(sq, ReduceOp::Sum).sqrt();
-        let inv_norm = if norm > 0.0 { 1.0 / norm } else { 0.0 };
-        engine.run_node_job(
-            &JobSpec::new(),
-            Normalize {
-                ev,
-                nxt,
-                sq,
-                diff,
-                inv_norm,
-            },
-        );
-        if engine.reduce(diff, ReduceOp::Sum) < tol {
-            break;
+    let run = |engine: &mut Engine, iterations: &mut usize| -> Result<(), JobError> {
+        for _ in 0..max_iters {
+            *iterations += 1;
+            engine.try_run_edge_job(Dir::In, &JobSpec::new().read(ev), PullEv { ev, nxt })?;
+            engine.try_run_node_job(&JobSpec::new(), Square { nxt, sq })?;
+            // Sequential region: global L2 norm.
+            let norm = engine.reduce(sq, ReduceOp::Sum).sqrt();
+            let inv_norm = if norm > 0.0 { 1.0 / norm } else { 0.0 };
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                Normalize {
+                    ev,
+                    nxt,
+                    sq,
+                    diff,
+                    inv_norm,
+                },
+            )?;
+            if engine.reduce(diff, ReduceOp::Sum) < tol {
+                break;
+            }
         }
-    }
+        Ok(())
+    };
+    let mut iterations = 0;
+    let outcome = run(engine, &mut iterations);
 
+    // Always release the scratch properties, even on a failed job.
     let centrality = engine.gather(ev);
     engine.drop_prop(ev);
     engine.drop_prop(nxt);
     engine.drop_prop(sq);
     engine.drop_prop(diff);
-    EigenVectorResult {
+    outcome?;
+    Ok(EigenVectorResult {
         centrality,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

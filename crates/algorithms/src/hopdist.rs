@@ -2,7 +2,9 @@
 //! Breadth-first traversal from the root", Table 2). Level-synchronous
 //! frontier expansion with a `Min` push of `hops + 1`.
 
-use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp};
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp,
+};
 
 /// Result of a hop-distance traversal.
 #[derive(Clone, Debug)]
@@ -47,7 +49,16 @@ impl NodeTask for Advance {
 }
 
 /// Breadth-first hop distances from `root` along out-edges.
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_hopdist`].
 pub fn hopdist(engine: &mut Engine, root: NodeId) -> HopDistResult {
+    try_hopdist(engine, root).unwrap_or_else(|e| panic!("hopdist job failed: {e}"))
+}
+
+/// Fallible [`hopdist`]: returns `Err` instead of panicking when the
+/// cluster aborts mid-job (machine crash, retry exhaustion).
+pub fn try_hopdist(engine: &mut Engine, root: NodeId) -> Result<HopDistResult, JobError> {
     let hops = engine.add_prop("hop_dist", i64::MAX);
     let nxt = engine.add_prop("hop_nxt", i64::MAX);
     let frontier = engine.add_prop("hop_frontier", false);
@@ -55,36 +66,42 @@ pub fn hopdist(engine: &mut Engine, root: NodeId) -> HopDistResult {
     engine.set(hops, root, 0i64);
     engine.set(frontier, root, true);
 
+    let run = |engine: &mut Engine, iterations: &mut usize| -> Result<(), JobError> {
+        while engine.count_true(frontier) > 0 {
+            *iterations += 1;
+            engine.try_run_edge_job(
+                Dir::Out,
+                &JobSpec::new().reduce(nxt, ReduceOp::Min),
+                Expand {
+                    hops,
+                    nxt,
+                    frontier,
+                },
+            )?;
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                Advance {
+                    hops,
+                    nxt,
+                    frontier,
+                },
+            )?;
+        }
+        Ok(())
+    };
     let mut iterations = 0;
-    while engine.count_true(frontier) > 0 {
-        iterations += 1;
-        engine.run_edge_job(
-            Dir::Out,
-            &JobSpec::new().reduce(nxt, ReduceOp::Min),
-            Expand {
-                hops,
-                nxt,
-                frontier,
-            },
-        );
-        engine.run_node_job(
-            &JobSpec::new(),
-            Advance {
-                hops,
-                nxt,
-                frontier,
-            },
-        );
-    }
+    let outcome = run(engine, &mut iterations);
 
+    // Always release the scratch properties, even on a failed job.
     let out = engine.gather(hops);
     engine.drop_prop(hops);
     engine.drop_prop(nxt);
     engine.drop_prop(frontier);
-    HopDistResult {
+    outcome?;
+    Ok(HopDistResult {
         hops: out,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! peeling loop repeatedly removes vertices whose remaining degree is
 //! below `k`, notifying neighbors with a `Sum(-1)` push.
 
-use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
 
 /// Result of the k-core peeling.
 #[derive(Clone, Debug)]
@@ -67,47 +67,62 @@ impl NodeTask for InitDegree {
 }
 
 /// Computes the biggest k-core number and per-vertex core numbers.
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_kcore`].
 pub fn kcore(engine: &mut Engine, max_k: i64) -> KCoreResult {
+    try_kcore(engine, max_k).unwrap_or_else(|e| panic!("kcore job failed: {e}"))
+}
+
+/// Fallible [`kcore`]: returns `Err` instead of panicking when the cluster
+/// aborts mid-job (machine crash, retry exhaustion).
+pub fn try_kcore(engine: &mut Engine, max_k: i64) -> Result<KCoreResult, JobError> {
     let deg = engine.add_prop("kc_deg", 0i64);
     let alive = engine.add_prop("kc_alive", true);
     let dying = engine.add_prop("kc_dying", false);
     let core = engine.add_prop("kc_core", 0i64);
 
-    engine.run_node_job(&JobSpec::new(), InitDegree { deg });
+    let run =
+        |engine: &mut Engine, iterations: &mut usize, max_core: &mut i64| -> Result<(), JobError> {
+            engine.try_run_node_job(&JobSpec::new(), InitDegree { deg })?;
 
+            let mut k = 1i64;
+            while k <= max_k {
+                // Inner peeling loop for this k: remove until stable.
+                loop {
+                    *iterations += 1;
+                    engine.try_run_node_job(
+                        &JobSpec::new(),
+                        MarkDying {
+                            deg,
+                            alive,
+                            dying,
+                            core,
+                            k,
+                        },
+                    )?;
+                    if engine.count_true(dying) == 0 {
+                        break;
+                    }
+                    *iterations += 2;
+                    let spec = JobSpec::new().reduce(deg, ReduceOp::Sum);
+                    engine.try_run_edge_job(Dir::Out, &spec, NotifyNeighbors { deg, dying })?;
+                    engine.try_run_edge_job(Dir::In, &spec, NotifyNeighbors { deg, dying })?;
+                }
+                let survivors = engine.count_true(alive);
+                if survivors == 0 {
+                    *max_core = k - 1;
+                    break;
+                }
+                *max_core = k;
+                k += 1;
+            }
+            Ok(())
+        };
     let mut iterations = 1usize;
     let mut max_core = 0i64;
-    let mut k = 1i64;
-    while k <= max_k {
-        // Inner peeling loop for this k: remove until stable.
-        loop {
-            iterations += 1;
-            engine.run_node_job(
-                &JobSpec::new(),
-                MarkDying {
-                    deg,
-                    alive,
-                    dying,
-                    core,
-                    k,
-                },
-            );
-            if engine.count_true(dying) == 0 {
-                break;
-            }
-            iterations += 2;
-            let spec = JobSpec::new().reduce(deg, ReduceOp::Sum);
-            engine.run_edge_job(Dir::Out, &spec, NotifyNeighbors { deg, dying });
-            engine.run_edge_job(Dir::In, &spec, NotifyNeighbors { deg, dying });
-        }
-        let survivors = engine.count_true(alive);
-        if survivors == 0 {
-            max_core = k - 1;
-            break;
-        }
-        max_core = k;
-        k += 1;
-    }
+    let outcome = run(engine, &mut iterations, &mut max_core);
+
     // Vertices still alive when the loop ended survive at max_core.
     let alive_flags = engine.gather(alive);
     let mut core_out = engine.gather(core);
@@ -121,11 +136,12 @@ pub fn kcore(engine: &mut Engine, max_k: i64) -> KCoreResult {
     engine.drop_prop(alive);
     engine.drop_prop(dying);
     engine.drop_prop(core);
-    KCoreResult {
+    outcome?;
+    Ok(KCoreResult {
         max_core,
         core: core_out,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

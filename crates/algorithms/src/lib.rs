@@ -19,6 +19,11 @@
 //! Every function takes a loaded [`pgxd::Engine`] and cleans up its
 //! temporary properties before returning, so algorithms can be chained on
 //! one engine (the §4.2 application model).
+//!
+//! Every algorithm comes in two forms: `try_<name>` returns
+//! `Result<_, pgxd::JobError>` (the primary API — a cluster abort is an
+//! expected outcome under faults), and a **deprecated** panicking wrapper
+//! `<name>` kept for existing callers.
 
 pub mod betweenness;
 pub mod eigenvector;
@@ -29,11 +34,14 @@ pub mod pagerank;
 pub mod sssp;
 pub mod wcc;
 
-pub use betweenness::betweenness;
-pub use eigenvector::eigenvector;
-pub use hopdist::hopdist;
-pub use kcore::kcore;
-pub use mis::mis;
-pub use pagerank::{pagerank_approx, pagerank_pull, pagerank_push, try_pagerank_pull};
-pub use sssp::sssp;
-pub use wcc::wcc;
+pub use betweenness::{betweenness, try_betweenness};
+pub use eigenvector::{eigenvector, try_eigenvector};
+pub use hopdist::{hopdist, try_hopdist};
+pub use kcore::{kcore, try_kcore};
+pub use mis::{mis, try_mis};
+pub use pagerank::{
+    pagerank_approx, pagerank_pull, pagerank_push, try_pagerank_approx, try_pagerank_pull,
+    try_pagerank_push,
+};
+pub use sssp::{sssp, try_sssp};
+pub use wcc::{try_wcc, wcc};

@@ -10,7 +10,7 @@
 //! undecided neighbor's; neighbors of new members drop out. Expected
 //! O(log n) rounds.
 
-use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
 
 /// Result of the MIS computation.
 #[derive(Clone, Debug)]
@@ -123,7 +123,16 @@ impl NodeTask for ApplyExclusions {
 
 /// Computes a maximal independent set of the underlying undirected graph
 /// (edge directions ignored).
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_mis`].
 pub fn mis(engine: &mut Engine) -> MisResult {
+    try_mis(engine).unwrap_or_else(|e| panic!("mis job failed: {e}"))
+}
+
+/// Fallible [`mis`]: returns `Err` instead of panicking when the cluster
+/// aborts mid-job (machine crash, retry exhaustion).
+pub fn try_mis(engine: &mut Engine) -> Result<MisResult, JobError> {
     let state = engine.add_prop("mis_state", UNDECIDED);
     let prio = engine.add_prop("mis_prio", 0u64);
     let nbr_max = engine.add_prop("mis_nbr_max", 0u64);
@@ -131,72 +140,77 @@ pub fn mis(engine: &mut Engine) -> MisResult {
     let excluded_flag = engine.add_prop("mis_excl", false);
     let undecided = engine.add_prop("mis_undecided", true);
 
+    let run = |engine: &mut Engine, rounds: &mut usize| -> Result<(), JobError> {
+        while engine.count_true(undecided) > 0 {
+            *rounds += 1;
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                Draw {
+                    state,
+                    prio,
+                    round: *rounds as u64,
+                },
+            )?;
+            let push_spec = JobSpec::new().read(prio).reduce(nbr_max, ReduceOp::Max);
+            engine.try_run_edge_job(
+                Dir::Out,
+                &push_spec,
+                PushPrio {
+                    state,
+                    prio,
+                    nbr_max,
+                },
+            )?;
+            engine.try_run_edge_job(
+                Dir::In,
+                &push_spec,
+                PushPrio {
+                    state,
+                    prio,
+                    nbr_max,
+                },
+            )?;
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                Join {
+                    state,
+                    prio,
+                    nbr_max,
+                    joined,
+                },
+            )?;
+            let excl_spec = JobSpec::new().reduce(excluded_flag, ReduceOp::Or);
+            engine.try_run_edge_job(
+                Dir::Out,
+                &excl_spec,
+                Exclude {
+                    joined,
+                    excluded_flag,
+                },
+            )?;
+            engine.try_run_edge_job(
+                Dir::In,
+                &excl_spec,
+                Exclude {
+                    joined,
+                    excluded_flag,
+                },
+            )?;
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                ApplyExclusions {
+                    state,
+                    excluded_flag,
+                    undecided,
+                },
+            )?;
+        }
+        Ok(())
+    };
     let mut rounds = 0;
-    while engine.count_true(undecided) > 0 {
-        rounds += 1;
-        engine.run_node_job(
-            &JobSpec::new(),
-            Draw {
-                state,
-                prio,
-                round: rounds as u64,
-            },
-        );
-        let push_spec = JobSpec::new().read(prio).reduce(nbr_max, ReduceOp::Max);
-        engine.run_edge_job(
-            Dir::Out,
-            &push_spec,
-            PushPrio {
-                state,
-                prio,
-                nbr_max,
-            },
-        );
-        engine.run_edge_job(
-            Dir::In,
-            &push_spec,
-            PushPrio {
-                state,
-                prio,
-                nbr_max,
-            },
-        );
-        engine.run_node_job(
-            &JobSpec::new(),
-            Join {
-                state,
-                prio,
-                nbr_max,
-                joined,
-            },
-        );
-        let excl_spec = JobSpec::new().reduce(excluded_flag, ReduceOp::Or);
-        engine.run_edge_job(
-            Dir::Out,
-            &excl_spec,
-            Exclude {
-                joined,
-                excluded_flag,
-            },
-        );
-        engine.run_edge_job(
-            Dir::In,
-            &excl_spec,
-            Exclude {
-                joined,
-                excluded_flag,
-            },
-        );
-        engine.run_node_job(
-            &JobSpec::new(),
-            ApplyExclusions {
-                state,
-                excluded_flag,
-                undecided,
-            },
-        );
-    }
+    let outcome = run(engine, &mut rounds);
 
+    // Always release the scratch properties, even on a failed job.
     let states = engine.gather::<i64>(state);
     engine.drop_prop(state);
     engine.drop_prop(prio);
@@ -204,10 +218,11 @@ pub fn mis(engine: &mut Engine) -> MisResult {
     engine.drop_prop(joined);
     engine.drop_prop(excluded_flag);
     engine.drop_prop(undecided);
-    MisResult {
+    outcome?;
+    Ok(MisResult {
         in_set: states.into_iter().map(|s| s == IN_SET).collect(),
         rounds,
-    }
+    })
 }
 
 /// Checks MIS validity against the graph: independence (no two members

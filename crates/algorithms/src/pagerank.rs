@@ -154,6 +154,9 @@ fn try_pagerank_exact(
 }
 
 /// Exact PageRank with the *data pulling* pattern (in-neighbor reads).
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_pagerank_pull`].
 pub fn pagerank_pull(
     engine: &mut Engine,
     damping: f64,
@@ -176,6 +179,9 @@ pub fn try_pagerank_pull(
 }
 
 /// Exact PageRank with the *data pushing* pattern (out-neighbor writes).
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_pagerank_push`].
 pub fn pagerank_push(
     engine: &mut Engine,
     damping: f64,
@@ -183,6 +189,17 @@ pub fn pagerank_push(
     tol: f64,
 ) -> PageRankResult {
     pagerank_exact(engine, damping, max_iters, tol, false)
+}
+
+/// Fallible [`pagerank_push`]: returns `Err` instead of panicking when the
+/// cluster aborts mid-job (machine crash, retry exhaustion).
+pub fn try_pagerank_push(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> Result<PageRankResult, JobError> {
+    try_pagerank_exact(engine, damping, max_iters, tol, false)
 }
 
 /// Delta-push kernel of the approximate variant: only *active* vertices
@@ -227,12 +244,27 @@ impl NodeTask for DeltaApply {
 /// Approximate PageRank with delta propagation and vertex deactivation —
 /// the variant GraphLab and GraphX ship ("PageRank: Approx" in Table 2).
 /// Runs until every vertex is deactivated or `max_iters` is hit.
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_pagerank_approx`].
 pub fn pagerank_approx(
     engine: &mut Engine,
     damping: f64,
     threshold: f64,
     max_iters: usize,
 ) -> PageRankResult {
+    try_pagerank_approx(engine, damping, threshold, max_iters)
+        .unwrap_or_else(|e| panic!("pagerank job failed: {e}"))
+}
+
+/// Fallible [`pagerank_approx`]: returns `Err` instead of panicking when
+/// the cluster aborts mid-job (machine crash, retry exhaustion).
+pub fn try_pagerank_approx(
+    engine: &mut Engine,
+    damping: f64,
+    threshold: f64,
+    max_iters: usize,
+) -> Result<PageRankResult, JobError> {
     let n = engine.num_nodes();
     let init = (1.0 - damping) / n as f64;
     let pr = engine.add_prop("apr", init);
@@ -240,36 +272,42 @@ pub fn pagerank_approx(
     let nxt = engine.add_prop("apr_nxt", 0.0f64);
     let active = engine.add_prop("apr_active", true);
 
-    let mut iterations = 0;
-    for _ in 0..max_iters {
-        iterations += 1;
-        engine.run_edge_job(
-            Dir::Out,
-            &JobSpec::new().reduce(nxt, ReduceOp::Sum),
-            DeltaPush { delta, nxt, active },
-        );
-        engine.run_node_job(
-            &JobSpec::new(),
-            DeltaApply {
-                pr,
-                delta,
-                nxt,
-                active,
-                damping,
-                threshold,
-            },
-        );
-        if engine.count_true(active) == 0 {
-            break;
+    let run = |engine: &mut Engine, iterations: &mut usize| -> Result<(), JobError> {
+        for _ in 0..max_iters {
+            *iterations += 1;
+            engine.try_run_edge_job(
+                Dir::Out,
+                &JobSpec::new().reduce(nxt, ReduceOp::Sum),
+                DeltaPush { delta, nxt, active },
+            )?;
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                DeltaApply {
+                    pr,
+                    delta,
+                    nxt,
+                    active,
+                    damping,
+                    threshold,
+                },
+            )?;
+            if engine.count_true(active) == 0 {
+                break;
+            }
         }
-    }
+        Ok(())
+    };
+    let mut iterations = 0;
+    let outcome = run(engine, &mut iterations);
 
+    // Always release the scratch properties, even on a failed job.
     let scores = engine.gather(pr);
     engine.drop_prop(pr);
     engine.drop_prop(delta);
     engine.drop_prop(nxt);
     engine.drop_prop(active);
-    PageRankResult { scores, iterations }
+    outcome?;
+    Ok(PageRankResult { scores, iterations })
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //! weights. We generated these values using a uniform random
 //! distribution", §5.2).
 
-use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp};
+use pgxd::{
+    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp,
+};
 
 /// Result of SSSP.
 #[derive(Clone, Debug)]
@@ -50,7 +52,16 @@ impl NodeTask for Settle {
 /// Computes shortest-path distances from `root`. Unweighted graphs use
 /// weight 1 per edge (making this equivalent to [`fn@crate::hopdist`] with
 /// `f64` levels).
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_sssp`].
 pub fn sssp(engine: &mut Engine, root: NodeId) -> SsspResult {
+    try_sssp(engine, root).unwrap_or_else(|e| panic!("sssp job failed: {e}"))
+}
+
+/// Fallible [`sssp`]: returns `Err` instead of panicking when the cluster
+/// aborts mid-job (machine crash, retry exhaustion).
+pub fn try_sssp(engine: &mut Engine, root: NodeId) -> Result<SsspResult, JobError> {
     let dist = engine.add_prop("sssp_dist", f64::INFINITY);
     let nxt = engine.add_prop("sssp_nxt", f64::INFINITY);
     let active = engine.add_prop("sssp_active", false);
@@ -58,25 +69,31 @@ pub fn sssp(engine: &mut Engine, root: NodeId) -> SsspResult {
     engine.set(dist, root, 0.0f64);
     engine.set(active, root, true);
 
+    let run = |engine: &mut Engine, iterations: &mut usize| -> Result<(), JobError> {
+        while engine.count_true(active) > 0 {
+            *iterations += 1;
+            engine.try_run_edge_job(
+                Dir::Out,
+                &JobSpec::new().reduce(nxt, ReduceOp::Min),
+                Relax { dist, nxt, active },
+            )?;
+            engine.try_run_node_job(&JobSpec::new(), Settle { dist, nxt, active })?;
+        }
+        Ok(())
+    };
     let mut iterations = 0;
-    while engine.count_true(active) > 0 {
-        iterations += 1;
-        engine.run_edge_job(
-            Dir::Out,
-            &JobSpec::new().reduce(nxt, ReduceOp::Min),
-            Relax { dist, nxt, active },
-        );
-        engine.run_node_job(&JobSpec::new(), Settle { dist, nxt, active });
-    }
+    let outcome = run(engine, &mut iterations);
 
+    // Always release the scratch properties, even on a failed job.
     let out = engine.gather(dist);
     engine.drop_prop(dist);
     engine.drop_prop(nxt);
     engine.drop_prop(active);
-    SsspResult {
+    outcome?;
+    Ok(SsspResult {
         dist: out,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

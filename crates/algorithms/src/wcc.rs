@@ -2,7 +2,7 @@
 //! directions with vertex reactivation ("In WCC, a deactivated node can
 //! later be active again", §5.2).
 
-use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
+use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp};
 
 /// Result of WCC.
 #[derive(Clone, Debug)]
@@ -56,7 +56,16 @@ impl NodeTask for Adopt {
 }
 
 /// Computes weakly connected components by label propagation.
+///
+/// **Deprecated:** panics if the cluster aborts mid-job. New code should
+/// call [`try_wcc`].
 pub fn wcc(engine: &mut Engine) -> WccResult {
+    try_wcc(engine).unwrap_or_else(|e| panic!("wcc job failed: {e}"))
+}
+
+/// Fallible [`wcc`]: returns `Err` instead of panicking when the cluster
+/// aborts mid-job (machine crash, retry exhaustion).
+pub fn try_wcc(engine: &mut Engine) -> Result<WccResult, JobError> {
     let comp = engine.add_prop("wcc_comp", 0u32);
     let nxt = engine.add_prop("wcc_nxt", u32::MAX);
     let active = engine.add_prop("wcc_active", true);
@@ -67,27 +76,31 @@ pub fn wcc(engine: &mut Engine) -> WccResult {
         engine.set(comp, v, v);
     }
 
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        let spec = JobSpec::new().reduce(nxt, ReduceOp::Min);
-        // Weak connectivity: propagate along out-edges AND in-edges.
-        engine.run_edge_job(Dir::Out, &spec, PushLabel { comp, nxt, active });
-        engine.run_edge_job(Dir::In, &spec, PushLabel { comp, nxt, active });
-        engine.run_node_job(
-            &JobSpec::new(),
-            Adopt {
-                comp,
-                nxt,
-                active,
-                changed,
-            },
-        );
-        if engine.count_true(changed) == 0 {
-            break;
+    let run = |engine: &mut Engine, iterations: &mut usize| -> Result<(), JobError> {
+        loop {
+            *iterations += 1;
+            let spec = JobSpec::new().reduce(nxt, ReduceOp::Min);
+            // Weak connectivity: propagate along out-edges AND in-edges.
+            engine.try_run_edge_job(Dir::Out, &spec, PushLabel { comp, nxt, active })?;
+            engine.try_run_edge_job(Dir::In, &spec, PushLabel { comp, nxt, active })?;
+            engine.try_run_node_job(
+                &JobSpec::new(),
+                Adopt {
+                    comp,
+                    nxt,
+                    active,
+                    changed,
+                },
+            )?;
+            if engine.count_true(changed) == 0 {
+                return Ok(());
+            }
         }
-    }
+    };
+    let mut iterations = 0;
+    let outcome = run(engine, &mut iterations);
 
+    // Always release the scratch properties, even on a failed job.
     let component = engine.gather(comp);
     let mut labels = component.clone();
     labels.sort_unstable();
@@ -98,11 +111,12 @@ pub fn wcc(engine: &mut Engine) -> WccResult {
     engine.drop_prop(nxt);
     engine.drop_prop(active);
     engine.drop_prop(changed);
-    WccResult {
+    outcome?;
+    Ok(WccResult {
         component,
         num_components,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

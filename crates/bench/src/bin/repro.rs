@@ -87,6 +87,7 @@ fn main() {
                 emit(&[fig8::run_fig8b()], "fig8b");
             }
             "chaos" => emit(&chaos::run_experiment(scale), "chaos"),
+            "commfast" => emit(&commfast::run_experiment(scale), "commfast"),
             "telemetry" => {
                 let dir = telemetry_dir
                     .clone()
@@ -104,7 +105,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 chaos telemetry verify all"
+                    "known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 chaos commfast telemetry verify all"
                 );
                 std::process::exit(2);
             }

@@ -31,8 +31,12 @@ pub fn pgx_edge_iteration_meps(g: &Graph, workers: usize) -> f64 {
         .build(g)
         .expect("engine");
     // Warm-up pass, then measured pass.
-    engine.run_edge_job(Dir::Out, &JobSpec::new(), NoopScan);
-    let report = engine.run_edge_job(Dir::Out, &JobSpec::new(), NoopScan);
+    engine
+        .try_run_edge_job(Dir::Out, &JobSpec::new(), NoopScan)
+        .expect("warm-up job");
+    let report = engine
+        .try_run_edge_job(Dir::Out, &JobSpec::new(), NoopScan)
+        .expect("measured job");
     g.num_edges() as f64 / report.main.as_secs_f64() / 1e6
 }
 

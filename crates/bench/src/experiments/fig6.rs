@@ -38,6 +38,10 @@ pub fn measure_ghosts(g: &Graph, machines: usize, k: usize) -> GhostPoint {
         .chunk_edges(8 * 1024)
         .partitioning(PartitioningMode::Edge)
         .chunking(ChunkingMode::Edge)
+        // In-flight read combining also dedups hub reads, which is exactly
+        // the traffic ghosting removes; keep it off so this figure isolates
+        // the ghosting effect as in the paper.
+        .read_combining(false)
         .build_with_ghosts(g, top_degree_nodes(g, k))
         .expect("engine");
     let before = engine.cluster().total_stats();
@@ -211,8 +215,12 @@ pub fn measure_breakdown(engine: &mut Engine) -> Breakdown {
     let nxt = engine.add_prop("b_nxt", 0.0f64);
     let mut acc = Breakdown::default();
     for _ in 0..3 {
-        engine.run_node_job(&JobSpec::new(), Scale2 { pr, tmp });
-        let report = engine.run_edge_job(Dir::In, &JobSpec::new().read(tmp), Pull2 { tmp, nxt });
+        engine
+            .try_run_node_job(&JobSpec::new(), Scale2 { pr, tmp })
+            .expect("scale job");
+        let report = engine
+            .try_run_edge_job(Dir::In, &JobSpec::new().read(tmp), Pull2 { tmp, nxt })
+            .expect("pull job");
         acc.fully_parallel += report.breakdown.fully_parallel;
         acc.intra_machine += report.breakdown.intra_machine;
         acc.inter_machine += report.breakdown.inter_machine;

@@ -103,7 +103,7 @@ pub fn remote_read_bandwidth(
             job,
         });
         let t0 = Instant::now();
-        cluster.run_phase(phase);
+        cluster.try_run_phase(phase).expect("bench phase");
         if measured {
             let secs = t0.elapsed().as_secs_f64();
             let reads = (workers * reads_per_worker) as f64;
@@ -225,7 +225,7 @@ pub fn flood_bandwidth(
         });
         let before = cluster.total_stats();
         let t0 = Instant::now();
-        cluster.run_phase(phase);
+        cluster.try_run_phase(phase).expect("bench phase");
         if measured {
             let secs = t0.elapsed().as_secs_f64();
             let links = (machines * (machines - 1)) as f64;

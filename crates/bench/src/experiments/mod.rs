@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod chaos;
+pub mod commfast;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

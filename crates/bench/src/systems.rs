@@ -299,7 +299,8 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
     let t0 = Instant::now();
     match algo {
         Algo::PrPull => {
-            let r = pgxd_algorithms::pagerank_pull(engine, DAMPING, FIXED_ITERS, 0.0);
+            let r = pgxd_algorithms::try_pagerank_pull(engine, DAMPING, FIXED_ITERS, 0.0)
+                .expect("pagerank-pull job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -308,7 +309,8 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::PrPush => {
-            let r = pgxd_algorithms::pagerank_push(engine, DAMPING, FIXED_ITERS, 0.0);
+            let r = pgxd_algorithms::try_pagerank_push(engine, DAMPING, FIXED_ITERS, 0.0)
+                .expect("pagerank-push job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -317,7 +319,9 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::PrApprox => {
-            let r = pgxd_algorithms::pagerank_approx(engine, DAMPING, APPROX_THRESHOLD, 100_000);
+            let r =
+                pgxd_algorithms::try_pagerank_approx(engine, DAMPING, APPROX_THRESHOLD, 100_000)
+                    .expect("pagerank-approx job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -326,7 +330,7 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::Wcc => {
-            let r = pgxd_algorithms::wcc(engine);
+            let r = pgxd_algorithms::try_wcc(engine).expect("wcc job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -335,7 +339,7 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::Sssp => {
-            let r = pgxd_algorithms::sssp(engine, ROOT);
+            let r = pgxd_algorithms::try_sssp(engine, ROOT).expect("sssp job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -344,7 +348,7 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::HopDist => {
-            let r = pgxd_algorithms::hopdist(engine, ROOT);
+            let r = pgxd_algorithms::try_hopdist(engine, ROOT).expect("hopdist job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -353,7 +357,8 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::Ev => {
-            let r = pgxd_algorithms::eigenvector(engine, FIXED_ITERS, 0.0);
+            let r = pgxd_algorithms::try_eigenvector(engine, FIXED_ITERS, 0.0)
+                .expect("eigenvector job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,
@@ -362,7 +367,7 @@ pub fn run_pgx(engine: &mut Engine, algo: Algo) -> RunResult {
             )
         }
         Algo::KCore => {
-            let r = pgxd_algorithms::kcore(engine, i64::MAX);
+            let r = pgxd_algorithms::try_kcore(engine, i64::MAX).expect("kcore job");
             result(
                 t0.elapsed().as_secs_f64(),
                 r.iterations,

@@ -12,11 +12,13 @@
 //! let deg = engine.add_prop("deg", 0i64);
 //!
 //! // Count in-degrees with a one-line push kernel.
-//! engine.run_edge_job(
-//!     Dir::Out,
-//!     &JobSpec::new().reduce(deg, ReduceOp::Sum),
-//!     tasks::on_edge(move |ctx| ctx.write_nbr(deg, ReduceOp::Sum, 1i64)),
-//! );
+//! engine
+//!     .try_run_edge_job(
+//!         Dir::Out,
+//!         &JobSpec::new().reduce(deg, ReduceOp::Sum),
+//!         tasks::on_edge(move |ctx| ctx.write_nbr(deg, ReduceOp::Sum, 1i64)),
+//!     )
+//!     .unwrap();
 //! assert_eq!(engine.gather::<i64>(deg), vec![1i64; 16]);
 //! ```
 
@@ -136,11 +138,12 @@ mod tests {
         let g = generate::ring(12);
         let mut e = Engine::builder().machines(3).build(&g).unwrap();
         let acc = e.add_prop("acc", 0i64);
-        e.run_edge_job(
+        e.try_run_edge_job(
             Dir::Out,
             &JobSpec::new().reduce(acc, ReduceOp::Sum),
             super::on_edge(move |ctx| ctx.write_nbr(acc, ReduceOp::Sum, 2i64)),
-        );
+        )
+        .unwrap();
         assert_eq!(e.gather::<i64>(acc), vec![2i64; 12]);
     }
 
@@ -150,7 +153,7 @@ mod tests {
         let mut e = Engine::builder().machines(2).build(&g).unwrap();
         let src = e.add_prop("src", 3i64);
         let dst = e.add_prop("dst", 0i64);
-        e.run_edge_job(
+        e.try_run_edge_job(
             Dir::In,
             &JobSpec::new().read(src),
             super::on_edge_pull(
@@ -161,7 +164,8 @@ mod tests {
                     ctx.set(dst, cur + v);
                 },
             ),
-        );
+        )
+        .unwrap();
         assert_eq!(e.gather::<i64>(dst), vec![3i64; 8]);
     }
 
@@ -171,14 +175,15 @@ mod tests {
         let mut e = Engine::builder().machines(2).build(&g).unwrap();
         let acc = e.add_prop("acc", 0i64);
         // Only even-numbered vertices push.
-        e.run_edge_job(
+        e.try_run_edge_job(
             Dir::Out,
             &JobSpec::new().reduce(acc, ReduceOp::Sum),
             super::on_edge_filtered(
                 |ctx| ctx.node() % 2 == 0,
                 move |ctx| ctx.write_nbr(acc, ReduceOp::Sum, 1i64),
             ),
-        );
+        )
+        .unwrap();
         // Ring edge v -> v+1: odd receivers got 1, even receivers 0.
         let got = e.gather::<i64>(acc);
         for (v, &x) in got.iter().enumerate() {
@@ -192,13 +197,14 @@ mod tests {
         let g = generate::ring(6);
         let mut e = Engine::builder().machines(2).build(&g).unwrap();
         let p = e.add_prop("p", 0i64);
-        e.run_node_job(
+        e.try_run_node_job(
             &JobSpec::new(),
             super::on_node(move |ctx| {
                 let v = ctx.node() as i64;
                 ctx.set(p, v * v);
             }),
-        );
+        )
+        .unwrap();
         assert_eq!(e.gather::<i64>(p), vec![0, 1, 4, 9, 16, 25]);
     }
 }

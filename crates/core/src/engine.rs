@@ -7,7 +7,8 @@ use crate::task::{Dir, EdgeTask, NodeTask};
 use pgxd_graph::{Graph, NodeId};
 use pgxd_runtime::chunk::{make_chunks, node_target_from_edges, ChunkQueue};
 use pgxd_runtime::config::{
-    ChunkingMode, Config, FaultPlan, NetConfig, PartitioningMode, ReliabilityConfig,
+    AdaptiveFlushConfig, ChunkingMode, Config, FaultPlan, NetConfig, PartitioningMode,
+    ReliabilityConfig,
 };
 use pgxd_runtime::health::JobError;
 use pgxd_runtime::machine::RmiFn;
@@ -115,6 +116,24 @@ impl EngineBuilder {
         } else {
             ReliabilityConfig::off()
         };
+        self
+    }
+
+    /// Send-pool free-list shard count (see `Config::pool_shards`).
+    pub fn pool_shards(mut self, n: usize) -> Self {
+        self.config.pool_shards = n;
+        self
+    }
+
+    /// Enables or disables in-flight remote-read combining.
+    pub fn read_combining(mut self, on: bool) -> Self {
+        self.config.read_combining = on;
+        self
+    }
+
+    /// Adaptive flush-threshold control loop with explicit bounds.
+    pub fn adaptive_flush(mut self, cfg: AdaptiveFlushConfig) -> Self {
+        self.config.adaptive_flush = cfg;
         self
     }
 
@@ -244,10 +263,12 @@ impl Engine {
 
     /// Runs an edge-iterator job: `task.run` executes for every `dir`-edge
     /// of every vertex passing `task.filter`, across all machines.
-    /// Panics if the cluster aborts; see [`Engine::try_run_edge_job`].
+    ///
+    /// **Deprecated:** panics if the cluster aborts. New code should call
+    /// [`Engine::try_run_edge_job`]; this is the single panicking wrapper
+    /// kept for callers that genuinely cannot recover.
     pub fn run_edge_job<T: EdgeTask>(&mut self, dir: Dir, spec: &JobSpec, task: T) -> JobReport {
-        self.try_run_edge_job(dir, spec, task)
-            .unwrap_or_else(|e| panic!("job failed: {e}"))
+        self.try_run_edge_job(dir, spec, task).expect("job failed")
     }
 
     /// Fallible [`Engine::run_edge_job`]: a machine crash, partition, or
@@ -279,11 +300,13 @@ impl Engine {
     }
 
     /// Runs a node-iterator job: `task.run` executes once per active
-    /// vertex. Panics if the cluster aborts; see
-    /// [`Engine::try_run_node_job`].
+    /// vertex.
+    ///
+    /// **Deprecated:** panics if the cluster aborts. New code should call
+    /// [`Engine::try_run_node_job`]; this is the single panicking wrapper
+    /// kept for callers that genuinely cannot recover.
     pub fn run_node_job<T: NodeTask>(&mut self, spec: &JobSpec, task: T) -> JobReport {
-        self.try_run_node_job(spec, task)
-            .unwrap_or_else(|e| panic!("job failed: {e}"))
+        self.try_run_node_job(spec, task).expect("job failed")
     }
 
     /// Fallible [`Engine::run_node_job`].
@@ -377,7 +400,9 @@ impl Engine {
             fn execute(&self, _env: &mut pgxd_runtime::phase::WorkerEnv<'_>) {}
         }
         let t0 = Instant::now();
-        self.cluster.run_phase(Arc::new(Noop));
+        self.cluster
+            .try_run_phase(Arc::new(Noop))
+            .expect("barrier phase failed");
         t0.elapsed()
     }
 

@@ -40,8 +40,11 @@ fn drain_responses<F: Fn(&mut ReadDoneCtx<'_, '_>)>(
         worked = true;
         match resp.env.kind {
             MsgKind::ReadResp => {
-                for (i, rec) in resp.recs.iter().enumerate() {
-                    let bits = pgxd_runtime::message::resp_entry(&resp.env.payload, i);
+                for i in 0..resp.recs.len() {
+                    let rec = resp.recs[i];
+                    // `read_value` maps the record through the combining
+                    // entry-index table (identity when combining is off).
+                    let bits = resp.read_value(i);
                     let mut ctx = ReadDoneCtx {
                         scope,
                         node: rec.node as usize,

@@ -40,11 +40,13 @@
 //! let mut engine = Engine::builder().machines(2).build(&g).unwrap();
 //! let src = engine.add_prop("src", 1.0f64);
 //! let dst = engine.add_prop("dst", 0.0f64);
-//! engine.run_edge_job(
-//!     Dir::In,
-//!     &JobSpec::new().read(src).reduce(dst, ReduceOp::Sum),
-//!     PullSum { src, dst },
-//! );
+//! engine
+//!     .try_run_edge_job(
+//!         Dir::In,
+//!         &JobSpec::new().read(src).reduce(dst, ReduceOp::Sum),
+//!         PullSum { src, dst },
+//!     )
+//!     .unwrap();
 //! // Every ring node has exactly one in-neighbor with src == 1.0.
 //! assert_eq!(engine.gather(dst), vec![1.0f64; 64]);
 //! ```
@@ -75,8 +77,8 @@ pub mod tasks {
 // Re-exports so algorithm code only needs `pgxd`.
 pub use pgxd_graph::NodeId;
 pub use pgxd_runtime::config::{
-    ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode, ReliabilityConfig,
-    SlowPlan,
+    AdaptiveFlushConfig, ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode,
+    ReliabilityConfig, SlowPlan,
 };
 pub use pgxd_runtime::health::JobError;
 pub use pgxd_runtime::props::{PropValue, ReduceOp};

@@ -67,10 +67,12 @@ fn probe(engine: &mut Engine, iters: usize) -> Duration {
     let mut total = Duration::ZERO;
     for _ in 0..iters.max(1) {
         total += run_pull_once(engine, src, dst);
-        engine.run_node_job(
-            &crate::spec::JobSpec::new(),
-            on_node(move |ctx| ctx.set(dst, 0.0f64)),
-        );
+        engine
+            .try_run_node_job(
+                &crate::spec::JobSpec::new(),
+                on_node(move |ctx| ctx.set(dst, 0.0f64)),
+            )
+            .expect("tune reset job failed");
     }
     engine.drop_prop(src);
     engine.drop_prop(dst);
@@ -82,18 +84,20 @@ fn run_pull_once(
     src: crate::prop::Prop<f64>,
     dst: crate::prop::Prop<f64>,
 ) -> Duration {
-    let report = engine.run_edge_job(
-        crate::task::Dir::In,
-        &crate::spec::JobSpec::new().read(src),
-        on_edge_pull(
-            move |ctx| ctx.read_nbr(src),
-            move |ctx| {
-                let v: f64 = ctx.value();
-                let cur: f64 = ctx.get(dst);
-                ctx.set(dst, cur + v);
-            },
-        ),
-    );
+    let report = engine
+        .try_run_edge_job(
+            crate::task::Dir::In,
+            &crate::spec::JobSpec::new().read(src),
+            on_edge_pull(
+                move |ctx| ctx.read_nbr(src),
+                move |ctx| {
+                    let v: f64 = ctx.value();
+                    let cur: f64 = ctx.get(dst);
+                    ctx.set(dst, cur + v);
+                },
+            ),
+        )
+        .expect("tune probe job failed");
     report.main
 }
 

@@ -58,13 +58,15 @@ impl<T: PropValue> DistVec<T> {
     {
         let v = Self::new(engine, name, T::from_bits(0));
         let prop = v.prop;
-        engine.run_node_job(
-            &JobSpec::new(),
-            on_node(move |ctx| {
-                let i = ctx.node() as usize;
-                ctx.set(prop, f(i));
-            }),
-        );
+        engine
+            .try_run_node_job(
+                &JobSpec::new(),
+                on_node(move |ctx| {
+                    let i = ctx.node() as usize;
+                    ctx.set(prop, f(i));
+                }),
+            )
+            .expect("vector fill job failed");
         v
     }
 
@@ -89,14 +91,16 @@ impl<T: PropValue> DistVec<T> {
         F: Fn(usize, T) -> T + Send + Sync + 'static,
     {
         let prop = self.prop;
-        engine.run_node_job(
-            &JobSpec::new(),
-            on_node(move |ctx| {
-                let i = ctx.node() as usize;
-                let cur = ctx.get(prop);
-                ctx.set(prop, f(i, cur));
-            }),
-        );
+        engine
+            .try_run_node_job(
+                &JobSpec::new(),
+                on_node(move |ctx| {
+                    let i = ctx.node() as usize;
+                    let cur = ctx.get(prop);
+                    ctx.set(prop, f(i, cur));
+                }),
+            )
+            .expect("vector map job failed");
     }
 
     /// Parallel binary element-wise operation: `dst[i] = f(self[i],
@@ -116,14 +120,16 @@ impl<T: PropValue> DistVec<T> {
         assert_eq!(self.len, other.len, "length mismatch");
         let dst = DistVec::<V>::new(engine, name, V::from_bits(0));
         let (a, b, d) = (self.prop, other.prop, dst.prop);
-        engine.run_node_job(
-            &JobSpec::new(),
-            on_node(move |ctx| {
-                let x = ctx.get(a);
-                let y = ctx.get(b);
-                ctx.set(d, f(x, y));
-            }),
-        );
+        engine
+            .try_run_node_job(
+                &JobSpec::new(),
+                on_node(move |ctx| {
+                    let x = ctx.get(a);
+                    let y = ctx.get(b);
+                    ctx.set(d, f(x, y));
+                }),
+            )
+            .expect("vector zip job failed");
         dst
     }
 

@@ -22,7 +22,7 @@ use crate::phase::{DistBarrierPhase, Phase, WorkerEnv};
 use crate::props::{PropId, PropValue, ReduceOp, TypeTag};
 use crate::stats::StatsSnapshot;
 use crate::telemetry::{export, EventKind, Telemetry};
-use crate::worker::WorkerComm;
+use crate::worker::{CommTuning, WorkerComm};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use parking_lot::{Condvar, Mutex};
 use pgxd_graph::{Graph, NodeId};
@@ -409,16 +409,22 @@ impl Cluster {
     /// phase is additionally fenced by the *message-based* barrier, so
     /// inter-phase synchronization goes through the fabric exactly as on a
     /// real cluster.
+    ///
+    /// **Deprecated:** panics on cluster abort. New code should call
+    /// [`Cluster::try_run_phase`]; this wrapper exists only for callers
+    /// that genuinely cannot recover.
     pub fn run_phase(&mut self, phase: Arc<dyn Phase>) {
-        self.run_labeled_phase("phase", phase);
+        self.try_run_phase(phase).expect("cluster job failed");
     }
 
     /// Like [`Cluster::run_phase`] but names the phase; the label shows up
     /// in exported traces and reports.
+    ///
+    /// **Deprecated:** panics on cluster abort. New code should call
+    /// [`Cluster::try_run_labeled_phase`].
     pub fn run_labeled_phase(&mut self, label: &str, phase: Arc<dyn Phase>) {
-        if let Err(e) = self.try_run_labeled_phase(label, phase) {
-            panic!("cluster job failed: {e}");
-        }
+        self.try_run_labeled_phase(label, phase)
+            .expect("cluster job failed");
     }
 
     /// Fallible [`Cluster::run_phase`]: returns the recorded [`JobError`]
@@ -446,7 +452,21 @@ impl Cluster {
             self.run_phase_inner(Arc::new(DistBarrierPhase { epoch }), "dist_barrier");
             self.reap_abort()?;
         }
+        self.retune_flush();
         Ok(())
+    }
+
+    /// Adaptive-flush control step: every machine's controller digests the
+    /// finished phase's fill/round-trip observations and may move its
+    /// effective flush threshold. Runs between phase barriers, so no worker
+    /// observes the threshold moving mid-buffer. One branch per machine
+    /// when `adaptive_flush` is off.
+    fn retune_flush(&mut self) {
+        for m in &self.machines {
+            if let Some((_, new)) = m.flush.retune() {
+                m.telemetry.trace(0, EventKind::FlushRetune, new as u64);
+            }
+        }
     }
 
     /// Converts a recorded abort into an error, resetting the pending
@@ -483,10 +503,19 @@ impl Cluster {
     }
 
     /// Runs a sequence of phases back to back.
+    ///
+    /// **Deprecated:** panics on cluster abort; prefer
+    /// [`Cluster::try_run_phases`].
     pub fn run_phases(&mut self, phases: Vec<Arc<dyn Phase>>) {
+        self.try_run_phases(phases).expect("cluster job failed");
+    }
+
+    /// Fallible [`Cluster::run_phases`]: stops at the first failing phase.
+    pub fn try_run_phases(&mut self, phases: Vec<Arc<dyn Phase>>) -> Result<(), JobError> {
         for p in phases {
-            self.run_phase(p);
+            self.try_run_phase(p)?;
         }
+        Ok(())
     }
 
     /// Crosses the message-based distributed barrier once (Figure 5b).
@@ -723,7 +752,12 @@ fn worker_loop(
         m.id,
         worker_idx as u16,
         m.config.machines,
-        m.config.buffer_bytes,
+        CommTuning {
+            buffer_bytes: m.config.buffer_bytes,
+            read_combining: m.config.read_combining,
+            flush: m.flush.clone(),
+            pool_shard: worker_idx,
+        },
         m.worker_rx[worker_idx].clone(),
         m.outbox_tx.clone(),
         m.send_pool.clone(),
@@ -821,7 +855,7 @@ mod tests {
     fn noop_phases_run() {
         let mut c = ring_cluster(3);
         for _ in 0..5 {
-            c.run_phase(Arc::new(NoopPhase));
+            c.try_run_phase(Arc::new(NoopPhase)).unwrap();
         }
     }
 
@@ -859,7 +893,8 @@ mod tests {
             c.num_machines(),
             c.config().workers,
         );
-        c.run_phase(Arc::new(PokePhase { prop: p, job }));
+        c.try_run_phase(Arc::new(PokePhase { prop: p, job }))
+            .unwrap();
         // Every worker contributed exactly +1.
         assert_eq!(c.get::<i64>(p, 0), workers_total as i64);
         assert_eq!(c.pending().load(Ordering::SeqCst), 0);
@@ -970,10 +1005,11 @@ mod tests {
         let got = Arc::new(AtomicI64::new(-1));
         let workers_total = c.num_machines() * c.config().workers;
         let job = JobState::new(workers_total, c.pending().clone(), 2, c.config().workers);
-        c.run_phase(Arc::new(RmiPhase {
+        c.try_run_phase(Arc::new(RmiPhase {
             job,
             got: got.clone(),
-        }));
+        }))
+        .unwrap();
         assert_eq!(got.load(Ordering::SeqCst), 5, "RMI response delivered");
         // The handler ran on machine 1 and mutated its local cell.
         let m1_first = c.partition().start(1);

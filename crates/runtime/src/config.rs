@@ -275,6 +275,49 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// Adaptive flush-threshold bounds (§3.4 / Figure 8b). When enabled, the
+/// per-machine [`FlushController`](crate::flow::FlushController) moves the
+/// effective flush threshold within `[min_bytes, max_bytes]` between phase
+/// barriers, based on observed buffer fill levels and read round trips.
+/// Buffers are always *allocated* at `buffer_bytes`; only the seal point
+/// moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveFlushConfig {
+    /// Master switch for the control loop.
+    pub enabled: bool,
+    /// Smallest effective flush threshold, bytes (≥ 64).
+    pub min_bytes: usize,
+    /// Largest effective flush threshold, bytes (≤ `buffer_bytes`); also
+    /// the starting threshold.
+    pub max_bytes: usize,
+}
+
+impl AdaptiveFlushConfig {
+    /// Control loop off: the flush threshold is pinned to `buffer_bytes`.
+    pub const fn off() -> Self {
+        AdaptiveFlushConfig {
+            enabled: false,
+            min_bytes: 1 << 8,
+            max_bytes: 1 << 16,
+        }
+    }
+
+    /// Control loop on with explicit `[min, max]` bounds.
+    pub const fn bounds(min_bytes: usize, max_bytes: usize) -> Self {
+        AdaptiveFlushConfig {
+            enabled: true,
+            min_bytes,
+            max_bytes,
+        }
+    }
+}
+
+impl Default for AdaptiveFlushConfig {
+    fn default() -> Self {
+        AdaptiveFlushConfig::off()
+    }
+}
+
 /// Full cluster configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -314,9 +357,26 @@ pub struct Config {
     pub fault: FaultPlan,
     /// Reliable-delivery protocol (off by default).
     pub reliability: ReliabilityConfig,
+    /// Free-list shards in each machine's send-buffer pool (rounded up to
+    /// a power of two). Workers and copiers recycle buffers through their
+    /// own shard, so acquire/release never contend across threads.
+    pub pool_shards: usize,
+    /// Combine repeated in-flight remote reads of the same
+    /// `(property, vertex)` into one wire entry, fanning the single
+    /// response value out to every logged continuation.
+    pub read_combining: bool,
+    /// Adaptive flush-threshold control loop (off by default).
+    pub adaptive_flush: AdaptiveFlushConfig,
 }
 
 impl Config {
+    /// Starts a validated builder seeded with the benchmark defaults; see
+    /// [`ConfigBuilder`].
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::default(),
+        }
+    }
     /// A small configuration suitable for unit tests: 2 machines, 1 worker
     /// and 1 copier each, tiny buffers so that buffering/flushing paths are
     /// exercised even by small graphs.
@@ -337,6 +397,9 @@ impl Config {
             telemetry: TelemetryConfig::off(),
             fault: FaultPlan::none(),
             reliability: ReliabilityConfig::off(),
+            pool_shards: 2,
+            read_combining: true,
+            adaptive_flush: AdaptiveFlushConfig::off(),
         }
     }
 
@@ -359,6 +422,9 @@ impl Config {
             telemetry: TelemetryConfig::off(),
             fault: FaultPlan::none(),
             reliability: ReliabilityConfig::off(),
+            pool_shards: 4,
+            read_combining: true,
+            adaptive_flush: AdaptiveFlushConfig::off(),
         }
     }
 
@@ -394,6 +460,24 @@ impl Config {
         }
         if self.chunk_edges == 0 {
             return Err("chunk_edges must be >= 1".into());
+        }
+        if self.pool_shards == 0 {
+            return Err("pool_shards must be >= 1".into());
+        }
+        if self.pool_shards > 1024 {
+            return Err("pool_shards must be <= 1024".into());
+        }
+        if self.adaptive_flush.enabled {
+            let f = &self.adaptive_flush;
+            if f.min_bytes < 64 {
+                return Err("adaptive_flush.min_bytes must be >= 64".into());
+            }
+            if f.min_bytes > f.max_bytes {
+                return Err("adaptive_flush bounds inverted (min_bytes > max_bytes)".into());
+            }
+            if f.max_bytes > self.buffer_bytes {
+                return Err("adaptive_flush.max_bytes must be <= buffer_bytes".into());
+            }
         }
         if self.telemetry.enabled && self.telemetry.ring_capacity == 0 {
             return Err("telemetry ring_capacity must be >= 1 when enabled".into());
@@ -437,6 +521,132 @@ impl Config {
 impl Default for Config {
     fn default() -> Self {
         Config::bench(4)
+    }
+}
+
+/// Validated builder for [`Config`] — the single front door for tuning
+/// knobs. Every setter is loose; [`ConfigBuilder::build`] runs
+/// [`Config::validate`] so invalid combinations (zero quotas, inverted
+/// flush bounds, active faults without reliability, ...) are rejected in
+/// one place instead of panicking deep inside the engine.
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Number of simulated machines.
+    pub fn machines(mut self, n: usize) -> Self {
+        self.config.machines = n;
+        self
+    }
+
+    /// Worker threads per machine.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Copier threads per machine.
+    pub fn copiers(mut self, n: usize) -> Self {
+        self.config.copiers = n;
+        self
+    }
+
+    /// Message-buffer capacity in bytes.
+    pub fn buffer_bytes(mut self, n: usize) -> Self {
+        self.config.buffer_bytes = n;
+        self
+    }
+
+    /// Send-buffer quota per machine (back-pressure budget).
+    pub fn send_buffers_per_machine(mut self, n: usize) -> Self {
+        self.config.send_buffers_per_machine = n;
+        self
+    }
+
+    /// Ghost-node degree threshold (`None` disables ghosts).
+    pub fn ghost_threshold(mut self, t: Option<usize>) -> Self {
+        self.config.ghost_threshold = t;
+        self
+    }
+
+    /// Vertex or edge partitioning.
+    pub fn partitioning(mut self, p: PartitioningMode) -> Self {
+        self.config.partitioning = p;
+        self
+    }
+
+    /// Node or edge chunking.
+    pub fn chunking(mut self, c: ChunkingMode) -> Self {
+        self.config.chunking = c;
+        self
+    }
+
+    /// Target edges per chunk.
+    pub fn chunk_edges(mut self, n: usize) -> Self {
+        self.config.chunk_edges = n;
+        self
+    }
+
+    /// Thread-private ghost copies for reduced properties.
+    pub fn ghost_privatization(mut self, on: bool) -> Self {
+        self.config.ghost_privatization = on;
+        self
+    }
+
+    /// Message-based barrier / termination protocols.
+    pub fn strict_distributed(mut self, on: bool) -> Self {
+        self.config.strict_distributed = on;
+        self
+    }
+
+    /// Simulated network model.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.config.net = net;
+        self
+    }
+
+    /// Histogram/tracer switches.
+    pub fn telemetry(mut self, t: TelemetryConfig) -> Self {
+        self.config.telemetry = t;
+        self
+    }
+
+    /// Fault-injection schedule; an active plan auto-enables reliability.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.config = self.config.with_fault(plan);
+        self
+    }
+
+    /// Reliable-delivery protocol knobs.
+    pub fn reliability(mut self, r: ReliabilityConfig) -> Self {
+        self.config.reliability = r;
+        self
+    }
+
+    /// Send-pool free-list shard count.
+    pub fn pool_shards(mut self, n: usize) -> Self {
+        self.config.pool_shards = n;
+        self
+    }
+
+    /// In-flight remote-read combining.
+    pub fn read_combining(mut self, on: bool) -> Self {
+        self.config.read_combining = on;
+        self
+    }
+
+    /// Adaptive flush-threshold control loop.
+    pub fn adaptive_flush(mut self, f: AdaptiveFlushConfig) -> Self {
+        self.config.adaptive_flush = f;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<Config, String> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -518,6 +728,64 @@ mod tests {
         c.reliability = ReliabilityConfig::on();
         c.reliability.max_retries = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_accepts_valid_tuning() {
+        let c = Config::builder()
+            .machines(3)
+            .workers(2)
+            .buffer_bytes(8 << 10)
+            .pool_shards(8)
+            .read_combining(false)
+            .adaptive_flush(AdaptiveFlushConfig::bounds(256, 4096))
+            .build()
+            .expect("valid config");
+        assert_eq!(c.machines, 3);
+        assert_eq!(c.pool_shards, 8);
+        assert!(!c.read_combining);
+        assert!(c.adaptive_flush.enabled);
+    }
+
+    #[test]
+    fn builder_rejects_zero_quotas() {
+        assert!(Config::builder().workers(0).build().is_err());
+        assert!(Config::builder().copiers(0).build().is_err());
+        assert!(Config::builder()
+            .send_buffers_per_machine(0)
+            .build()
+            .is_err());
+        assert!(Config::builder().pool_shards(0).build().is_err());
+        assert!(Config::builder().pool_shards(4096).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_inverted_flush_bounds() {
+        let err = Config::builder()
+            .adaptive_flush(AdaptiveFlushConfig::bounds(4096, 256))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("inverted"), "unexpected error: {err}");
+        // Bounds above the allocated buffer size are also rejected.
+        assert!(Config::builder()
+            .buffer_bytes(1 << 10)
+            .adaptive_flush(AdaptiveFlushConfig::bounds(256, 1 << 20))
+            .build()
+            .is_err());
+        // min below the wire-entry floor is rejected.
+        assert!(Config::builder()
+            .adaptive_flush(AdaptiveFlushConfig::bounds(8, 4096))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_fault_setter_enables_reliability() {
+        let c = Config::builder()
+            .fault(FaultPlan::lossy(9, 5, 0, 0))
+            .build()
+            .expect("fault() auto-enables reliability");
+        assert!(c.reliability.enabled);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Adaptive flush control (§3.4 / Figure 8b).
+//!
+//! The paper picks one buffer size per experiment and shows the trade-off:
+//! small buffers waste bandwidth on per-message overhead, large buffers add
+//! latency while requests sit unsealed. The [`FlushController`] closes
+//! that loop at run time. Workers seal a request buffer once its payload
+//! would exceed the controller's *effective threshold* (never above the
+//! allocated `buffer_bytes`); the controller accumulates per-destination
+//! fill levels and remote-read round-trip times during a phase, and the
+//! driver calls [`FlushController::retune`] between phase barriers:
+//!
+//! * mostly-full seals (auto-seals at capacity) → the workload is
+//!   throughput-bound → grow the threshold toward `max_bytes`;
+//! * mostly near-empty seals (phase-end flushes dominate) → the messages
+//!   are latency-bound → shrink toward `min_bytes`;
+//! * a phase whose mean round trip regressed ≥4× past the best phase seen
+//!   → back off to smaller messages regardless.
+//!
+//! With `adaptive_flush` disabled the controller is inert: the threshold
+//! is pinned to `buffer_bytes` and every recording hook is one branch.
+
+use crate::config::AdaptiveFlushConfig;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-destination seal accounting (cumulative over the controller's
+/// lifetime; used for reporting, not for the control loop).
+#[derive(Debug, Default)]
+struct DestStat {
+    seals: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Shared per-machine flush-threshold controller. See the module docs.
+#[derive(Debug)]
+pub struct FlushController {
+    enabled: bool,
+    min_bytes: usize,
+    max_bytes: usize,
+    /// The effective flush threshold workers compare payload sizes against.
+    threshold: AtomicUsize,
+    epoch: Instant,
+    // Phase accumulators, reset by `retune`.
+    seals: AtomicU64,
+    seal_bytes: AtomicU64,
+    full_seals: AtomicU64,
+    rtt_sum_ns: AtomicU64,
+    rtt_count: AtomicU64,
+    /// Best (lowest) phase-mean round trip observed so far, ns.
+    best_rtt_ns: AtomicU64,
+    per_dest: Vec<DestStat>,
+}
+
+impl FlushController {
+    /// An inert controller pinned to `buffer_bytes` (adaptive flush off).
+    pub fn fixed(buffer_bytes: usize) -> Self {
+        FlushController {
+            enabled: false,
+            min_bytes: buffer_bytes,
+            max_bytes: buffer_bytes,
+            threshold: AtomicUsize::new(buffer_bytes),
+            epoch: Instant::now(),
+            seals: AtomicU64::new(0),
+            seal_bytes: AtomicU64::new(0),
+            full_seals: AtomicU64::new(0),
+            rtt_sum_ns: AtomicU64::new(0),
+            rtt_count: AtomicU64::new(0),
+            best_rtt_ns: AtomicU64::new(u64::MAX),
+            per_dest: Vec::new(),
+        }
+    }
+
+    /// Builds the controller for one machine. `buffer_bytes` caps the
+    /// effective threshold (buffers are still allocated at full size);
+    /// the starting threshold is `max_bytes`.
+    pub fn new(cfg: &AdaptiveFlushConfig, buffer_bytes: usize, machines: usize) -> Self {
+        if !cfg.enabled {
+            return Self::fixed(buffer_bytes);
+        }
+        let max = cfg.max_bytes.min(buffer_bytes);
+        let min = cfg.min_bytes.min(max);
+        FlushController {
+            enabled: true,
+            min_bytes: min,
+            max_bytes: max,
+            threshold: AtomicUsize::new(max),
+            per_dest: (0..machines).map(|_| DestStat::default()).collect(),
+            ..Self::fixed(buffer_bytes)
+        }
+    }
+
+    /// Whether the control loop is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The current effective flush threshold, in payload bytes.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.threshold.load(Ordering::Relaxed)
+    }
+
+    /// The controller's clock (ns since its creation), used by workers to
+    /// stamp request send times when telemetry is off.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one sealed request buffer: destination, payload bytes, and
+    /// whether it sealed at capacity (`full`) or at an explicit flush.
+    #[inline]
+    pub fn note_seal(&self, dest: usize, bytes: u64, full: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.seals.fetch_add(1, Ordering::Relaxed);
+        self.seal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if full {
+            self.full_seals.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(d) = self.per_dest.get(dest) {
+            d.seals.fetch_add(1, Ordering::Relaxed);
+            d.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one remote-read round trip.
+    #[inline]
+    pub fn note_rtt(&self, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.rtt_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.rtt_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Driver-side control step, run between phase barriers. Consumes the
+    /// phase accumulators and adjusts the effective threshold; returns
+    /// `Some((old, new))` when the threshold moved.
+    pub fn retune(&self) -> Option<(usize, usize)> {
+        if !self.enabled {
+            return None;
+        }
+        let seals = self.seals.swap(0, Ordering::Relaxed);
+        let bytes = self.seal_bytes.swap(0, Ordering::Relaxed);
+        let full = self.full_seals.swap(0, Ordering::Relaxed);
+        let rtt_n = self.rtt_count.swap(0, Ordering::Relaxed);
+        let rtt_sum = self.rtt_sum_ns.swap(0, Ordering::Relaxed);
+        if seals == 0 {
+            return None;
+        }
+        let cur = self.threshold();
+        let avg_fill = bytes / seals;
+        let mut next = cur;
+        if full * 2 >= seals {
+            // Mostly sealing at capacity: throughput-bound, grow.
+            next = (cur * 2).min(self.max_bytes);
+        } else if avg_fill * 4 < cur as u64 {
+            // Mostly near-empty phase-end flushes: latency-bound, shrink.
+            next = (cur / 2).max(self.min_bytes);
+        }
+        if let Some(avg) = rtt_sum.checked_div(rtt_n) {
+            let best = self.best_rtt_ns.fetch_min(avg, Ordering::AcqRel);
+            if best != u64::MAX && avg > 4 * best {
+                // Round trips regressed badly: prefer smaller messages.
+                next = (cur / 2).max(self.min_bytes);
+            }
+        }
+        if next != cur {
+            self.threshold.store(next, Ordering::Relaxed);
+            Some((cur, next))
+        } else {
+            None
+        }
+    }
+
+    /// Cumulative `(seals, bytes)` per destination, for reports.
+    pub fn dest_fill_snapshot(&self) -> Vec<(u64, u64)> {
+        self.per_dest
+            .iter()
+            .map(|d| {
+                (
+                    d.seals.load(Ordering::Relaxed),
+                    d.bytes.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// The configured bounds `(min_bytes, max_bytes)` of the threshold.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.min_bytes, self.max_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adaptive(min: usize, max: usize, buffer: usize) -> FlushController {
+        FlushController::new(
+            &AdaptiveFlushConfig {
+                enabled: true,
+                min_bytes: min,
+                max_bytes: max,
+            },
+            buffer,
+            2,
+        )
+    }
+
+    #[test]
+    fn fixed_controller_is_inert() {
+        let c = FlushController::fixed(4096);
+        assert!(!c.enabled());
+        assert_eq!(c.threshold(), 4096);
+        c.note_seal(0, 100, true);
+        c.note_rtt(5);
+        assert_eq!(c.retune(), None);
+        assert_eq!(c.threshold(), 4096);
+    }
+
+    #[test]
+    fn grows_when_seals_are_full() {
+        let c = adaptive(256, 4096, 65536);
+        assert_eq!(c.threshold(), 4096, "starts at max");
+        // Force it down first.
+        for _ in 0..10 {
+            c.note_seal(0, 10, false);
+        }
+        assert_eq!(c.retune(), Some((4096, 2048)));
+        // Now mostly-full seals grow it back.
+        for _ in 0..10 {
+            c.note_seal(1, 2048, true);
+        }
+        assert_eq!(c.retune(), Some((2048, 4096)));
+        // Clamped at max.
+        for _ in 0..10 {
+            c.note_seal(1, 4096, true);
+        }
+        assert_eq!(c.retune(), None);
+    }
+
+    #[test]
+    fn shrinks_to_min_on_empty_flushes() {
+        let c = adaptive(256, 4096, 65536);
+        for _ in 0..8 {
+            for _ in 0..10 {
+                c.note_seal(0, 1, false);
+            }
+            c.retune();
+        }
+        assert_eq!(c.threshold(), 256, "clamped at min");
+    }
+
+    #[test]
+    fn rtt_regression_forces_shrink() {
+        let c = adaptive(256, 4096, 65536);
+        // Healthy phase: average fill keeps the threshold where it is.
+        c.note_seal(0, 2048, false);
+        c.note_rtt(1_000);
+        assert_eq!(c.retune(), None);
+        // Regressed phase: mean RTT 10× the best seen → shrink even though
+        // fill alone wouldn't have.
+        c.note_seal(0, 2048, false);
+        c.note_rtt(10_000);
+        assert_eq!(c.retune(), Some((4096, 2048)));
+    }
+
+    #[test]
+    fn max_clamped_to_buffer_bytes() {
+        let c = adaptive(256, 1 << 20, 4096);
+        assert_eq!(c.bounds(), (256, 4096));
+        assert_eq!(c.threshold(), 4096);
+    }
+
+    #[test]
+    fn dest_fill_tracked_per_destination() {
+        let c = adaptive(256, 4096, 65536);
+        c.note_seal(0, 100, false);
+        c.note_seal(1, 300, true);
+        c.note_seal(1, 50, false);
+        assert_eq!(c.dest_fill_snapshot(), vec![(1, 100), (2, 350)]);
+    }
+}

@@ -36,6 +36,7 @@ pub mod config;
 pub mod copier;
 pub mod fabric;
 pub mod fault;
+pub mod flow;
 pub mod ghost;
 pub mod health;
 pub mod ids;
@@ -52,9 +53,10 @@ pub mod worker;
 
 pub use cluster::Cluster;
 pub use config::{
-    ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode, ReliabilityConfig,
-    SlowPlan, TelemetryConfig,
+    AdaptiveFlushConfig, ChunkingMode, Config, ConfigBuilder, CrashPlan, FaultPlan, NetConfig,
+    PartitioningMode, ReliabilityConfig, SlowPlan, TelemetryConfig,
 };
+pub use flow::FlushController;
 pub use health::{ClusterHealth, JobError};
 pub use ids::{GlobalId, MachineId};
 pub use props::{PropId, PropValue, ReduceOp};

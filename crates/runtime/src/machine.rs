@@ -4,6 +4,7 @@ use crate::barrier::DistBarrier;
 use crate::buffer::BufferPool;
 use crate::config::Config;
 use crate::fabric::MachineReceivers;
+use crate::flow::FlushController;
 use crate::ghost::GhostTable;
 use crate::health::ClusterHealth;
 use crate::ids::MachineId;
@@ -49,6 +50,9 @@ pub struct MachineState {
     pub worker_rx: Vec<Receiver<Envelope>>,
     /// Pool for outgoing message payloads (back-pressure accounting).
     pub send_pool: Arc<BufferPool>,
+    /// Adaptive flush-threshold controller shared by this machine's workers
+    /// (inert unless `config.adaptive_flush.enabled`).
+    pub flush: Arc<FlushController>,
     /// Telemetry registry: histograms, per-worker tracers, and the owner of
     /// this machine's [`MachineStats`].
     pub telemetry: Arc<Telemetry>,
@@ -87,9 +91,15 @@ impl MachineState {
         health: Arc<ClusterHealth>,
     ) -> Self {
         let props = PropertyStore::new(graph.num_local(), graph.num_ghosts());
-        let send_pool = Arc::new(BufferPool::new(
+        let send_pool = Arc::new(BufferPool::with_shards(
             config.send_buffers_per_machine,
             config.buffer_bytes,
+            config.pool_shards,
+        ));
+        let flush = Arc::new(FlushController::new(
+            &config.adaptive_flush,
+            config.buffer_bytes,
+            config.machines,
         ));
         let dist_barrier = Arc::new(DistBarrier::new(config.workers, config.machines));
         let stats = telemetry.stats().clone();
@@ -111,6 +121,7 @@ impl MachineState {
             copier_rx: receivers.copier_rx,
             worker_rx: receivers.worker_rx,
             send_pool,
+            flush,
             telemetry,
             stats,
             pending,

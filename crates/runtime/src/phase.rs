@@ -160,9 +160,10 @@ where
         worked = true;
         match resp.env.kind {
             MsgKind::ReadResp => {
-                for (i, rec) in resp.recs.iter().enumerate() {
-                    let bits = crate::message::resp_entry(&resp.env.payload, i);
-                    on_value(env, *rec, bits);
+                for i in 0..resp.recs.len() {
+                    // `read_value` maps the record through the combining
+                    // entry-index table (identity when combining is off).
+                    on_value(env, resp.recs[i], resp.read_value(i));
                 }
             }
             MsgKind::RmiResp => {

@@ -21,7 +21,9 @@ pub struct MachineStats {
     /// Header bytes sent (fixed per envelope; kept separate so "utilized"
     /// vs "effective" bandwidth can be reported as in Figure 8a).
     pub header_bytes_sent: AtomicU64,
-    /// Remote read request entries issued.
+    /// Remote read request entries put on the wire. Reads deduplicated by
+    /// in-flight combining count under `combined_read_hits` instead, so
+    /// logical reads = `read_entries + combined_read_hits`.
     pub read_entries: AtomicU64,
     /// Remote write (reduction) entries issued.
     pub write_entries: AtomicU64,
@@ -48,6 +50,9 @@ pub struct MachineStats {
     /// Buffered/in-flight entries failed by an abort sweep instead of being
     /// completed (their `read_done` continuations never ran).
     pub failed_entries: AtomicU64,
+    /// Remote reads satisfied by piggybacking on an identical in-flight
+    /// request entry instead of a new wire entry (read combining).
+    pub combined_read_hits: AtomicU64,
 }
 
 /// A point-in-time copy of [`MachineStats`], subtractable.
@@ -68,6 +73,7 @@ pub struct StatsSnapshot {
     pub dup_suppressed: u64,
     pub acks_sent: u64,
     pub failed_entries: u64,
+    pub combined_read_hits: u64,
 }
 
 impl MachineStats {
@@ -89,6 +95,7 @@ impl MachineStats {
             dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
             failed_entries: self.failed_entries.load(Ordering::Relaxed),
+            combined_read_hits: self.combined_read_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +119,7 @@ impl std::ops::Sub for StatsSnapshot {
             dup_suppressed: self.dup_suppressed - rhs.dup_suppressed,
             acks_sent: self.acks_sent - rhs.acks_sent,
             failed_entries: self.failed_entries - rhs.failed_entries,
+            combined_read_hits: self.combined_read_hits - rhs.combined_read_hits,
         }
     }
 }
@@ -135,6 +143,7 @@ impl std::ops::Add for StatsSnapshot {
             dup_suppressed: self.dup_suppressed + rhs.dup_suppressed,
             acks_sent: self.acks_sent + rhs.acks_sent,
             failed_entries: self.failed_entries + rhs.failed_entries,
+            combined_read_hits: self.combined_read_hits + rhs.combined_read_hits,
         }
     }
 }

@@ -446,6 +446,7 @@ pub fn stats_json(s: &StatsSnapshot) -> Value {
         ("dup_suppressed", s.dup_suppressed.into()),
         ("acks_sent", s.acks_sent.into()),
         ("failed_entries", s.failed_entries.into()),
+        ("combined_read_hits", s.combined_read_hits.into()),
     ])
 }
 
@@ -649,8 +650,8 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                         fields.push(("ph", "i".into()));
                         fields.push(("s", "t".into()));
                     }
-                    EventKind::PoolStall => {
-                        fields.push(("name", "pool_stall".into()));
+                    EventKind::PoolStall | EventKind::FlushRetune => {
+                        fields.push(("name", e.kind.name().into()));
                         fields.push(("cat", "comm".into()));
                         fields.push(("ph", "i".into()));
                         fields.push(("s", "t".into()));
@@ -672,7 +673,7 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                 fields.push(("tid", w.into()));
                 fields.push(("ts", ts.into()));
                 let arg_key = match e.kind {
-                    EventKind::BufferFlush => Some("bytes"),
+                    EventKind::BufferFlush | EventKind::FlushRetune => Some("bytes"),
                     EventKind::PoolStall => Some("events"),
                     EventKind::GhostPush | EventKind::GhostReduce => Some("nodes"),
                     EventKind::Retransmit | EventKind::AbortSweep => Some("count"),

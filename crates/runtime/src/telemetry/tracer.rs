@@ -43,6 +43,9 @@ pub enum EventKind {
     /// A worker failed its in-flight continuations after a cluster abort.
     /// `arg` = entries failed.
     AbortSweep = 10,
+    /// The adaptive flush controller moved the effective threshold between
+    /// phase barriers. `arg` = the new threshold in bytes.
+    FlushRetune = 11,
 }
 
 impl EventKind {
@@ -59,6 +62,7 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::DupDrop => "dup_drop",
             EventKind::AbortSweep => "abort_sweep",
+            EventKind::FlushRetune => "flush_retune",
         }
     }
 
@@ -75,6 +79,7 @@ impl EventKind {
             8 => EventKind::Retransmit,
             9 => EventKind::DupDrop,
             10 => EventKind::AbortSweep,
+            11 => EventKind::FlushRetune,
             _ => return None,
         })
     }

@@ -16,6 +16,7 @@
 //! * the worker's response receive queue.
 
 use crate::buffer::BufferPool;
+use crate::flow::FlushController;
 use crate::health::{ClusterHealth, JobError};
 use crate::ids::MachineId;
 use crate::message::{
@@ -27,8 +28,42 @@ use crate::reliable::DedupWindow;
 use crate::stats::MachineStats;
 use crate::telemetry::{EventKind, Telemetry};
 use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+/// Communication tuning for one worker: the knobs that shape the fast
+/// path, bundled so [`WorkerComm::new`] doesn't accumulate loose scalar
+/// arguments. Built by the cluster from the validated [`Config`]
+/// (`buffer_bytes`, `read_combining`, `adaptive_flush`, `pool_shards`).
+///
+/// [`Config`]: crate::config::Config
+#[derive(Clone)]
+pub struct CommTuning {
+    /// Allocated bytes per message buffer (the hard capacity; the flush
+    /// controller's threshold never exceeds it).
+    pub buffer_bytes: usize,
+    /// Combine duplicate in-flight reads of the same `(property, vertex)`
+    /// into one wire entry.
+    pub read_combining: bool,
+    /// The machine's shared flush-threshold controller.
+    pub flush: Arc<FlushController>,
+    /// Buffer-pool shard hint for this worker (its worker index).
+    pub pool_shard: usize,
+}
+
+impl CommTuning {
+    /// Fixed flush threshold at `buffer_bytes`, combining on, shard 0 —
+    /// mirrors the production defaults for tests and detached endpoints.
+    pub fn fixed(buffer_bytes: usize) -> Self {
+        CommTuning {
+            buffer_bytes,
+            read_combining: true,
+            flush: Arc::new(FlushController::fixed(buffer_bytes)),
+            pool_shard: 0,
+        }
+    }
+}
 
 /// One continuation record: which task (node) the request belongs to plus a
 /// free-form tag the task can use to disambiguate multiple callbacks
@@ -42,24 +77,36 @@ pub struct SideRec {
     pub aux: u64,
 }
 
+/// One in-flight side structure: the continuation records logged while the
+/// request buffer filled, plus (under read combining) the wire entry index
+/// each record's value lives at.
+#[derive(Debug, Default)]
+struct SideEntry {
+    recs: Vec<SideRec>,
+    /// Wire entry index per record. Empty means the identity mapping
+    /// (record `i` ↔ entry `i`) — the only shape produced with combining
+    /// off, so the common path carries no per-record cost.
+    entry_idx: Vec<u32>,
+}
+
 /// Slab of in-flight side structures, indexed by the `side_id` echoed
 /// through request/response headers.
 #[derive(Debug, Default)]
 struct SideSlab {
-    slots: Vec<Option<Vec<SideRec>>>,
+    slots: Vec<Option<SideEntry>>,
     free: Vec<u32>,
 }
 
 impl SideSlab {
-    fn insert(&mut self, recs: Vec<SideRec>) -> u32 {
+    fn insert(&mut self, entry: SideEntry) -> u32 {
         match self.free.pop() {
             Some(id) => {
                 debug_assert!(self.slots[id as usize].is_none());
-                self.slots[id as usize] = Some(recs);
+                self.slots[id as usize] = Some(entry);
                 id
             }
             None => {
-                self.slots.push(Some(recs));
+                self.slots.push(Some(entry));
                 (self.slots.len() - 1) as u32
             }
         }
@@ -68,18 +115,18 @@ impl SideSlab {
     /// Retires slot `id`, returning its records — or `None` when the slot
     /// is not in flight (out-of-range, never issued, or already consumed
     /// by an earlier response: the duplicated-response symptom).
-    fn take(&mut self, id: u32) -> Option<Vec<SideRec>> {
-        let recs = self.slots.get_mut(id as usize)?.take()?;
+    fn take(&mut self, id: u32) -> Option<SideEntry> {
+        let entry = self.slots.get_mut(id as usize)?.take()?;
         self.free.push(id);
-        Some(recs)
+        Some(entry)
     }
 
     /// Abandons every in-flight slot, returning the total record count.
     fn abandon(&mut self) -> usize {
         let mut n = 0;
         for (id, slot) in self.slots.iter_mut().enumerate() {
-            if let Some(recs) = slot.take() {
-                n += recs.len();
+            if let Some(entry) = slot.take() {
+                n += entry.recs.len();
                 self.free.push(id as u32);
             }
         }
@@ -99,14 +146,51 @@ pub struct Response {
     /// The continuation records logged when the requests were buffered,
     /// in request order.
     pub recs: Vec<SideRec>,
+    /// Wire entry index per record (empty = identity; see read combining).
+    entry_idx: Vec<u32>,
 }
+
+impl Response {
+    /// The wire entry holding record `i`'s value. Identity unless read
+    /// combining folded several records onto one request entry.
+    #[inline]
+    pub fn entry_index(&self, i: usize) -> usize {
+        match self.entry_idx.get(i) {
+            Some(&e) => e as usize,
+            None => i,
+        }
+    }
+
+    /// The read-response value for record `i` (a `ReadResp` payload).
+    #[inline]
+    pub fn read_value(&self, i: usize) -> u64 {
+        crate::message::resp_entry(&self.env.payload, self.entry_index(i))
+    }
+}
+
+/// An open per-destination read buffer: wire payload, the continuation
+/// records awaiting its responses, and the wire-entry index each record
+/// fans out from (empty = identity mapping, i.e. no combining hits).
+type ReadBuffer = (Vec<u8>, Vec<SideRec>, Vec<u32>);
 
 /// Per-worker communication endpoint.
 pub struct WorkerComm {
     machine: MachineId,
     worker: u16,
     buffer_bytes: usize,
-    read_payloads: Vec<Option<(Vec<u8>, Vec<SideRec>)>>,
+    /// Combine duplicate in-flight reads (see [`CommTuning`]).
+    read_combining: bool,
+    /// Shared flush-threshold controller; `flush.threshold()` is where
+    /// buffers seal (pinned to `buffer_bytes` unless adaptive flush is on).
+    flush: Arc<FlushController>,
+    /// Buffer-pool shard this worker recycles through.
+    pool_shard: usize,
+    read_payloads: Vec<Option<ReadBuffer>>,
+    /// Per-destination combining table over the *current unsealed* read
+    /// buffer: `(property, vertex) → wire entry index`. Cleared at seal, so
+    /// combined records always share one request message and therefore see
+    /// the same copier-read instant (bit-identical to combining off).
+    combine: Vec<HashMap<u64, u32>>,
     mut_payloads: Vec<Option<Vec<u8>>>,
     mut_kind: MsgKind,
     rmi_payloads: Vec<Option<(Vec<u8>, Vec<SideRec>)>>,
@@ -131,12 +215,14 @@ pub struct WorkerComm {
     /// Pool-exhaustion count already traced, to report only deltas.
     last_exhausted: u64,
     rec_pool: Vec<Vec<SideRec>>,
+    idx_pool: Vec<Vec<u32>>,
     // Entry statistics are batched locally and published at flush time so
     // the per-edge hot path touches no shared counters.
     stat_reads: u64,
     stat_writes: u64,
     stat_ghosts: u64,
     stat_rmis: u64,
+    stat_combined: u64,
 }
 
 impl WorkerComm {
@@ -147,7 +233,7 @@ impl WorkerComm {
         machine: MachineId,
         worker: u16,
         num_machines: usize,
-        buffer_bytes: usize,
+        tuning: CommTuning,
         resp_rx: Receiver<Envelope>,
         outbox: Sender<Envelope>,
         pool: Arc<BufferPool>,
@@ -160,8 +246,12 @@ impl WorkerComm {
         WorkerComm {
             machine,
             worker,
-            buffer_bytes,
+            buffer_bytes: tuning.buffer_bytes,
+            read_combining: tuning.read_combining,
+            flush: tuning.flush,
+            pool_shard: tuning.pool_shard,
             read_payloads: (0..num_machines).map(|_| None).collect(),
+            combine: (0..num_machines).map(|_| HashMap::new()).collect(),
             mut_payloads: (0..num_machines).map(|_| None).collect(),
             mut_kind: MsgKind::Write,
             rmi_payloads: (0..num_machines).map(|_| None).collect(),
@@ -178,10 +268,12 @@ impl WorkerComm {
             sent_at: Vec::new(),
             last_exhausted: 0,
             rec_pool: Vec::new(),
+            idx_pool: Vec::new(),
             stat_reads: 0,
             stat_writes: 0,
             stat_ghosts: 0,
             stat_rmis: 0,
+            stat_combined: 0,
         }
     }
 
@@ -210,23 +302,51 @@ impl WorkerComm {
         self.rec_pool.pop().unwrap_or_default()
     }
 
+    fn take_idx(&mut self) -> Vec<u32> {
+        self.idx_pool.pop().unwrap_or_default()
+    }
+
     /// Buffers a remote read request to `dst` and logs the continuation
-    /// record. Flushes automatically when the buffer reaches capacity.
+    /// record. Under read combining, a second read of the same
+    /// `(property, vertex)` while the buffer is unsealed piggybacks on the
+    /// existing wire entry instead of adding one; the response value fans
+    /// out to every logged record. Flushes automatically when the buffer
+    /// reaches the effective flush threshold.
     pub fn push_read(&mut self, dst: MachineId, prop: PropId, offset: u32, rec: SideRec) {
         self.pending.fetch_add(1, Ordering::AcqRel);
-        self.stat_reads += 1;
         let slot = dst as usize;
         if self.read_payloads[slot].is_none() {
-            let buf = self.pool.acquire_or_alloc();
+            let buf = self.pool.acquire_or_alloc_on(self.pool_shard);
             let recs = self.take_recs();
-            self.read_payloads[slot] = Some((buf, recs));
+            let idx = self.take_idx();
+            self.read_payloads[slot] = Some((buf, recs, idx));
         }
         {
-            let (buf, recs) = self.read_payloads[slot].as_mut().unwrap();
+            let (buf, recs, idx) = self.read_payloads[slot].as_mut().unwrap();
+            if self.read_combining {
+                let entry = (buf.len() / READ_ENTRY_BYTES) as u32;
+                let key = ((prop.0 as u64) << 32) | offset as u64;
+                match self.combine[slot].entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        // Hit: the value is already on the wire; no new
+                        // entry, no capacity check needed.
+                        recs.push(rec);
+                        idx.push(*e.get());
+                        self.stat_combined += 1;
+                        return;
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(entry);
+                    }
+                }
+                idx.push(entry);
+            }
             push_read_entry(buf, prop.0, offset);
             recs.push(rec);
+            self.stat_reads += 1;
         }
-        if self.read_payloads[slot].as_ref().unwrap().0.len() + READ_ENTRY_BYTES > self.buffer_bytes
+        if self.read_payloads[slot].as_ref().unwrap().0.len() + READ_ENTRY_BYTES
+            > self.flush.threshold()
         {
             self.seal_read(dst);
         }
@@ -241,13 +361,15 @@ impl WorkerComm {
         }
         let slot = dst as usize;
         if self.mut_payloads[slot].is_none() {
-            self.mut_payloads[slot] = Some(self.pool.acquire_or_alloc());
+            self.mut_payloads[slot] = Some(self.pool.acquire_or_alloc_on(self.pool_shard));
         }
         {
             let buf = self.mut_payloads[slot].as_mut().unwrap();
             push_mut_entry(buf, prop.0, op, offset, bits);
         }
-        if self.mut_payloads[slot].as_ref().unwrap().len() + MUT_ENTRY_BYTES > self.buffer_bytes {
+        if self.mut_payloads[slot].as_ref().unwrap().len() + MUT_ENTRY_BYTES
+            > self.flush.threshold()
+        {
             self.seal_mut(dst);
         }
     }
@@ -259,7 +381,7 @@ impl WorkerComm {
         self.stat_rmis += 1;
         let slot = dst as usize;
         if self.rmi_payloads[slot].is_none() {
-            let buf = self.pool.acquire_or_alloc();
+            let buf = self.pool.acquire_or_alloc_on(self.pool_shard);
             let recs = self.take_recs();
             self.rmi_payloads[slot] = Some((buf, recs));
         }
@@ -268,40 +390,70 @@ impl WorkerComm {
             push_rmi_entry(buf, fn_id, args);
             recs.push(rec);
         }
-        if self.rmi_payloads[slot].as_ref().unwrap().0.len() + 4 + args.len() > self.buffer_bytes {
+        if self.rmi_payloads[slot].as_ref().unwrap().0.len() + 4 + args.len()
+            > self.flush.threshold()
+        {
             self.seal_rmi(dst);
         }
     }
 
-    /// Telemetry for one sealed buffer: fill ratio, a flush trace event,
-    /// and optionally (for request kinds expecting a response) the send
-    /// timestamp for round-trip measurement plus side-slab occupancy.
-    fn note_seal(&mut self, payload_len: usize, side_id: Option<u32>) {
-        if !self.telemetry.enabled() {
+    /// Accounting for one sealed buffer: the flush controller's fill/seal
+    /// feed, telemetry (fill ratio, flush trace event), and — for request
+    /// kinds expecting a response — the send timestamp for round-trip
+    /// measurement plus side-slab occupancy. `entry_bytes` is the size one
+    /// more entry would have needed, to classify the seal as at-capacity
+    /// vs. explicit-flush.
+    fn note_seal(
+        &mut self,
+        dst: MachineId,
+        payload_len: usize,
+        side_id: Option<u32>,
+        entry_bytes: usize,
+    ) {
+        let flow = self.flush.enabled();
+        if flow {
+            let full = payload_len + entry_bytes > self.flush.threshold();
+            self.flush.note_seal(dst as usize, payload_len as u64, full);
+        }
+        let telem = self.telemetry.enabled();
+        if !telem && !flow {
             return;
         }
-        self.telemetry
-            .record_flush_fill((payload_len * 100 / self.buffer_bytes.max(1)) as u64);
-        self.telemetry.trace(
-            self.worker as usize,
-            EventKind::BufferFlush,
-            payload_len as u64,
-        );
-        if let Some(id) = side_id {
+        if telem {
             self.telemetry
-                .record_side_occupancy(self.slab.in_flight() as u64);
+                .record_flush_fill((payload_len * 100 / self.buffer_bytes.max(1)) as u64);
+            self.telemetry.trace(
+                self.worker as usize,
+                EventKind::BufferFlush,
+                payload_len as u64,
+            );
+            if side_id.is_some() {
+                self.telemetry
+                    .record_side_occupancy(self.slab.in_flight() as u64);
+            }
+        }
+        if let Some(id) = side_id {
             let i = id as usize;
             if self.sent_at.len() <= i {
                 self.sent_at.resize(i + 1, 0);
             }
-            self.sent_at[i] = self.telemetry.now_ns();
+            // One clock per run: telemetry's when tracing, else the flush
+            // controller's (the RTT consumer must subtract consistently).
+            self.sent_at[i] = if telem {
+                self.telemetry.now_ns()
+            } else {
+                self.flush.now_ns()
+            };
         }
     }
 
     fn seal_read(&mut self, dst: MachineId) {
-        if let Some((payload, recs)) = self.read_payloads[dst as usize].take() {
-            let side_id = self.slab.insert(recs);
-            self.note_seal(payload.len(), Some(side_id));
+        if let Some((payload, recs, entry_idx)) = self.read_payloads[dst as usize].take() {
+            if self.read_combining {
+                self.combine[dst as usize].clear();
+            }
+            let side_id = self.slab.insert(SideEntry { recs, entry_idx });
+            self.note_seal(dst, payload.len(), Some(side_id), READ_ENTRY_BYTES);
             let _ = self.outbox.send(Envelope {
                 src: self.machine,
                 dst,
@@ -316,7 +468,7 @@ impl WorkerComm {
 
     fn seal_mut(&mut self, dst: MachineId) {
         if let Some(payload) = self.mut_payloads[dst as usize].take() {
-            self.note_seal(payload.len(), None);
+            self.note_seal(dst, payload.len(), None, MUT_ENTRY_BYTES);
             let _ = self.outbox.send(Envelope {
                 src: self.machine,
                 dst,
@@ -331,8 +483,11 @@ impl WorkerComm {
 
     fn seal_rmi(&mut self, dst: MachineId) {
         if let Some((payload, recs)) = self.rmi_payloads[dst as usize].take() {
-            let side_id = self.slab.insert(recs);
-            self.note_seal(payload.len(), Some(side_id));
+            let side_id = self.slab.insert(SideEntry {
+                recs,
+                entry_idx: Vec::new(),
+            });
+            self.note_seal(dst, payload.len(), Some(side_id), 4);
             let _ = self.outbox.send(Envelope {
                 src: self.machine,
                 dst,
@@ -393,6 +548,12 @@ impl WorkerComm {
                 .fetch_add(self.stat_rmis, Ordering::Relaxed);
             self.stat_rmis = 0;
         }
+        if self.stat_combined > 0 {
+            self.stats
+                .combined_read_hits
+                .fetch_add(self.stat_combined, Ordering::Relaxed);
+            self.stat_combined = 0;
+        }
     }
 
     /// Acknowledges a sequenced response envelope on this worker's lane.
@@ -427,28 +588,42 @@ impl WorkerComm {
                     self.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
                     self.telemetry
                         .trace(self.worker as usize, EventKind::DupDrop, env.seq);
-                    self.pool.release(env.payload);
+                    self.pool.release_on(env.payload, self.pool_shard);
                     continue;
                 }
             }
-            if self.telemetry.enabled() {
+            let telem = self.telemetry.enabled();
+            if telem || self.flush.enabled() {
                 if let Some(&sent) = self.sent_at.get(env.side_id as usize) {
                     if sent > 0 {
-                        self.telemetry
-                            .record_read_rtt(self.telemetry.now_ns().saturating_sub(sent));
+                        // Same clock note_seal stamped with.
+                        let now = if telem {
+                            self.telemetry.now_ns()
+                        } else {
+                            self.flush.now_ns()
+                        };
+                        let rtt = now.saturating_sub(sent);
+                        if telem {
+                            self.telemetry.record_read_rtt(rtt);
+                        }
+                        self.flush.note_rtt(rtt);
                     }
                 }
             }
-            let Some(recs) = self.slab.take(env.side_id) else {
+            let Some(entry) = self.slab.take(env.side_id) else {
                 self.health.abort(JobError::Protocol(format!(
                     "machine {} worker {}: {:?} response names side structure {} which is \
                      not in flight (duplicated or stale response)",
                     self.machine, self.worker, env.kind, env.side_id
                 )));
-                self.pool.release(env.payload);
+                self.pool.release_on(env.payload, self.pool_shard);
                 return None;
             };
-            return Some(Response { env, recs });
+            return Some(Response {
+                env,
+                recs: entry.recs,
+                entry_idx: entry.entry_idx,
+            });
         }
     }
 
@@ -461,7 +636,10 @@ impl WorkerComm {
         let mut recs = resp.recs;
         recs.clear();
         self.rec_pool.push(recs);
-        self.pool.release(resp.env.payload);
+        let mut idx = resp.entry_idx;
+        idx.clear();
+        self.idx_pool.push(idx);
+        self.pool.release_on(resp.env.payload, self.pool_shard);
     }
 
     /// Abandons all in-flight communication after a cluster abort: unsealed
@@ -473,26 +651,29 @@ impl WorkerComm {
     pub fn abort_in_flight(&mut self) {
         let mut failed = 0u64;
         for slot in self.read_payloads.iter_mut() {
-            if let Some((buf, recs)) = slot.take() {
+            if let Some((buf, recs, _idx)) = slot.take() {
                 failed += recs.len() as u64;
-                self.pool.release(buf);
+                self.pool.release_on(buf, self.pool_shard);
             }
+        }
+        for map in self.combine.iter_mut() {
+            map.clear();
         }
         for slot in self.mut_payloads.iter_mut() {
             if let Some(buf) = slot.take() {
                 failed += mut_entry_count(&buf) as u64;
-                self.pool.release(buf);
+                self.pool.release_on(buf, self.pool_shard);
             }
         }
         for slot in self.rmi_payloads.iter_mut() {
             if let Some((buf, recs)) = slot.take() {
                 failed += recs.len() as u64;
-                self.pool.release(buf);
+                self.pool.release_on(buf, self.pool_shard);
             }
         }
         failed += self.slab.abandon() as u64;
         while let Ok(env) = self.resp_rx.try_recv() {
-            self.pool.release(env.payload);
+            self.pool.release_on(env.payload, self.pool_shard);
         }
         if failed > 0 {
             self.stats
@@ -532,14 +713,15 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
-    fn make_comm(buffer_bytes: usize) -> (WorkerComm, Receiver<Envelope>, Sender<Envelope>) {
+    fn make_comm_tuned(tuning: CommTuning) -> (WorkerComm, Receiver<Envelope>, Sender<Envelope>) {
         let (out_tx, out_rx) = unbounded();
         let (resp_tx, resp_rx) = unbounded();
+        let buffer_bytes = tuning.buffer_bytes;
         let comm = WorkerComm::new(
             0,
             0,
             2,
-            buffer_bytes,
+            tuning,
             resp_rx,
             out_tx,
             Arc::new(BufferPool::new(8, buffer_bytes)),
@@ -549,6 +731,10 @@ mod tests {
             false,
         );
         (comm, out_rx, resp_tx)
+    }
+
+    fn make_comm(buffer_bytes: usize) -> (WorkerComm, Receiver<Envelope>, Sender<Envelope>) {
+        make_comm_tuned(CommTuning::fixed(buffer_bytes))
     }
 
     #[test]
@@ -661,6 +847,101 @@ mod tests {
     }
 
     #[test]
+    fn combining_dedups_in_flight_reads_and_fans_out() {
+        let (mut comm, out, resp_tx) = make_comm(1024);
+        // Three reads of vertex 5, one of vertex 6, one more of vertex 5:
+        // only two wire entries should go out.
+        comm.push_read(1, PropId(0), 5, SideRec { node: 10, aux: 0 });
+        comm.push_read(1, PropId(0), 5, SideRec { node: 11, aux: 1 });
+        comm.push_read(1, PropId(0), 6, SideRec { node: 12, aux: 2 });
+        comm.push_read(1, PropId(0), 5, SideRec { node: 13, aux: 3 });
+        assert_eq!(comm.pending().load(Ordering::SeqCst), 4);
+        comm.flush();
+        let req = out.try_recv().unwrap();
+        assert_eq!(
+            crate::message::read_entry_count(&req.payload),
+            2,
+            "duplicates share one wire entry"
+        );
+        assert_eq!(comm.stats().combined_read_hits.load(Ordering::Relaxed), 2);
+        // Copier answers the two entries in wire order: v5 → 500, v6 → 600.
+        let mut payload = Vec::new();
+        crate::message::push_resp_entry(&mut payload, 500);
+        crate::message::push_resp_entry(&mut payload, 600);
+        resp_tx
+            .send(Envelope {
+                src: 1,
+                dst: 0,
+                kind: MsgKind::ReadResp,
+                worker: req.worker,
+                side_id: req.side_id,
+                seq: 0,
+                payload,
+            })
+            .unwrap();
+        let r = comm.try_pop_response().unwrap();
+        assert_eq!(r.recs.len(), 4, "every continuation record survives");
+        let values: Vec<u64> = (0..r.recs.len()).map(|i| r.read_value(i)).collect();
+        assert_eq!(values, vec![500, 500, 600, 500]);
+        comm.finish_response(r);
+        assert_eq!(comm.pending().load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn combining_table_clears_at_seal() {
+        // Buffer fits exactly 2 read entries; a third distinct read seals.
+        let (mut comm, out, _resp) = make_comm(2 * READ_ENTRY_BYTES);
+        comm.push_read(1, PropId(0), 5, SideRec { node: 0, aux: 0 });
+        comm.push_read(1, PropId(0), 6, SideRec { node: 1, aux: 0 });
+        // Sealed at capacity. The same vertex again must be a fresh wire
+        // entry (its response will come from a later copier read).
+        comm.push_read(1, PropId(0), 5, SideRec { node: 2, aux: 0 });
+        comm.flush();
+        let envs: Vec<_> = out.try_iter().collect();
+        assert_eq!(envs.len(), 2);
+        assert_eq!(crate::message::read_entry_count(&envs[0].payload), 2);
+        assert_eq!(crate::message::read_entry_count(&envs[1].payload), 1);
+        assert_eq!(comm.stats().combined_read_hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn combining_disabled_keeps_duplicate_entries() {
+        let mut tuning = CommTuning::fixed(1024);
+        tuning.read_combining = false;
+        let (mut comm, out, _resp) = make_comm_tuned(tuning);
+        comm.push_read(1, PropId(0), 5, SideRec { node: 0, aux: 0 });
+        comm.push_read(1, PropId(0), 5, SideRec { node: 1, aux: 0 });
+        comm.flush();
+        let req = out.try_recv().unwrap();
+        assert_eq!(crate::message::read_entry_count(&req.payload), 2);
+        assert_eq!(comm.stats().combined_read_hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn adaptive_threshold_seals_early() {
+        // Controller pinned far below the allocation: buffers must seal at
+        // the controller's threshold, not at buffer_bytes.
+        let tuning = CommTuning {
+            buffer_bytes: 1024,
+            read_combining: true,
+            flush: Arc::new(FlushController::new(
+                &crate::config::AdaptiveFlushConfig::bounds(
+                    2 * READ_ENTRY_BYTES,
+                    2 * READ_ENTRY_BYTES,
+                ),
+                1024,
+                2,
+            )),
+            pool_shard: 0,
+        };
+        let (mut comm, out, _resp) = make_comm_tuned(tuning);
+        for i in 0..5u32 {
+            comm.push_read(1, PropId(0), i, SideRec { node: i, aux: 0 });
+        }
+        assert_eq!(out.try_iter().count(), 2, "sealed twice at the threshold");
+    }
+
+    #[test]
     fn side_slab_recycles_ids() {
         let (mut comm, out, resp_tx) = make_comm(READ_ENTRY_BYTES);
         for round in 0..3 {
@@ -708,7 +989,7 @@ mod tests {
             0,
             0,
             2,
-            buffer_bytes,
+            CommTuning::fixed(buffer_bytes),
             resp_rx,
             out_tx,
             Arc::new(BufferPool::new(8, buffer_bytes)),

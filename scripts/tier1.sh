@@ -21,4 +21,10 @@ echo "== chaos-quick smoke (fixed-seed fault plans) =="
 # contract internally (exactly-once results, clean MachineDown abort).
 cargo run --release -p pgxd-bench --bin repro -- chaos
 
+echo "== commfast smoke (read combining + adaptive flush acceptance) =="
+# Runs the fast path off/on/adaptive and asserts the contract internally
+# (combined hits > 0, strictly fewer wire messages, scores within 1e-12,
+# bit-identical on the deterministic star graph).
+cargo run --release -p pgxd-bench --bin repro -- commfast
+
 echo "tier-1: all checks passed"
