@@ -2,9 +2,12 @@
 //! Breadth-first traversal from the root", Table 2). Level-synchronous
 //! frontier expansion with a `Min` push of `hops + 1`.
 
+use pgxd::recover::{Recovered, RecoveryDriver, ResumableAlgorithm, StepOutcome};
 use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeId, NodeTask, Prop, ReduceOp,
+    Config, Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeId, NodeTask, Prop,
+    ReduceOp,
 };
+use pgxd_graph::Graph;
 
 /// Result of a hop-distance traversal.
 #[derive(Clone, Debug)]
@@ -102,6 +105,96 @@ pub fn try_hopdist(engine: &mut Engine, root: NodeId) -> Result<HopDistResult, J
         hops: out,
         iterations,
     })
+}
+
+/// BFS decomposed into driver-visible levels for the recovery driver. The
+/// frontier lives in a checkpointed bool property, so a restored attempt
+/// resumes expansion exactly where the snapshot left it.
+pub struct ResumableHopDist {
+    root: NodeId,
+    iterations: usize,
+    props: Option<(Prop<i64>, Prop<i64>, Prop<bool>)>,
+}
+
+impl ResumableHopDist {
+    pub fn new(root: NodeId) -> Self {
+        ResumableHopDist {
+            root,
+            iterations: 0,
+            props: None,
+        }
+    }
+}
+
+impl ResumableAlgorithm for ResumableHopDist {
+    type Output = HopDistResult;
+
+    fn setup(&mut self, engine: &mut Engine) {
+        let hops = engine.add_prop("hop_dist", i64::MAX);
+        let nxt = engine.add_prop("hop_nxt", i64::MAX);
+        let frontier = engine.add_prop("hop_frontier", false);
+        engine.set(hops, self.root, 0i64);
+        engine.set(frontier, self.root, true);
+        self.props = Some((hops, nxt, frontier));
+        self.iterations = 0;
+    }
+
+    fn step(&mut self, engine: &mut Engine, iteration: u64) -> Result<StepOutcome, JobError> {
+        let (hops, nxt, frontier) = self.props.expect("setup ran");
+        if engine.count_true(frontier) == 0 {
+            return Ok(StepOutcome::Done);
+        }
+        engine.try_run_edge_job(
+            Dir::Out,
+            &JobSpec::new().reduce(nxt, ReduceOp::Min),
+            Expand {
+                hops,
+                nxt,
+                frontier,
+            },
+        )?;
+        engine.try_run_node_job(
+            &JobSpec::new(),
+            Advance {
+                hops,
+                nxt,
+                frontier,
+            },
+        )?;
+        self.iterations = iteration as usize + 1;
+        Ok(StepOutcome::Continue)
+    }
+
+    fn scalars(&self) -> Vec<u64> {
+        vec![self.iterations as u64]
+    }
+
+    fn restore_scalars(&mut self, scalars: &[u64]) {
+        self.iterations = scalars[0] as usize;
+    }
+
+    fn finish(&mut self, engine: &mut Engine) -> HopDistResult {
+        let (hops, nxt, frontier) = self.props.take().expect("setup ran");
+        let out = engine.gather(hops);
+        engine.drop_prop(hops);
+        engine.drop_prop(nxt);
+        engine.drop_prop(frontier);
+        HopDistResult {
+            hops: out,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// [`try_hopdist`] with automatic recovery: restarts on a degraded cluster
+/// from the last checkpoint after a machine loss (per `config.recovery`).
+pub fn recoverable_hopdist(
+    graph: &Graph,
+    config: Config,
+    root: NodeId,
+) -> Result<Recovered<HopDistResult>, JobError> {
+    let driver = RecoveryDriver::new(graph, config).map_err(JobError::Protocol)?;
+    driver.run(&mut ResumableHopDist::new(root))
 }
 
 #[cfg(test)]

@@ -23,7 +23,11 @@
 //! Every algorithm comes in two forms: `try_<name>` returns
 //! `Result<_, pgxd::JobError>` (the primary API — a cluster abort is an
 //! expected outcome under faults), and a **deprecated** panicking wrapper
-//! `<name>` kept for existing callers.
+//! `<name>` kept for existing callers. PageRank (pull), WCC, SSSP, and
+//! Hop Dist additionally implement [`pgxd::ResumableAlgorithm`] and expose
+//! `recoverable_<name>` entry points that own engine construction, so a
+//! machine loss mid-job triggers checkpoint-based restart on the surviving
+//! machines instead of an error (see `pgxd::recover`).
 
 pub mod betweenness;
 pub mod eigenvector;
@@ -36,12 +40,12 @@ pub mod wcc;
 
 pub use betweenness::{betweenness, try_betweenness};
 pub use eigenvector::{eigenvector, try_eigenvector};
-pub use hopdist::{hopdist, try_hopdist};
+pub use hopdist::{hopdist, recoverable_hopdist, try_hopdist, ResumableHopDist};
 pub use kcore::{kcore, try_kcore};
 pub use mis::{mis, try_mis};
 pub use pagerank::{
-    pagerank_approx, pagerank_pull, pagerank_push, try_pagerank_approx, try_pagerank_pull,
-    try_pagerank_push,
+    pagerank_approx, pagerank_pull, pagerank_push, recoverable_pagerank_pull, try_pagerank_approx,
+    try_pagerank_pull, try_pagerank_push, ResumablePageRankPull,
 };
-pub use sssp::{sssp, try_sssp};
-pub use wcc::{try_wcc, wcc};
+pub use sssp::{recoverable_sssp, sssp, try_sssp, ResumableSssp};
+pub use wcc::{recoverable_wcc, try_wcc, wcc, ResumableWcc};

@@ -1,9 +1,11 @@
 //! PageRank: the paper's running example (§5.2), in all three variants.
 
+use pgxd::recover::{Recovered, RecoveryDriver, ResumableAlgorithm, StepOutcome};
 use pgxd::{
-    Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReadDoneCtx,
-    ReduceOp,
+    Config, Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop,
+    ReadDoneCtx, ReduceOp,
 };
+use pgxd_graph::Graph;
 
 /// Result of a PageRank computation.
 #[derive(Clone, Debug)]
@@ -200,6 +202,110 @@ pub fn try_pagerank_push(
     tol: f64,
 ) -> Result<PageRankResult, JobError> {
     try_pagerank_exact(engine, damping, max_iters, tol, false)
+}
+
+/// Pull-mode PageRank decomposed into driver-visible iterations so the
+/// recovery driver can checkpoint between them and restart mid-job.
+pub struct ResumablePageRankPull {
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+    iterations: usize,
+    props: Option<PrProps>,
+}
+
+#[derive(Clone, Copy)]
+struct PrProps {
+    pr: Prop<f64>,
+    tmp: Prop<f64>,
+    nxt: Prop<f64>,
+    diff: Prop<f64>,
+}
+
+impl ResumablePageRankPull {
+    pub fn new(damping: f64, max_iters: usize, tol: f64) -> Self {
+        ResumablePageRankPull {
+            damping,
+            max_iters,
+            tol,
+            iterations: 0,
+            props: None,
+        }
+    }
+}
+
+impl ResumableAlgorithm for ResumablePageRankPull {
+    type Output = PageRankResult;
+
+    fn setup(&mut self, engine: &mut Engine) {
+        let n = engine.num_nodes();
+        let pr = engine.add_prop("pr", 1.0 / n as f64);
+        let tmp = engine.add_prop("pr_tmp", 0.0f64);
+        let nxt = engine.add_prop("pr_nxt", 0.0f64);
+        let diff = engine.add_prop("pr_diff", 0.0f64);
+        self.props = Some(PrProps { pr, tmp, nxt, diff });
+        self.iterations = 0;
+    }
+
+    fn step(&mut self, engine: &mut Engine, iteration: u64) -> Result<StepOutcome, JobError> {
+        if iteration >= self.max_iters as u64 {
+            return Ok(StepOutcome::Done);
+        }
+        let PrProps { pr, tmp, nxt, diff } = self.props.expect("setup ran");
+        let base = (1.0 - self.damping) / engine.num_nodes() as f64;
+        engine.try_run_node_job(&JobSpec::new(), Scale { pr, tmp })?;
+        engine.try_run_edge_job(Dir::In, &JobSpec::new().read(tmp), PullKernel { tmp, nxt })?;
+        engine.try_run_node_job(
+            &JobSpec::new(),
+            Apply {
+                pr,
+                nxt,
+                diff,
+                base,
+                damping: self.damping,
+            },
+        )?;
+        self.iterations = iteration as usize + 1;
+        if engine.reduce(diff, ReduceOp::Sum) < self.tol {
+            return Ok(StepOutcome::Done);
+        }
+        Ok(StepOutcome::Continue)
+    }
+
+    fn scalars(&self) -> Vec<u64> {
+        vec![self.iterations as u64]
+    }
+
+    fn restore_scalars(&mut self, scalars: &[u64]) {
+        self.iterations = scalars[0] as usize;
+    }
+
+    fn finish(&mut self, engine: &mut Engine) -> PageRankResult {
+        let PrProps { pr, tmp, nxt, diff } = self.props.take().expect("setup ran");
+        let scores = engine.gather(pr);
+        engine.drop_prop(pr);
+        engine.drop_prop(tmp);
+        engine.drop_prop(nxt);
+        engine.drop_prop(diff);
+        PageRankResult {
+            scores,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// [`try_pagerank_pull`] with automatic recovery: owns engine construction
+/// so that on machine loss the job can restart on a degraded cluster from
+/// the last checkpoint (per `config.recovery`).
+pub fn recoverable_pagerank_pull(
+    graph: &Graph,
+    config: Config,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+) -> Result<Recovered<PageRankResult>, JobError> {
+    let driver = RecoveryDriver::new(graph, config).map_err(JobError::Protocol)?;
+    driver.run(&mut ResumablePageRankPull::new(damping, max_iters, tol))
 }
 
 /// Delta-push kernel of the approximate variant: only *active* vertices

@@ -1,0 +1,217 @@
+//! `repro recover`: the checkpoint/restore + automatic-recovery
+//! acceptance sweep.
+//!
+//! Runs PageRank-pull on TWT-S across 4 simulated machines with a seeded
+//! crash plan and checks the recovery contract end to end:
+//!
+//! * the **fault-free baseline** (recovery off) fixes the reference
+//!   scores;
+//! * the **crash + recover** run loses machine 1 mid-job, retries on the
+//!   3 survivors (re-running edge partitioning and ghost selection),
+//!   restores the last barrier-consistent checkpoint, resumes, and must
+//!   converge to the baseline fixpoint within 1e-12 (f64 summation-order
+//!   noise only), with ≥ 1 `RecoveryDone` trace event and nonzero
+//!   checkpoint telemetry;
+//! * the **crash, recovery-off** run keeps the PR-3 contract: a clean
+//!   `Err(JobError::MachineDown)` abort, no retry.
+
+use crate::datasets::{BenchGraph, Scale};
+use crate::report::Table;
+use pgxd::{Config, Engine, FaultPlan, JobError, TelemetryConfig};
+use pgxd_algorithms::{recoverable_pagerank_pull, try_pagerank_pull};
+use std::time::Instant;
+
+/// Simulated machines before the crash.
+pub const MACHINES: usize = 4;
+/// Machine the seeded plan kills.
+pub const CRASH_MACHINE: u16 = 1;
+/// Global fabric sends before the partition fires. The full fault-free
+/// job moves ~850 envelopes at bench-scale buffers, so 400 lands the
+/// crash mid-stream in release builds. The counter also includes
+/// wall-clock-driven heartbeats, so in slow (debug) builds the crash
+/// fires earlier relative to job progress — the driver's iteration-0
+/// baseline checkpoint guarantees a restore either way.
+pub const CRASH_AFTER_SENDS: u64 = 400;
+
+const DAMPING: f64 = 0.85;
+const MAX_ITERS: usize = 20;
+const CHECKPOINT_EVERY: u64 = 2;
+const MAX_RETRIES: u32 = 3;
+const TOLERANCE: f64 = 1e-12;
+
+fn recovery_config() -> Config {
+    Config::builder()
+        .machines(MACHINES)
+        .workers(2)
+        .copiers(1)
+        .fault(FaultPlan::crash(CRASH_MACHINE, CRASH_AFTER_SENDS))
+        .telemetry(TelemetryConfig::on())
+        .checkpoint_every(CHECKPOINT_EVERY)
+        .max_retries(MAX_RETRIES)
+        .build()
+        .expect("recovery config")
+}
+
+fn no_recovery_config() -> Config {
+    Config::builder()
+        .machines(MACHINES)
+        .workers(2)
+        .copiers(1)
+        .fault(FaultPlan::crash(CRASH_MACHINE, CRASH_AFTER_SENDS))
+        .build()
+        .expect("config")
+}
+
+/// Runs the sweep and returns the summary table. Panics if any scenario
+/// violates the recovery contract (this *is* the acceptance check).
+pub fn run_experiment(scale: Scale) -> Vec<Table> {
+    let graph = BenchGraph::Twt.generate(scale);
+    let mut t = Table::new(
+        &format!(
+            "Recover — PageRank-pull on TWT-S × {MACHINES} machines, \
+             crash machine {CRASH_MACHINE} after {CRASH_AFTER_SENDS} sends"
+        ),
+        vec![
+            "completed".into(),
+            "seconds".into(),
+            "iters".into(),
+            "max|Δ| vs clean".into(),
+            "attempts".into(),
+            "recoveries".into(),
+            "checkpoints".into(),
+            "ckpt KiB".into(),
+            "restores".into(),
+            "recovery events".into(),
+        ],
+        "completed: 1 = converged to fixpoint, 0 = clean MachineDown abort",
+    );
+
+    // --- fault-free baseline (recovery off, no faults) ----------------
+    eprintln!("[recover] running 'fault-free baseline'");
+    let mut clean = Engine::builder()
+        .machines(MACHINES)
+        .workers(2)
+        .copiers(1)
+        .build(&graph)
+        .expect("engine");
+    let t0 = Instant::now();
+    let baseline =
+        try_pagerank_pull(&mut clean, DAMPING, MAX_ITERS, 0.0).expect("fault-free run failed");
+    t.push_row(
+        "fault-free baseline",
+        vec![
+            Some(1.0),
+            Some(t0.elapsed().as_secs_f64()),
+            Some(baseline.iterations as f64),
+            None,
+            Some(1.0),
+            Some(0.0),
+            None,
+            None,
+            None,
+            None,
+        ],
+    );
+    drop(clean);
+
+    // --- crash + recover ----------------------------------------------
+    eprintln!("[recover] running 'crash + recover'");
+    let t0 = Instant::now();
+    let rec = recoverable_pagerank_pull(&graph, recovery_config(), DAMPING, MAX_ITERS, 0.0)
+        .expect("[recover] crash plan must be survivable within the retry budget");
+    let seconds = t0.elapsed().as_secs_f64();
+    let max_delta = baseline
+        .scores
+        .iter()
+        .zip(&rec.output.scores)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_delta <= TOLERANCE,
+        "[recover] recovered run diverged from the fault-free fixpoint: max |Δ| = {max_delta:e}"
+    );
+    assert_eq!(
+        rec.output.iterations, baseline.iterations,
+        "[recover] recovered run must execute the same iteration count"
+    );
+    assert!(
+        rec.attempts > 1,
+        "[recover] the crash plan never fired — nothing was recovered"
+    );
+    assert!(
+        rec.recovery_done_events >= 1,
+        "[recover] no RecoveryDone event was traced on the surviving cluster"
+    );
+    assert!(
+        rec.stats.checkpoints_taken > 0 && rec.stats.checkpoint_bytes > 0,
+        "[recover] checkpoint telemetry is zero"
+    );
+    assert!(
+        rec.stats.restores_applied > 0,
+        "[recover] the retry never restored a checkpoint"
+    );
+    t.push_row(
+        "crash + recover",
+        vec![
+            Some(1.0),
+            Some(seconds),
+            Some(rec.output.iterations as f64),
+            Some(max_delta),
+            Some(rec.attempts as f64),
+            Some(rec.recoveries as f64),
+            Some(rec.stats.checkpoints_taken as f64),
+            Some(rec.stats.checkpoint_bytes as f64 / 1024.0),
+            Some(rec.stats.restores_applied as f64),
+            Some(rec.recovery_done_events as f64),
+        ],
+    );
+
+    // --- crash with recovery off: PR-3 behavior unchanged -------------
+    eprintln!("[recover] running 'crash, recovery off'");
+    let t0 = Instant::now();
+    let err = recoverable_pagerank_pull(&graph, no_recovery_config(), DAMPING, MAX_ITERS, 0.0)
+        .expect_err("[recover] crash with recovery off must abort");
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(
+        matches!(err, JobError::MachineDown { machine } if machine == CRASH_MACHINE),
+        "[recover] expected MachineDown on machine {CRASH_MACHINE}, got {err}"
+    );
+    assert!(
+        seconds < 30.0,
+        "[recover] abort took {seconds:.1}s — watchdog missed its deadline"
+    );
+    t.push_row(
+        "crash, recovery off",
+        vec![
+            Some(0.0),
+            Some(seconds),
+            Some(0.0),
+            None,
+            Some(1.0),
+            Some(0.0),
+            Some(0.0),
+            None,
+            Some(0.0),
+            Some(0.0),
+        ],
+    );
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The issue's acceptance scenario end to end: under the seeded crash
+    /// plan the job retries, re-partitions onto the survivors, and
+    /// converges to the fault-free fixpoint with recovery telemetry.
+    /// `run_experiment` asserts internally; reaching the end is the pass
+    /// condition.
+    #[test]
+    fn recover_sweep_passes_at_quick_scale() {
+        let tables = run_experiment(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 3);
+    }
+}

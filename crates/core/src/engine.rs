@@ -5,10 +5,11 @@ use crate::prop::Prop;
 use crate::spec::JobSpec;
 use crate::task::{Dir, EdgeTask, NodeTask};
 use pgxd_graph::{Graph, NodeId};
+use pgxd_runtime::checkpoint::Checkpoint;
 use pgxd_runtime::chunk::{make_chunks, node_target_from_edges, ChunkQueue};
 use pgxd_runtime::config::{
     AdaptiveFlushConfig, ChunkingMode, Config, FaultPlan, NetConfig, PartitioningMode,
-    ReliabilityConfig,
+    RecoveryConfig, ReliabilityConfig,
 };
 use pgxd_runtime::health::JobError;
 use pgxd_runtime::machine::RmiFn;
@@ -137,6 +138,33 @@ impl EngineBuilder {
         self
     }
 
+    /// Checkpoint/retry policy for the recovery driver.
+    pub fn recovery(mut self, rc: RecoveryConfig) -> Self {
+        self.config.recovery = rc;
+        self
+    }
+
+    /// Checkpoint cadence in iterations; enables recovery.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.checkpoint_every = every;
+        self
+    }
+
+    /// Retry budget after the initial attempt; enables recovery.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.max_retries = n;
+        self
+    }
+
+    /// Crash-watchdog deadline: how long a peer may stay silent before it
+    /// is declared dead (only meaningful with reliability enabled).
+    pub fn heartbeat_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.reliability.watchdog_ms = ms;
+        self
+    }
+
     /// Start from an explicit [`Config`].
     pub fn from_config(config: Config) -> Self {
         EngineBuilder { config }
@@ -246,6 +274,33 @@ impl Engine {
     /// Counts vertices whose boolean property is set.
     pub fn count_true(&self, p: Prop<bool>) -> usize {
         self.cluster.count_true(p.id)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore
+    // ------------------------------------------------------------------
+
+    /// Snapshots every registered property plus `iteration`/`scalars`
+    /// into per-machine checkpoint stores. Call between jobs — the
+    /// quiescent cluster makes the snapshot barrier-consistent.
+    pub fn take_checkpoint(
+        &mut self,
+        iteration: u64,
+        scalars: Vec<u64>,
+    ) -> Result<Arc<Checkpoint>, JobError> {
+        self.cluster.take_checkpoint(iteration, scalars)
+    }
+
+    /// Restores a checkpoint taken on this cluster or on a differently
+    /// partitioned one (degraded restart on survivors).
+    pub fn restore_checkpoint(&mut self, ckpt: &Checkpoint) -> Result<(), JobError> {
+        self.cluster.restore_checkpoint(ckpt)
+    }
+
+    /// The most recent complete checkpoint, if any (plain copied memory —
+    /// safe to hold across this engine's teardown).
+    pub fn last_checkpoint(&self) -> Option<Arc<Checkpoint>> {
+        self.cluster.last_checkpoint()
     }
 
     // ------------------------------------------------------------------

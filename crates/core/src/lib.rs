@@ -55,6 +55,7 @@ mod closure_tasks;
 mod engine;
 mod jobphase;
 mod prop;
+pub mod recover;
 mod scope;
 mod spec;
 mod task;
@@ -63,6 +64,7 @@ pub mod vector;
 
 pub use engine::{Engine, EngineBuilder, JobReport};
 pub use prop::Prop;
+pub use recover::{Recovered, RecoveryDriver, ResumableAlgorithm, RetryPolicy, StepOutcome};
 pub use spec::JobSpec;
 pub use task::{Dir, EdgeCtx, EdgeTask, NodeCtx, NodeTask, ReadDoneCtx};
 
@@ -76,9 +78,10 @@ pub mod tasks {
 
 // Re-exports so algorithm code only needs `pgxd`.
 pub use pgxd_graph::NodeId;
+pub use pgxd_runtime::checkpoint::{Checkpoint, CheckpointStore, JobProgress};
 pub use pgxd_runtime::config::{
     AdaptiveFlushConfig, ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode,
-    ReliabilityConfig, SlowPlan,
+    RecoveryConfig, ReliabilityConfig, SlowPlan, TelemetryConfig,
 };
 pub use pgxd_runtime::health::JobError;
 pub use pgxd_runtime::props::{PropValue, ReduceOp};

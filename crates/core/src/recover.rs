@@ -1,0 +1,404 @@
+//! Automatic job recovery: retry-with-restore on machine loss.
+//!
+//! The [`RecoveryDriver`] wraps the engine's fallible job API in an
+//! attempt loop. Algorithms expose their iteration structure through
+//! [`ResumableAlgorithm`] — `setup` registers properties and seeds driver
+//! state, `step` runs exactly one barrier-delimited iteration — and the
+//! driver does the rest: it takes a barrier-consistent checkpoint right
+//! after `setup` (the iteration-0 baseline) and then every
+//! `checkpoint_every` completed iterations, and when an attempt dies with
+//! a transient [`JobError`] (machine loss), it
+//!
+//! 1. extracts the last complete checkpoint (plain copied memory — never a
+//!    view into the dead cluster),
+//! 2. tears the failed engine down and rebuilds a *degraded* cluster from
+//!    the `P−1` survivors — `Cluster::load` re-runs edge partitioning and
+//!    ghost selection over the smaller machine set,
+//! 3. re-runs the algorithm's `setup` (re-registering the same properties
+//!    in the same order, so ids line up), restores the checkpoint under
+//!    the survivors' partitioning, and resumes `step`ping from the
+//!    checkpointed iteration.
+//!
+//! Fatal errors (protocol violations, corrupt checkpoints) and exhausted
+//! retry budgets surface to the caller; [`RetryPolicy`] draws the line and
+//! paces retries with bounded exponential backoff.
+
+use crate::engine::{Engine, EngineBuilder};
+use pgxd_graph::Graph;
+use pgxd_runtime::checkpoint::Checkpoint;
+use pgxd_runtime::config::{Config, RecoveryConfig};
+use pgxd_runtime::health::JobError;
+use pgxd_runtime::stats::StatsSnapshot;
+use pgxd_runtime::telemetry::EventKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What one [`ResumableAlgorithm::step`] call concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More iterations remain.
+    Continue,
+    /// The algorithm converged (or hit its iteration cap).
+    Done,
+}
+
+/// An algorithm decomposed into driver-visible iterations so the
+/// [`RecoveryDriver`] can checkpoint between them and restart mid-job.
+///
+/// Contract: `setup` must be *re-runnable* — on every attempt it executes
+/// on a fresh engine and must register the same properties in the same
+/// order (that is what lets a restore re-bind shards by property id) and
+/// re-seed any driver-side initial state. A subsequent restore overwrites
+/// that state with the checkpointed values.
+pub trait ResumableAlgorithm {
+    /// What the finished job yields.
+    type Output;
+
+    /// Registers properties and seeds initial values on a fresh engine.
+    fn setup(&mut self, engine: &mut Engine);
+
+    /// Runs iteration `iteration` (0-based count of completed iterations).
+    fn step(&mut self, engine: &mut Engine, iteration: u64) -> Result<StepOutcome, JobError>;
+
+    /// Algorithm scalars to round-trip through checkpoints (RNG state,
+    /// accumulated deltas, ...). Defaults to none — most algorithms keep
+    /// every bit of mutable state in property vectors.
+    fn scalars(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Reinstates [`ResumableAlgorithm::scalars`] after a restore.
+    fn restore_scalars(&mut self, _scalars: &[u64]) {}
+
+    /// Extracts the result from a converged engine.
+    fn finish(&mut self, engine: &mut Engine) -> Self::Output;
+}
+
+/// When to retry and how long to wait: bounded attempts, exponential
+/// backoff, transient-vs-fatal classification of [`JobError`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries allowed after the initial attempt.
+    pub max_retries: u32,
+    /// First backoff, milliseconds; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_max_ms: u64,
+}
+
+impl RetryPolicy {
+    pub fn from_config(rc: &RecoveryConfig) -> Self {
+        RetryPolicy {
+            max_retries: rc.max_retries,
+            backoff_base_ms: rc.backoff_base_ms,
+            backoff_max_ms: rc.backoff_max_ms,
+        }
+    }
+
+    /// Whether a `retry`-th retry (1-based) is allowed after `err`.
+    pub fn should_retry(&self, err: &JobError, retry: u32) -> bool {
+        err.is_transient() && retry <= self.max_retries
+    }
+
+    /// Backoff before the `retry`-th retry (1-based): `base * 2^(retry-1)`
+    /// capped at `backoff_max_ms`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u64 << retry.saturating_sub(1).min(20);
+        Duration::from_millis(
+            self.backoff_base_ms
+                .saturating_mul(factor)
+                .min(self.backoff_max_ms),
+        )
+    }
+}
+
+/// A successfully recovered (or never-failed) job, with the recovery
+/// footprint the attempt loop observed.
+#[derive(Debug)]
+pub struct Recovered<T> {
+    /// The algorithm's result.
+    pub output: T,
+    /// Attempts run (1 = the job never failed).
+    pub attempts: u32,
+    /// Retry attempts that successfully restored/restarted and resumed.
+    pub recoveries: u32,
+    /// `RecoveryDone` trace events present in the final engine's ring
+    /// (nonzero only with telemetry enabled and ≥1 recovery).
+    pub recovery_done_events: u64,
+    /// Stats accumulated across *all* attempts, failed ones included —
+    /// `checkpoints_taken` / `checkpoint_bytes` / `restores_applied` live
+    /// here.
+    pub stats: StatsSnapshot,
+}
+
+/// Drives a [`ResumableAlgorithm`] to completion across machine failures.
+pub struct RecoveryDriver<'g> {
+    graph: &'g Graph,
+    config: Config,
+}
+
+impl<'g> RecoveryDriver<'g> {
+    /// Validates `config` up front so knob errors surface before any
+    /// cluster is built.
+    pub fn new(graph: &'g Graph, config: Config) -> Result<Self, String> {
+        config.validate()?;
+        Ok(RecoveryDriver { graph, config })
+    }
+
+    /// The (validated) configuration attempts start from.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Runs `algo` to completion, retrying per the configured
+    /// [`RecoveryConfig`]. With recovery disabled this is exactly one
+    /// attempt with no checkpoints — a failure surfaces unchanged.
+    pub fn run<A: ResumableAlgorithm>(
+        &self,
+        algo: &mut A,
+    ) -> Result<Recovered<A::Output>, JobError> {
+        let recovery = self.config.recovery;
+        let policy = RetryPolicy::from_config(&recovery);
+        let mut config = self.config.clone();
+        let mut carry: Option<Arc<Checkpoint>> = None;
+        let mut attempts = 0u32;
+        let mut recoveries = 0u32;
+        let mut stats = StatsSnapshot::default();
+        loop {
+            attempts += 1;
+            let mut engine = EngineBuilder::from_config(config.clone())
+                .build(self.graph)
+                .map_err(JobError::Protocol)?;
+            algo.setup(&mut engine);
+            let mut iteration = 0u64;
+            if attempts > 1 {
+                engine
+                    .cluster()
+                    .trace_driver_event(EventKind::RecoveryStart, (attempts - 1) as u64);
+                if let Some(ck) = &carry {
+                    // Corrupt checkpoints are fatal: a retry would only
+                    // replay the same bits.
+                    engine.restore_checkpoint(ck)?;
+                    iteration = ck.progress.iteration;
+                    algo.restore_scalars(&ck.progress.scalars);
+                }
+                // No checkpoint yet → restart from iteration 0; still a
+                // recovery (the degraded cluster replaces the dead one).
+                recoveries += 1;
+                engine
+                    .cluster()
+                    .trace_driver_event(EventKind::RecoveryDone, iteration);
+            }
+            // Baseline checkpoint of the freshly seeded (or just-restored)
+            // state: a crash during the very first iterations then restores
+            // instead of restarting from scratch, no matter when the fault
+            // fires relative to the periodic cadence.
+            let mut failure: Option<JobError> = if recovery.enabled {
+                engine.take_checkpoint(iteration, algo.scalars()).err()
+            } else {
+                None
+            };
+            while failure.is_none() {
+                match algo.step(&mut engine, iteration) {
+                    Ok(StepOutcome::Done) => break,
+                    Ok(StepOutcome::Continue) => {
+                        iteration += 1;
+                        if recovery.enabled && iteration.is_multiple_of(recovery.checkpoint_every) {
+                            if let Err(err) = engine.take_checkpoint(iteration, algo.scalars()) {
+                                failure = Some(err);
+                                break;
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        failure = Some(err);
+                        break;
+                    }
+                }
+            }
+            let Some(err) = failure else {
+                let recovery_done_events = count_recovery_done(&engine);
+                let output = algo.finish(&mut engine);
+                stats = stats + engine.cluster().total_stats();
+                return Ok(Recovered {
+                    output,
+                    attempts,
+                    recoveries,
+                    recovery_done_events,
+                    stats,
+                });
+            };
+            // Salvage the last complete checkpoint, fold in the dead
+            // attempt's stats, then tear the engine down (joins threads).
+            carry = engine.last_checkpoint().or(carry);
+            stats = stats + engine.cluster().total_stats();
+            drop(engine);
+            if !recovery.enabled {
+                return Err(err);
+            }
+            let retry = attempts; // 1-based index of the retry we want next
+            if !policy.should_retry(&err, retry) {
+                if err.is_transient() {
+                    return Err(JobError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(err),
+                    });
+                }
+                return Err(err);
+            }
+            if let JobError::MachineDown { .. } = err {
+                if config.machines <= 1 {
+                    return Err(err);
+                }
+                // Degrade to the survivor set. The next Engine::build
+                // re-runs edge partitioning and ghost selection over P−1
+                // machines.
+                config.machines -= 1;
+            }
+            // The seeded crash/slow plan already fired; a fresh fabric
+            // would replay it at the same virtual time and kill the
+            // retry too. Message-level fault rates stay.
+            config.fault.crash = None;
+            config.fault.slow = None;
+            std::thread::sleep(policy.backoff(retry));
+        }
+    }
+}
+
+fn count_recovery_done(engine: &Engine) -> u64 {
+    engine
+        .cluster()
+        .telemetries()
+        .first()
+        .map(|t| {
+            t.worker_events(0)
+                .iter()
+                .filter(|e| e.kind == EventKind::RecoveryDone)
+                .count() as u64
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Prop;
+    use crate::spec::JobSpec;
+    use crate::tasks;
+    use pgxd_graph::generate;
+    use pgxd_runtime::props::ReduceOp;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            backoff_base_ms: 10,
+            backoff_max_ms: 50,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(50));
+        assert_eq!(p.backoff(30), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn classification_gates_retries() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            backoff_base_ms: 1,
+            backoff_max_ms: 1,
+        };
+        let down = JobError::MachineDown { machine: 0 };
+        assert!(p.should_retry(&down, 1));
+        assert!(p.should_retry(&down, 2));
+        assert!(!p.should_retry(&down, 3));
+        assert!(!p.should_retry(&JobError::Protocol("x".into()), 1));
+        assert!(!p.should_retry(&JobError::CheckpointCorrupt("x".into()), 1));
+    }
+
+    /// Adds 1 to every vertex per iteration for a fixed count — all state
+    /// in one property, plus one scalar to exercise the scalar round-trip.
+    struct CountUp {
+        rounds: u64,
+        total: Prop<i64>,
+        steps_seen: u64,
+    }
+
+    impl ResumableAlgorithm for CountUp {
+        type Output = Vec<i64>;
+
+        fn setup(&mut self, engine: &mut Engine) {
+            self.total = engine.add_prop("total", 0i64);
+        }
+
+        fn step(&mut self, engine: &mut Engine, iteration: u64) -> Result<StepOutcome, JobError> {
+            if iteration >= self.rounds {
+                return Ok(StepOutcome::Done);
+            }
+            let total = self.total;
+            engine.try_run_node_job(
+                &JobSpec::new().reduce(total, ReduceOp::Sum),
+                tasks::on_node(move |ctx| {
+                    let cur: i64 = ctx.get(total);
+                    ctx.set(total, cur + 1);
+                }),
+            )?;
+            self.steps_seen += 1;
+            Ok(StepOutcome::Continue)
+        }
+
+        fn scalars(&self) -> Vec<u64> {
+            vec![self.steps_seen]
+        }
+
+        fn restore_scalars(&mut self, scalars: &[u64]) {
+            self.steps_seen = scalars[0];
+        }
+
+        fn finish(&mut self, engine: &mut Engine) -> Vec<i64> {
+            engine.gather(self.total)
+        }
+    }
+
+    #[test]
+    fn fault_free_run_is_single_attempt() {
+        let g = generate::ring(24);
+        let config = Config::builder()
+            .machines(2)
+            .workers(1)
+            .copiers(1)
+            .checkpoint_every(2)
+            .build()
+            .unwrap();
+        let driver = RecoveryDriver::new(&g, config).unwrap();
+        let mut algo = CountUp {
+            rounds: 5,
+            total: Prop::new(pgxd_runtime::props::PropId(0)),
+            steps_seen: 0,
+        };
+        let rec = driver.run(&mut algo).unwrap();
+        assert_eq!(rec.output, vec![5i64; 24]);
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.recoveries, 0);
+        // Baseline snapshot at iteration 0 plus checkpoint_every=2 over 5
+        // iterations (snapshots at 2 and 4), on both machines.
+        assert_eq!(rec.stats.checkpoints_taken, 3 * 2);
+        assert!(rec.stats.checkpoint_bytes > 0);
+        assert_eq!(rec.stats.restores_applied, 0);
+    }
+
+    #[test]
+    fn recovery_off_takes_no_checkpoints() {
+        let g = generate::ring(24);
+        let driver = RecoveryDriver::new(&g, Config::test(2)).unwrap();
+        let mut algo = CountUp {
+            rounds: 3,
+            total: Prop::new(pgxd_runtime::props::PropId(0)),
+            steps_seen: 0,
+        };
+        let rec = driver.run(&mut algo).unwrap();
+        assert_eq!(rec.output, vec![3i64; 24]);
+        assert_eq!(rec.stats.checkpoints_taken, 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Barrier-consistent checkpoint/restore of distributed job state.
+//!
+//! The RTC execution model keeps *all* mutable job state in vertex-property
+//! columns that are synchronized at phase barriers (§3.1): between two
+//! `try_run_*` calls the cluster is quiescent — the pending-entry counter
+//! has drained to zero and no worker holds an in-flight read or write. A
+//! snapshot taken at that point can therefore never observe a torn update;
+//! this is the whole consistency argument, and it is why checkpointing
+//! needs no stop-the-world machinery of its own.
+//!
+//! Layout mirrors what a real deployment would persist per node: each
+//! machine owns a [`CheckpointStore`] holding its latest
+//! [`MachineCheckpoint`] — one [`PropShard`] (owned cells + ghost replicas,
+//! FNV-1a checksummed) per live property. The driver additionally keeps the
+//! assembled cluster-wide [`Checkpoint`], which bundles every machine's
+//! shards with the [`JobProgress`] (iteration index + algorithm scalars)
+//! needed to resume. Because partitions are contiguous vertex ranges, a
+//! checkpoint taken on `P` machines can be *re-scattered* onto a degraded
+//! `P−1`-machine cluster: [`Checkpoint::global_bits`] reassembles the
+//! global column from the per-machine shards, and
+//! [`Cluster::restore_checkpoint`](crate::cluster::Cluster::restore_checkpoint)
+//! redistributes it under the survivors' new partitioning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::health::JobError;
+use crate::ids::MachineId;
+use crate::props::{PropId, TypeTag};
+use pgxd_graph::NodeId;
+
+/// FNV-1a over a word stream; cheap, dependency-free, and sensitive to
+/// both value and position — exactly what shard integrity needs.
+pub fn fnv1a_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (w >> shift) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Identity of one property at snapshot time, used on restore to re-bind
+/// shards to the (re-registered) columns of a fresh cluster and to reject
+/// mismatched layouts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PropMeta {
+    pub id: PropId,
+    pub name: String,
+    pub tag: TypeTag,
+    pub default_bits: u64,
+}
+
+/// One property's cells on one machine: the owned (partition-local) region
+/// followed by the ghost-replica region, checksummed together.
+#[derive(Clone, Debug)]
+pub struct PropShard {
+    pub id: PropId,
+    /// Raw bits of the machine's owned cells, in partition order.
+    pub owned: Vec<u64>,
+    /// Raw bits of the machine's ghost replicas, in ghost-ordinal order.
+    pub ghost: Vec<u64>,
+    /// FNV-1a over `owned` then `ghost`.
+    pub checksum: u64,
+}
+
+impl PropShard {
+    pub fn new(id: PropId, owned: Vec<u64>, ghost: Vec<u64>) -> Self {
+        let checksum = Self::compute(&owned, &ghost);
+        PropShard {
+            id,
+            owned,
+            ghost,
+            checksum,
+        }
+    }
+
+    fn compute(owned: &[u64], ghost: &[u64]) -> u64 {
+        fnv1a_words(owned.iter().chain(ghost.iter()).copied())
+    }
+
+    /// Recomputes the checksum against the stored one.
+    pub fn verify(&self) -> bool {
+        Self::compute(&self.owned, &self.ghost) == self.checksum
+    }
+
+    /// Payload size of this shard.
+    pub fn bytes(&self) -> usize {
+        (self.owned.len() + self.ghost.len()) * 8
+    }
+}
+
+/// Everything one machine contributes to a checkpoint.
+#[derive(Clone, Debug)]
+pub struct MachineCheckpoint {
+    pub machine: MachineId,
+    /// Global id of this machine's first owned vertex at snapshot time
+    /// (partitions are contiguous ranges, so `start` + shard length fully
+    /// describe the owned range).
+    pub start: NodeId,
+    pub shards: Vec<PropShard>,
+}
+
+impl MachineCheckpoint {
+    /// Total payload bytes across shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.bytes()).sum()
+    }
+
+    /// Owned-cell count (uniform across shards).
+    pub fn owned_len(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.owned.len())
+    }
+}
+
+/// Where the job was when the snapshot was taken.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Completed algorithm iterations.
+    pub iteration: u64,
+    /// Cluster phase counter at snapshot time (diagnostics).
+    pub phase_epoch: u64,
+    /// Opaque algorithm scalars (RNG states, accumulated deltas, ...),
+    /// round-tripped verbatim by the recovery driver.
+    pub scalars: Vec<u64>,
+}
+
+/// A complete, driver-assembled cluster checkpoint.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Monotone sequence number within the cluster's lifetime.
+    pub seq: u64,
+    /// Global vertex count the shards tile.
+    pub num_nodes: usize,
+    pub progress: JobProgress,
+    pub props: Vec<PropMeta>,
+    pub machines: Vec<Arc<MachineCheckpoint>>,
+}
+
+impl Checkpoint {
+    /// Total payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.machines.iter().map(|m| m.bytes()).sum()
+    }
+
+    /// Verifies every shard checksum and that the owned regions exactly
+    /// tile `[0, num_nodes)`.
+    pub fn verify(&self) -> Result<(), JobError> {
+        let mut covered = 0usize;
+        for mc in &self.machines {
+            if mc.start as usize != covered {
+                return Err(JobError::CheckpointCorrupt(format!(
+                    "machine {} shard starts at {} but {} nodes are covered",
+                    mc.machine, mc.start, covered
+                )));
+            }
+            if mc.shards.len() != self.props.len() {
+                return Err(JobError::CheckpointCorrupt(format!(
+                    "machine {} has {} shards for {} properties",
+                    mc.machine,
+                    mc.shards.len(),
+                    self.props.len()
+                )));
+            }
+            let owned_len = mc.owned_len();
+            for (shard, meta) in mc.shards.iter().zip(&self.props) {
+                if shard.id != meta.id {
+                    return Err(JobError::CheckpointCorrupt(format!(
+                        "machine {} shard id {:?} does not match meta {:?}",
+                        mc.machine, shard.id, meta.id
+                    )));
+                }
+                if shard.owned.len() != owned_len {
+                    return Err(JobError::CheckpointCorrupt(format!(
+                        "machine {} shard {:?} owned length mismatch",
+                        mc.machine, shard.id
+                    )));
+                }
+                if !shard.verify() {
+                    return Err(JobError::CheckpointCorrupt(format!(
+                        "machine {} shard {:?} failed its checksum",
+                        mc.machine, shard.id
+                    )));
+                }
+            }
+            covered += owned_len;
+        }
+        if covered != self.num_nodes {
+            return Err(JobError::CheckpointCorrupt(format!(
+                "shards cover {} of {} nodes",
+                covered, self.num_nodes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reassembles one property's global column (owned cells only) from the
+    /// per-machine shards — the input to degraded-mode re-scattering.
+    pub fn global_bits(&self, id: PropId) -> Result<Vec<u64>, JobError> {
+        let mut out = Vec::with_capacity(self.num_nodes);
+        for mc in &self.machines {
+            let shard = mc.shards.iter().find(|s| s.id == id).ok_or_else(|| {
+                JobError::CheckpointCorrupt(format!(
+                    "machine {} is missing a shard for {:?}",
+                    mc.machine, id
+                ))
+            })?;
+            out.extend_from_slice(&shard.owned);
+        }
+        if out.len() != self.num_nodes {
+            return Err(JobError::CheckpointCorrupt(format!(
+                "property {:?} shards cover {} of {} nodes",
+                id,
+                out.len(),
+                self.num_nodes
+            )));
+        }
+        Ok(out)
+    }
+}
+
+/// One machine's durable checkpoint slot (the stand-in for a per-node
+/// local store in a real deployment). Holds only the latest complete
+/// snapshot — checkpointing is for resume, not time travel.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    latest: Mutex<Option<(u64, Arc<MachineCheckpoint>)>>,
+    saved: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CheckpointStore {
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Replaces the stored snapshot with `mc` (sequence `seq`).
+    pub fn save(&self, seq: u64, mc: Arc<MachineCheckpoint>) {
+        self.bytes.fetch_add(mc.bytes() as u64, Ordering::Relaxed);
+        self.saved.fetch_add(1, Ordering::Relaxed);
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some((seq, mc));
+    }
+
+    /// The latest snapshot, if any, with its sequence number.
+    pub fn latest(&self) -> Option<(u64, Arc<MachineCheckpoint>)> {
+        self.latest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Snapshots saved over the store's lifetime.
+    pub fn saved(&self) -> u64 {
+        self.saved.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative payload bytes saved.
+    pub fn bytes_saved(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn clear(&self) {
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(id: u16, owned: Vec<u64>, ghost: Vec<u64>) -> PropShard {
+        PropShard::new(PropId(id), owned, ghost)
+    }
+
+    fn meta(id: u16) -> PropMeta {
+        PropMeta {
+            id: PropId(id),
+            name: format!("p{id}"),
+            tag: TypeTag::U64,
+            default_bits: 0,
+        }
+    }
+
+    fn two_machine_ckpt() -> Checkpoint {
+        Checkpoint {
+            seq: 1,
+            num_nodes: 5,
+            progress: JobProgress {
+                iteration: 3,
+                phase_epoch: 9,
+                scalars: vec![7, 8],
+            },
+            props: vec![meta(0)],
+            machines: vec![
+                Arc::new(MachineCheckpoint {
+                    machine: 0,
+                    start: 0,
+                    shards: vec![shard(0, vec![10, 11, 12], vec![99])],
+                }),
+                Arc::new(MachineCheckpoint {
+                    machine: 1,
+                    start: 3,
+                    shards: vec![shard(0, vec![13, 14], vec![98])],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut s = shard(0, vec![1, 2, 3], vec![4]);
+        assert!(s.verify());
+        s.owned[1] ^= 1;
+        assert!(!s.verify());
+        // Position sensitivity: swapping equal-sum words changes the hash.
+        let a = shard(0, vec![1, 2], vec![]);
+        let b = shard(0, vec![2, 1], vec![]);
+        assert_ne!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn verify_accepts_well_formed() {
+        let c = two_machine_ckpt();
+        assert!(c.verify().is_ok());
+        assert_eq!(c.bytes(), 7 * 8);
+    }
+
+    #[test]
+    fn verify_rejects_tampered_shard() {
+        let mut c = two_machine_ckpt();
+        let mut mc = (*c.machines[0]).clone();
+        mc.shards[0].owned[0] = 999;
+        c.machines[0] = Arc::new(mc);
+        let err = c.verify().unwrap_err();
+        assert!(matches!(err, JobError::CheckpointCorrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_gap_in_tiling() {
+        let mut c = two_machine_ckpt();
+        let mut mc = (*c.machines[1]).clone();
+        mc.start = 4;
+        c.machines[1] = Arc::new(mc);
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn global_bits_reassembles_in_order() {
+        let c = two_machine_ckpt();
+        assert_eq!(c.global_bits(PropId(0)).unwrap(), vec![10, 11, 12, 13, 14]);
+        assert!(c.global_bits(PropId(5)).is_err());
+    }
+
+    #[test]
+    fn store_keeps_latest_and_counts() {
+        let store = CheckpointStore::new();
+        assert!(store.latest().is_none());
+        let mc = Arc::new(MachineCheckpoint {
+            machine: 0,
+            start: 0,
+            shards: vec![shard(0, vec![1, 2], vec![])],
+        });
+        store.save(1, mc.clone());
+        store.save(2, mc);
+        let (seq, got) = store.latest().unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(got.machine, 0);
+        assert_eq!(store.saved(), 2);
+        assert_eq!(store.bytes_saved(), 2 * 16);
+        store.clear();
+        assert!(store.latest().is_none());
+    }
+}

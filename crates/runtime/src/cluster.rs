@@ -8,6 +8,9 @@
 //! model of §3.1.
 
 use crate::barrier::CentralBarrier;
+use crate::checkpoint::{
+    Checkpoint, CheckpointStore, JobProgress, MachineCheckpoint, PropMeta, PropShard,
+};
 use crate::config::Config;
 use crate::copier;
 use crate::fabric::{make_endpoints, Fabric, MachineEndpoints};
@@ -78,6 +81,11 @@ pub struct Cluster {
     next_prop: u16,
     next_rmi: u16,
     dist_epoch: u64,
+    /// Per-machine durable checkpoint slots (index = machine id).
+    stores: Vec<Arc<CheckpointStore>>,
+    /// The latest driver-assembled cluster checkpoint.
+    last_ckpt: Option<Arc<Checkpoint>>,
+    ckpt_seq: u64,
     /// Driver-supplied name of each phase run so far, indexed by
     /// `epoch - 1`; resolves trace events back to phase names at export.
     phase_labels: Vec<String>,
@@ -219,6 +227,9 @@ impl Cluster {
             next_prop: 0,
             next_rmi: 0,
             dist_epoch: 0,
+            stores: (0..p).map(|_| Arc::new(CheckpointStore::new())).collect(),
+            last_ckpt: None,
+            ckpt_seq: 0,
             phase_labels: Vec::new(),
         })
     }
@@ -384,6 +395,198 @@ impl Cluster {
             }
         }
         n
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint / restore
+    // -----------------------------------------------------------------
+
+    /// Machine `m`'s checkpoint store.
+    pub fn checkpoint_store(&self, m: usize) -> &Arc<CheckpointStore> {
+        &self.stores[m]
+    }
+
+    /// The latest driver-assembled checkpoint, if any. The recovery driver
+    /// extracts this *before* dropping a failed engine — the checkpoint is
+    /// plain copied memory, never a view into the dead cluster.
+    pub fn last_checkpoint(&self) -> Option<Arc<Checkpoint>> {
+        self.last_ckpt.clone()
+    }
+
+    /// Takes a barrier-consistent snapshot of every live property plus job
+    /// progress. Legal only between `try_run_*` calls: the cluster is then
+    /// quiescent (the pending-entry counter has drained to zero), so no
+    /// in-flight read or write can straddle the copy — the trailing phase
+    /// barrier *is* the consistency point. Each machine's shard lands in
+    /// its own [`CheckpointStore`]; the assembled whole is also retained
+    /// for the driver.
+    pub fn take_checkpoint(
+        &mut self,
+        iteration: u64,
+        scalars: Vec<u64>,
+    ) -> Result<Arc<Checkpoint>, JobError> {
+        if let Some(err) = self.health.error() {
+            return Err(err);
+        }
+        debug_assert_eq!(
+            self.pending.load(Ordering::SeqCst),
+            0,
+            "checkpoint taken while entries are in flight"
+        );
+        let t0 = Instant::now();
+        let metas: Vec<PropMeta> = self.machines[0]
+            .props
+            .live()
+            .into_iter()
+            .map(|(id, e)| PropMeta {
+                id,
+                name: e.name.clone(),
+                tag: e.column.tag(),
+                default_bits: e.default_bits,
+            })
+            .collect();
+        self.ckpt_seq += 1;
+        let seq = self.ckpt_seq;
+        let mut shards_by_machine = Vec::with_capacity(self.machines.len());
+        let mut total_bytes = 0u64;
+        for m in &self.machines {
+            let mut shards = Vec::with_capacity(metas.len());
+            for meta in &metas {
+                let col = m.props.column(meta.id);
+                let owned: Vec<u64> = (0..col.len_local()).map(|i| col.load_bits(i)).collect();
+                let ghost: Vec<u64> = (col.len_local()..col.len_total())
+                    .map(|i| col.load_bits(i))
+                    .collect();
+                shards.push(PropShard::new(meta.id, owned, ghost));
+            }
+            let mc = Arc::new(MachineCheckpoint {
+                machine: m.id,
+                start: self.partition.start(m.id),
+                shards,
+            });
+            let bytes = mc.bytes() as u64;
+            total_bytes += bytes;
+            m.stats.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+            m.stats.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+            m.telemetry.record_checkpoint_bytes(bytes);
+            self.stores[m.id as usize].save(seq, mc.clone());
+            shards_by_machine.push(mc);
+        }
+        let ckpt = Arc::new(Checkpoint {
+            seq,
+            num_nodes: self.num_nodes(),
+            progress: JobProgress {
+                iteration,
+                phase_epoch: self.phase_labels.len() as u64,
+                scalars,
+            },
+            props: metas,
+            machines: shards_by_machine,
+        });
+        if let Some(m0) = self.machines.first() {
+            m0.telemetry
+                .record_checkpoint_ns(t0.elapsed().as_nanos() as u64);
+            m0.telemetry
+                .trace(0, EventKind::CheckpointTaken, total_bytes);
+        }
+        self.last_ckpt = Some(ckpt.clone());
+        Ok(ckpt)
+    }
+
+    /// Restores property state from `ckpt`, verifying every shard checksum
+    /// first. Every checkpointed property must already be registered with
+    /// the same id and type (the resuming algorithm re-runs its setup,
+    /// which re-registers properties in the same order).
+    ///
+    /// Two shapes are supported: a cluster *identical* to the snapshot's
+    /// (same machine count, partition, ghost set) gets a bit-exact restore
+    /// of owned and ghost regions; any other shape — the degraded P−1
+    /// survivor cluster after a crash — gets each property's reassembled
+    /// global column re-scattered under *this* cluster's partitioning, with
+    /// ghost replicas re-primed from owner values (the next job's ghost
+    /// push / bottom-init overwrites them before any read).
+    ///
+    /// Health clocks are reset on success so a recovered run does not
+    /// immediately re-trip the crash watchdog.
+    pub fn restore_checkpoint(&mut self, ckpt: &Checkpoint) -> Result<(), JobError> {
+        if let Some(err) = self.health.error() {
+            return Err(err);
+        }
+        ckpt.verify()?;
+        if ckpt.num_nodes != self.num_nodes() {
+            return Err(JobError::CheckpointCorrupt(format!(
+                "checkpoint covers {} nodes but the cluster holds {}",
+                ckpt.num_nodes,
+                self.num_nodes()
+            )));
+        }
+        for meta in &ckpt.props {
+            for m in &self.machines {
+                let col = m.props.try_column(meta.id).ok_or_else(|| {
+                    JobError::CheckpointCorrupt(format!(
+                        "property {:?} ({}) is not registered on machine {}",
+                        meta.id, meta.name, m.id
+                    ))
+                })?;
+                if col.tag() != meta.tag {
+                    return Err(JobError::CheckpointCorrupt(format!(
+                        "property {} changed type between snapshot and restore",
+                        meta.name
+                    )));
+                }
+            }
+        }
+        let same_shape = ckpt.machines.len() == self.machines.len()
+            && ckpt.machines.iter().all(|mc| {
+                let m = &self.machines[mc.machine as usize];
+                mc.start == self.partition.start(mc.machine)
+                    && mc.owned_len() == m.num_local()
+                    && mc.shards.iter().all(|s| s.ghost.len() == self.ghosts.len())
+            });
+        if same_shape {
+            for mc in &ckpt.machines {
+                let m = &self.machines[mc.machine as usize];
+                for shard in &mc.shards {
+                    let col = m.props.column(shard.id);
+                    for (i, &bits) in shard.owned.iter().enumerate() {
+                        col.store_bits(i, bits);
+                    }
+                    let base = col.len_local();
+                    for (i, &bits) in shard.ghost.iter().enumerate() {
+                        col.store_bits(base + i, bits);
+                    }
+                }
+            }
+        } else {
+            for meta in &ckpt.props {
+                let global = ckpt.global_bits(meta.id)?;
+                for m in &self.machines {
+                    let col = m.props.column(meta.id);
+                    let start = self.partition.start(m.id) as usize;
+                    for i in 0..m.num_local() {
+                        col.store_bits(i, global[start + i]);
+                    }
+                    let base = col.len_local();
+                    for ord in 0..self.ghosts.len() {
+                        let v = self.ghosts.node_at(ord as u32);
+                        col.store_bits(base + ord, global[v as usize]);
+                    }
+                }
+            }
+        }
+        for m in &self.machines {
+            m.stats.restores_applied.fetch_add(1, Ordering::Relaxed);
+        }
+        self.health.reset_clocks();
+        Ok(())
+    }
+
+    /// Records a driver-side trace event (recovery lifecycle markers) on
+    /// machine 0's worker-0 ring.
+    pub fn trace_driver_event(&self, kind: EventKind, arg: u64) {
+        if let Some(m0) = self.machines.first() {
+            m0.telemetry.trace(0, kind, arg);
+        }
     }
 
     // -----------------------------------------------------------------

@@ -239,6 +239,51 @@ impl Default for ReliabilityConfig {
     }
 }
 
+/// Checkpoint/restore and automatic retry knobs (see
+/// [`crate::checkpoint`] and the `RecoveryDriver` in the `pgxd` crate).
+/// Off by default: no snapshots are taken and a `JobError` surfaces to the
+/// caller exactly as before recovery existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Master switch for checkpointing and automatic retry.
+    pub enabled: bool,
+    /// Snapshot every N completed algorithm iterations (phase-barrier
+    /// cadence — snapshots are only ever taken at a quiescent barrier).
+    pub checkpoint_every: u64,
+    /// Retry attempts after the initial run before giving up with
+    /// [`JobError::RetriesExhausted`](crate::health::JobError).
+    pub max_retries: u32,
+    /// First retry backoff, milliseconds; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Ceiling on the backed-off retry delay, milliseconds.
+    pub backoff_max_ms: u64,
+}
+
+impl RecoveryConfig {
+    pub const fn off() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            checkpoint_every: 1,
+            max_retries: 3,
+            backoff_base_ms: 10,
+            backoff_max_ms: 200,
+        }
+    }
+
+    pub const fn on() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            ..RecoveryConfig::off()
+        }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig::off()
+    }
+}
+
 /// Telemetry switches (see [`crate::telemetry`]).
 ///
 /// The always-on [`crate::stats::MachineStats`] counters are unaffected by
@@ -357,6 +402,8 @@ pub struct Config {
     pub fault: FaultPlan,
     /// Reliable-delivery protocol (off by default).
     pub reliability: ReliabilityConfig,
+    /// Checkpoint/restore and automatic retry (off by default).
+    pub recovery: RecoveryConfig,
     /// Free-list shards in each machine's send-buffer pool (rounded up to
     /// a power of two). Workers and copiers recycle buffers through their
     /// own shard, so acquire/release never contend across threads.
@@ -397,6 +444,7 @@ impl Config {
             telemetry: TelemetryConfig::off(),
             fault: FaultPlan::none(),
             reliability: ReliabilityConfig::off(),
+            recovery: RecoveryConfig::off(),
             pool_shards: 2,
             read_combining: true,
             adaptive_flush: AdaptiveFlushConfig::off(),
@@ -422,6 +470,7 @@ impl Config {
             telemetry: TelemetryConfig::off(),
             fault: FaultPlan::none(),
             reliability: ReliabilityConfig::off(),
+            recovery: RecoveryConfig::off(),
             pool_shards: 4,
             read_combining: true,
             adaptive_flush: AdaptiveFlushConfig::off(),
@@ -512,6 +561,18 @@ impl Config {
             }
             if r.watchdog_ms < 2 * r.tick_ms {
                 return Err("reliability watchdog_ms must be >= 2 * tick_ms".into());
+            }
+        }
+        if self.recovery.enabled {
+            let rc = &self.recovery;
+            if rc.checkpoint_every == 0 {
+                return Err("recovery.checkpoint_every must be >= 1".into());
+            }
+            if rc.max_retries == 0 {
+                return Err("recovery.max_retries must be >= 1 when enabled".into());
+            }
+            if rc.backoff_max_ms < rc.backoff_base_ms {
+                return Err("recovery backoff_max_ms must be >= backoff_base_ms".into());
             }
         }
         Ok(())
@@ -625,6 +686,34 @@ impl ConfigBuilder {
         self
     }
 
+    /// Checkpoint/restore and automatic-retry knobs.
+    pub fn recovery(mut self, r: RecoveryConfig) -> Self {
+        self.config.recovery = r;
+        self
+    }
+
+    /// Snapshot cadence in completed iterations; enables recovery.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.checkpoint_every = every;
+        self
+    }
+
+    /// Retry budget after the initial attempt; enables recovery.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.max_retries = retries;
+        self
+    }
+
+    /// Crash-watchdog silence threshold
+    /// ([`ClusterHealth::stale_peer`](crate::health::ClusterHealth::stale_peer)
+    /// deadline), milliseconds. Replaces the previously hardcoded value.
+    pub fn heartbeat_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.reliability.watchdog_ms = ms;
+        self
+    }
+
     /// Send-pool free-list shard count.
     pub fn pool_shards(mut self, n: usize) -> Self {
         self.config.pool_shards = n;
@@ -728,6 +817,54 @@ mod tests {
         c.reliability = ReliabilityConfig::on();
         c.reliability.max_retries = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_knobs_validated() {
+        let mut c = Config::test(2);
+        c.recovery = RecoveryConfig::on();
+        assert!(c.validate().is_ok());
+        c.recovery.checkpoint_every = 0;
+        assert!(c.validate().is_err());
+        c.recovery = RecoveryConfig::on();
+        c.recovery.max_retries = 0;
+        assert!(c.validate().is_err());
+        c.recovery = RecoveryConfig::on();
+        c.recovery.backoff_max_ms = c.recovery.backoff_base_ms - 1;
+        assert!(c.validate().is_err());
+        // Disabled recovery skips the knob checks entirely.
+        c.recovery = RecoveryConfig::off();
+        c.recovery.checkpoint_every = 0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_recovery_setters_enable_recovery() {
+        let c = Config::builder()
+            .checkpoint_every(4)
+            .max_retries(2)
+            .build()
+            .expect("valid recovery config");
+        assert!(c.recovery.enabled);
+        assert_eq!(c.recovery.checkpoint_every, 4);
+        assert_eq!(c.recovery.max_retries, 2);
+        assert!(Config::builder().checkpoint_every(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_heartbeat_deadline_sets_watchdog() {
+        let mut b = Config::builder().heartbeat_deadline_ms(120);
+        b = b
+            .reliability(ReliabilityConfig::on())
+            .heartbeat_deadline_ms(120);
+        let c = b.build().expect("valid");
+        assert_eq!(c.reliability.watchdog_ms, 120);
+        // The deadline is still validated against the tick interval.
+        assert!(Config::builder()
+            .reliability(ReliabilityConfig::on())
+            .heartbeat_deadline_ms(1)
+            .build()
+            .is_err());
     }
 
     #[test]

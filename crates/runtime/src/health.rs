@@ -23,7 +23,11 @@ use crate::ids::MachineId;
 
 /// Why a job failed. Returned by the fallible `run` APIs instead of
 /// hanging or panicking.
+///
+/// `#[non_exhaustive]` so recovery-era variants (and future ones) never
+/// break downstream matches: callers must keep a wildcard arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum JobError {
     /// A machine crashed or was partitioned away: its heartbeats went
     /// silent past the watchdog deadline, or an envelope to it exhausted
@@ -36,6 +40,27 @@ pub enum JobError {
     /// (e.g. an envelope referencing a retired property or side slot while
     /// the reliability protocol is off).
     Protocol(String),
+    /// A checkpoint failed verification on restore (checksum mismatch,
+    /// shard gap, or layout drift between snapshot and restore cluster).
+    CheckpointCorrupt(String),
+    /// The recovery driver gave up: every attempt allowed by the
+    /// [`RecoveryConfig`](crate::config::RecoveryConfig) budget failed.
+    RetriesExhausted {
+        /// Attempts made (initial run + retries).
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<JobError>,
+    },
+}
+
+impl JobError {
+    /// Whether the recovery driver may retry after this failure. Machine
+    /// loss is the transient class — the whole point of degraded-mode
+    /// recovery; protocol violations and corrupt checkpoints are
+    /// deterministic and would only fail again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::MachineDown { .. })
+    }
 }
 
 impl fmt::Display for JobError {
@@ -45,11 +70,25 @@ impl fmt::Display for JobError {
                 write!(f, "machine {machine} is down (crashed or partitioned)")
             }
             JobError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            JobError::CheckpointCorrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+            JobError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "job failed after {attempts} attempts; last error: {last}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for JobError {}
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Shared cluster liveness state. See the module docs.
 pub struct ClusterHealth {
@@ -207,5 +246,29 @@ mod tests {
         assert!(e.to_string().contains("machine 1"));
         let e = JobError::Protocol("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = JobError::CheckpointCorrupt("shard 3".into());
+        assert!(e.to_string().contains("shard 3"));
+        let e = JobError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(JobError::MachineDown { machine: 2 }),
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(e.to_string().contains("machine 2"));
+    }
+
+    #[test]
+    fn error_classification_and_source() {
+        use std::error::Error;
+        assert!(JobError::MachineDown { machine: 0 }.is_transient());
+        assert!(!JobError::Protocol("x".into()).is_transient());
+        assert!(!JobError::CheckpointCorrupt("x".into()).is_transient());
+        let e = JobError::RetriesExhausted {
+            attempts: 2,
+            last: Box::new(JobError::MachineDown { machine: 1 }),
+        };
+        assert!(!e.is_transient());
+        // `?` with Box<dyn Error> works and the chain reaches the cause.
+        let cause = e.source().expect("has source");
+        assert!(cause.to_string().contains("machine 1"));
     }
 }

@@ -30,6 +30,7 @@
 
 pub mod barrier;
 pub mod buffer;
+pub mod checkpoint;
 pub mod chunk;
 pub mod cluster;
 pub mod config;
@@ -51,10 +52,11 @@ pub mod stats;
 pub mod telemetry;
 pub mod worker;
 
+pub use checkpoint::{Checkpoint, CheckpointStore, JobProgress};
 pub use cluster::Cluster;
 pub use config::{
     AdaptiveFlushConfig, ChunkingMode, Config, ConfigBuilder, CrashPlan, FaultPlan, NetConfig,
-    PartitioningMode, ReliabilityConfig, SlowPlan, TelemetryConfig,
+    PartitioningMode, RecoveryConfig, ReliabilityConfig, SlowPlan, TelemetryConfig,
 };
 pub use flow::FlushController;
 pub use health::{ClusterHealth, JobError};

@@ -437,6 +437,17 @@ impl PropertyStore {
             .clone()
     }
 
+    /// Every live property with its id, in id order — the checkpoint
+    /// module's enumeration of what must be snapshotted.
+    pub fn live(&self) -> Vec<(PropId, Arc<PropEntry>)> {
+        self.entries
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (PropId(i as u16), e.clone())))
+            .collect()
+    }
+
     /// True if the id maps to a live property.
     pub fn exists(&self, id: PropId) -> bool {
         let entries = self.entries.read();

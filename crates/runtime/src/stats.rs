@@ -53,6 +53,12 @@ pub struct MachineStats {
     /// Remote reads satisfied by piggybacking on an identical in-flight
     /// request entry instead of a new wire entry (read combining).
     pub combined_read_hits: AtomicU64,
+    /// Barrier-consistent snapshots this machine contributed a shard to.
+    pub checkpoints_taken: AtomicU64,
+    /// Payload bytes this machine snapshotted into its checkpoint store.
+    pub checkpoint_bytes: AtomicU64,
+    /// Checkpoint restores applied to this machine's property columns.
+    pub restores_applied: AtomicU64,
 }
 
 /// A point-in-time copy of [`MachineStats`], subtractable.
@@ -74,6 +80,9 @@ pub struct StatsSnapshot {
     pub acks_sent: u64,
     pub failed_entries: u64,
     pub combined_read_hits: u64,
+    pub checkpoints_taken: u64,
+    pub checkpoint_bytes: u64,
+    pub restores_applied: u64,
 }
 
 impl MachineStats {
@@ -96,6 +105,9 @@ impl MachineStats {
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
             failed_entries: self.failed_entries.load(Ordering::Relaxed),
             combined_read_hits: self.combined_read_hits.load(Ordering::Relaxed),
+            checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            restores_applied: self.restores_applied.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +132,9 @@ impl std::ops::Sub for StatsSnapshot {
             acks_sent: self.acks_sent - rhs.acks_sent,
             failed_entries: self.failed_entries - rhs.failed_entries,
             combined_read_hits: self.combined_read_hits - rhs.combined_read_hits,
+            checkpoints_taken: self.checkpoints_taken - rhs.checkpoints_taken,
+            checkpoint_bytes: self.checkpoint_bytes - rhs.checkpoint_bytes,
+            restores_applied: self.restores_applied - rhs.restores_applied,
         }
     }
 }
@@ -144,6 +159,9 @@ impl std::ops::Add for StatsSnapshot {
             acks_sent: self.acks_sent + rhs.acks_sent,
             failed_entries: self.failed_entries + rhs.failed_entries,
             combined_read_hits: self.combined_read_hits + rhs.combined_read_hits,
+            checkpoints_taken: self.checkpoints_taken + rhs.checkpoints_taken,
+            checkpoint_bytes: self.checkpoint_bytes + rhs.checkpoint_bytes,
+            restores_applied: self.restores_applied + rhs.restores_applied,
         }
     }
 }

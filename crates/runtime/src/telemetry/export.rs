@@ -447,6 +447,9 @@ pub fn stats_json(s: &StatsSnapshot) -> Value {
         ("acks_sent", s.acks_sent.into()),
         ("failed_entries", s.failed_entries.into()),
         ("combined_read_hits", s.combined_read_hits.into()),
+        ("checkpoints_taken", s.checkpoints_taken.into()),
+        ("checkpoint_bytes", s.checkpoint_bytes.into()),
+        ("restores_applied", s.restores_applied.into()),
     ])
 }
 
@@ -463,6 +466,11 @@ fn histograms_json(t: &Telemetry) -> Value {
             histogram_json(&t.side_occupancy_snapshot()),
         ),
         ("chunk_claims", histogram_json(&t.chunk_claims_snapshot())),
+        (
+            "checkpoint_bytes",
+            histogram_json(&t.checkpoint_bytes_snapshot()),
+        ),
+        ("checkpoint_ns", histogram_json(&t.checkpoint_ns_snapshot())),
     ])
 }
 
@@ -668,6 +676,14 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                         fields.push(("ph", "i".into()));
                         fields.push(("s", "t".into()));
                     }
+                    EventKind::CheckpointTaken
+                    | EventKind::RecoveryStart
+                    | EventKind::RecoveryDone => {
+                        fields.push(("name", e.kind.name().into()));
+                        fields.push(("cat", "recovery".into()));
+                        fields.push(("ph", "i".into()));
+                        fields.push(("s", "t".into()));
+                    }
                 }
                 fields.push(("pid", pid.into()));
                 fields.push(("tid", w.into()));
@@ -678,6 +694,9 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                     EventKind::GhostPush | EventKind::GhostReduce => Some("nodes"),
                     EventKind::Retransmit | EventKind::AbortSweep => Some("count"),
                     EventKind::DupDrop => Some("seq"),
+                    EventKind::CheckpointTaken => Some("bytes"),
+                    EventKind::RecoveryStart => Some("attempt"),
+                    EventKind::RecoveryDone => Some("iteration"),
                     _ => Some("epoch"),
                 };
                 if let Some(k) = arg_key {

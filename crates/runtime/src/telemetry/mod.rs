@@ -51,6 +51,8 @@ pub struct Telemetry {
     flush_fill_pct: Histogram,
     side_occupancy: Histogram,
     chunk_claims: Histogram,
+    checkpoint_bytes: Histogram,
+    checkpoint_ns: Histogram,
     dest_bytes: Vec<AtomicU64>,
     tracers: Vec<Tracer>,
 }
@@ -69,6 +71,8 @@ impl Telemetry {
             flush_fill_pct: Histogram::new(),
             side_occupancy: Histogram::new(),
             chunk_claims: Histogram::new(),
+            checkpoint_bytes: Histogram::new(),
+            checkpoint_ns: Histogram::new(),
             dest_bytes: if enabled {
                 (0..config.machines).map(|_| AtomicU64::new(0)).collect()
             } else {
@@ -158,6 +162,22 @@ impl Telemetry {
         }
     }
 
+    /// Payload bytes this machine snapshotted in one checkpoint.
+    #[inline]
+    pub fn record_checkpoint_bytes(&self, bytes: u64) {
+        if self.enabled {
+            self.checkpoint_bytes.record(bytes);
+        }
+    }
+
+    /// Wall time of one cluster-wide checkpoint, nanoseconds.
+    #[inline]
+    pub fn record_checkpoint_ns(&self, ns: u64) {
+        if self.enabled {
+            self.checkpoint_ns.record(ns);
+        }
+    }
+
     /// Payload bytes sent from this machine to `dest`.
     #[inline]
     pub fn record_dest_bytes(&self, dest: usize, bytes: u64) {
@@ -206,6 +226,14 @@ impl Telemetry {
 
     pub fn chunk_claims_snapshot(&self) -> HistogramSnapshot {
         self.chunk_claims.snapshot()
+    }
+
+    pub fn checkpoint_bytes_snapshot(&self) -> HistogramSnapshot {
+        self.checkpoint_bytes.snapshot()
+    }
+
+    pub fn checkpoint_ns_snapshot(&self) -> HistogramSnapshot {
+        self.checkpoint_ns.snapshot()
     }
 
     pub fn dest_bytes_snapshot(&self) -> Vec<u64> {
@@ -272,6 +300,10 @@ impl Telemetry {
     #[inline(always)]
     pub fn record_chunk_claims(&self, _chunks: u64) {}
     #[inline(always)]
+    pub fn record_checkpoint_bytes(&self, _bytes: u64) {}
+    #[inline(always)]
+    pub fn record_checkpoint_ns(&self, _ns: u64) {}
+    #[inline(always)]
     pub fn record_dest_bytes(&self, _dest: usize, _bytes: u64) {}
 
     pub fn workers(&self) -> usize {
@@ -299,6 +331,12 @@ impl Telemetry {
         HistogramSnapshot::default()
     }
     pub fn chunk_claims_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn checkpoint_bytes_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn checkpoint_ns_snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot::default()
     }
     pub fn dest_bytes_snapshot(&self) -> Vec<u64> {

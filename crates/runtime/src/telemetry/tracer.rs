@@ -46,6 +46,15 @@ pub enum EventKind {
     /// The adaptive flush controller moved the effective threshold between
     /// phase barriers. `arg` = the new threshold in bytes.
     FlushRetune = 11,
+    /// A barrier-consistent checkpoint was taken. `arg` = payload bytes
+    /// snapshotted cluster-wide.
+    CheckpointTaken = 12,
+    /// The recovery driver began a retry attempt (degraded rebuild +
+    /// restore). `arg` = the attempt number (1 = first retry).
+    RecoveryStart = 13,
+    /// A retry attempt finished restoring state and resumed the job.
+    /// `arg` = the iteration resumed from.
+    RecoveryDone = 14,
 }
 
 impl EventKind {
@@ -63,6 +72,9 @@ impl EventKind {
             EventKind::DupDrop => "dup_drop",
             EventKind::AbortSweep => "abort_sweep",
             EventKind::FlushRetune => "flush_retune",
+            EventKind::CheckpointTaken => "checkpoint_taken",
+            EventKind::RecoveryStart => "recovery_start",
+            EventKind::RecoveryDone => "recovery_done",
         }
     }
 
@@ -80,6 +92,9 @@ impl EventKind {
             9 => EventKind::DupDrop,
             10 => EventKind::AbortSweep,
             11 => EventKind::FlushRetune,
+            12 => EventKind::CheckpointTaken,
+            13 => EventKind::RecoveryStart,
+            14 => EventKind::RecoveryDone,
             _ => return None,
         })
     }

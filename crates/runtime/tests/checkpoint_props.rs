@@ -1,0 +1,177 @@
+//! Property tests of checkpoint/restore: for arbitrary property contents
+//! (owned *and* ghost-replica slots), a same-shape snapshot/restore
+//! round-trip is bit-identical, a degraded restore re-scatters the exact
+//! owned bits under the survivors' partitioning, and any bit of tampering
+//! is caught by the shard checksums.
+
+use pgxd_graph::generate;
+use pgxd_runtime::checkpoint::MachineCheckpoint;
+use pgxd_runtime::cluster::Cluster;
+use pgxd_runtime::config::Config;
+use pgxd_runtime::props::PropId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn config(machines: usize) -> Config {
+    Config::builder()
+        .machines(machines)
+        .workers(1)
+        .copiers(1)
+        .ghost_threshold(Some(2))
+        .build()
+        .expect("config")
+}
+
+/// Loads the shared test graph (high-degree rmat hubs → nonempty ghost
+/// table at threshold 2) and registers two live properties.
+fn cluster_with_props(machines: usize) -> (Cluster, PropId, PropId) {
+    let g = generate::rmat(6, 8, generate::RmatParams::skewed(), 91);
+    let mut c = Cluster::load(&g, config(machines)).expect("cluster");
+    let a = c.add_prop("a", 0i64);
+    let b = c.add_prop("b", 0.0f64);
+    (c, a, b)
+}
+
+/// Writes `seed`-derived bits into every slot of both columns — owned and
+/// ghost replicas alike — bypassing the engine so the ghost region holds
+/// arbitrary values, not owner-consistent ones.
+fn scribble(c: &Cluster, props: &[PropId], seed: u64) {
+    for m in c.machines() {
+        for &p in props {
+            let col = m.props.column(p);
+            for i in 0..col.len_total() {
+                let x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((m.id as u64) << 32 | (p.0 as u64) << 16 | i as u64);
+                col.store_bits(i, x ^ (x >> 29));
+            }
+        }
+    }
+}
+
+/// All column bits of `p`, per machine, owned+ghost concatenated.
+fn all_bits(c: &Cluster, p: PropId) -> Vec<Vec<u64>> {
+    c.machines()
+        .iter()
+        .map(|m| {
+            let col = m.props.column(p);
+            (0..col.len_total()).map(|i| col.load_bits(i)).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same-shape restore is bit-exact for owned AND ghost regions.
+    #[test]
+    fn round_trip_is_bit_identical(seed in any::<u64>(), junk in any::<u64>()) {
+        let (mut c, a, b) = cluster_with_props(3);
+        prop_assert!(!c.ghosts().is_empty(), "test needs ghost replicas");
+        scribble(&c, &[a, b], seed);
+        let before_a = all_bits(&c, a);
+        let before_b = all_bits(&c, b);
+
+        let ckpt = c.take_checkpoint(7, vec![seed]).unwrap();
+        prop_assert_eq!(ckpt.progress.iteration, 7);
+        prop_assert_eq!(&ckpt.progress.scalars, &vec![seed]);
+
+        scribble(&c, &[a, b], junk); // clobber everything
+        c.restore_checkpoint(&ckpt).unwrap();
+
+        prop_assert_eq!(all_bits(&c, a), before_a);
+        prop_assert_eq!(all_bits(&c, b), before_b);
+    }
+
+    /// A checkpoint from P machines restores onto P−1 survivors: owned
+    /// values land exactly where the new partitioning says, and every
+    /// ghost replica is primed with its owner's value.
+    #[test]
+    fn degraded_restore_preserves_global_columns(seed in any::<u64>()) {
+        let (mut big, a, b) = cluster_with_props(3);
+        scribble(&big, &[a, b], seed);
+        let global_a = big.gather::<i64>(a);
+        let ckpt = big.take_checkpoint(3, vec![]).unwrap();
+        drop(big);
+
+        let (mut small, a2, b2) = cluster_with_props(2);
+        prop_assert_eq!(a2, a);
+        prop_assert_eq!(b2, b);
+        small.restore_checkpoint(&ckpt).unwrap();
+
+        prop_assert_eq!(small.gather::<i64>(a2), global_a);
+        // Ghost replicas must mirror their owner's restored value.
+        let part = small.partition().clone();
+        for m in small.machines() {
+            let col = m.props.column(a2);
+            let base = col.len_local();
+            for ord in 0..small.ghosts().len() {
+                let v = small.ghosts().node_at(ord as u32);
+                let owner_bits = small
+                    .machine(part.owner(v) as usize)
+                    .props
+                    .column(a2)
+                    .load_bits(part.local_offset(v) as usize);
+                prop_assert_eq!(col.load_bits(base + ord), owner_bits);
+            }
+        }
+    }
+
+    /// Any single-bit corruption of any shard word is rejected.
+    #[test]
+    fn tampered_shard_is_rejected(
+        seed in any::<u64>(),
+        machine in 0usize..3,
+        bit in 0u32..64,
+    ) {
+        let (mut c, a, _b) = cluster_with_props(3);
+        scribble(&c, &[a], seed);
+        let ckpt = c.take_checkpoint(1, vec![]).unwrap();
+
+        let mut forged = (*ckpt).clone();
+        let mc = Arc::make_mut(&mut forged.machines[machine]);
+        let shard = &mut mc.shards[0];
+        let word = seed as usize % shard.owned.len();
+        shard.owned[word] ^= 1u64 << bit;
+
+        prop_assert!(forged.verify().is_err());
+        prop_assert!(c.restore_checkpoint(&forged).is_err());
+        // The pristine checkpoint still restores fine afterwards.
+        c.restore_checkpoint(&ckpt).unwrap();
+    }
+}
+
+/// Restoring onto a cluster whose property registry is missing a
+/// checkpointed column must fail loudly, not write wild.
+#[test]
+fn missing_property_is_rejected() {
+    let (mut c, a, b) = cluster_with_props(2);
+    scribble(&c, &[a, b], 42);
+    let ckpt = c.take_checkpoint(1, vec![]).unwrap();
+    c.drop_prop(b);
+    let err = c.restore_checkpoint(&ckpt).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("not registered"), "got: {msg}");
+}
+
+/// The per-machine stores hold exactly the latest shard, and counters ride
+/// along.
+#[test]
+fn stores_track_latest_sequence() {
+    let (mut c, a, _b) = cluster_with_props(2);
+    scribble(&c, &[a], 1);
+    c.take_checkpoint(1, vec![]).unwrap();
+    scribble(&c, &[a], 2);
+    c.take_checkpoint(2, vec![]).unwrap();
+    for m in 0..2 {
+        let store = c.checkpoint_store(m);
+        let (seq, mc): (u64, Arc<MachineCheckpoint>) = store.latest().unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(mc.machine as usize, m);
+        assert_eq!(store.saved(), 2);
+        assert!(store.bytes_saved() > 0);
+    }
+    let stats = c.total_stats();
+    assert_eq!(stats.checkpoints_taken, 4);
+    assert!(stats.checkpoint_bytes > 0);
+}

@@ -10,6 +10,11 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== runtime fault/recovery tests with --features telemetry =="
+# Exercises the checkpoint/restore and reliability paths with the
+# histogram/tracer instruments compiled in (they are feature-gated).
+cargo test -q -p pgxd-runtime --features telemetry
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -26,5 +31,12 @@ echo "== commfast smoke (read combining + adaptive flush acceptance) =="
 # (combined hits > 0, strictly fewer wire messages, scores within 1e-12,
 # bit-identical on the deterministic star graph).
 cargo run --release -p pgxd-bench --bin repro -- commfast
+
+echo "== recover smoke (checkpoint/restore + automatic retry acceptance) =="
+# Crashes one machine of four mid-PageRank under a seeded plan and asserts
+# the recovery contract internally (restore on the P-1 survivors, converge
+# to the fault-free fixpoint within 1e-12, >= 1 RecoveryDone event,
+# nonzero checkpoint telemetry; with recovery off, a clean MachineDown).
+cargo run --release -p pgxd-bench --bin repro -- recover
 
 echo "tier-1: all checks passed"
