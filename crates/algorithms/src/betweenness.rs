@@ -156,6 +156,7 @@ impl NodeTask for ResetSource {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_betweenness`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_betweenness instead")]
 pub fn betweenness(engine: &mut Engine, sources: &[NodeId]) -> BetweennessResult {
     try_betweenness(engine, sources).unwrap_or_else(|e| panic!("betweenness job failed: {e}"))
 }
@@ -295,7 +296,7 @@ mod tests {
         // 0 -> 1 -> 2 -> 3 -> 4: vertex 2 sits on the most paths.
         let g = generate::path(5);
         let mut e = engine(2, &g);
-        let r = betweenness(&mut e, &all_sources(5));
+        let r = try_betweenness(&mut e, &all_sources(5)).unwrap();
         // Exact: bc(1) = 3 (paths 0→2,0→3,0→4... passing through 1):
         // pairs through 1: (0,2),(0,3),(0,4) = 3; through 2: (0,3),(0,4),(1,3),(1,4) = 4.
         assert_eq!(r.centrality[0], 0.0);
@@ -310,7 +311,7 @@ mod tests {
         // 0 -> {1,2} -> 3: two equal shortest paths; 1 and 2 each get 0.5.
         let g = graph_from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
         let mut e = engine(2, &g);
-        let r = betweenness(&mut e, &all_sources(4));
+        let r = try_betweenness(&mut e, &all_sources(4)).unwrap();
         assert_eq!(r.centrality[0], 0.0);
         assert!((r.centrality[1] - 0.5).abs() < 1e-12);
         assert!((r.centrality[2] - 0.5).abs() < 1e-12);
@@ -322,7 +323,7 @@ mod tests {
         // Mutual star: every spoke-to-spoke shortest path crosses the hub.
         let g = generate::star(6);
         let mut e = engine(3, &g);
-        let r = betweenness(&mut e, &all_sources(7));
+        let r = try_betweenness(&mut e, &all_sources(7)).unwrap();
         // 6 spokes → 6*5 = 30 ordered spoke pairs, all through the hub.
         assert_eq!(r.centrality[0], 30.0);
         for &c in &r.centrality[1..] {
@@ -336,7 +337,7 @@ mod tests {
         let n = g.num_nodes();
         let reference = seq::betweenness(&g);
         let mut e = engine(3, &g);
-        let r = betweenness(&mut e, &all_sources(n));
+        let r = try_betweenness(&mut e, &all_sources(n)).unwrap();
         for (i, (a, b)) in r.centrality.iter().zip(&reference).enumerate() {
             assert!((a - b).abs() < 1e-9, "vertex {i}: {a} vs {b}");
         }
@@ -347,9 +348,9 @@ mod tests {
         let g = generate::rmat(6, 3, generate::RmatParams::mild(), 98);
         let sources: Vec<NodeId> = (0..10).collect();
         let mut e1 = engine(1, &g);
-        let a = betweenness(&mut e1, &sources);
+        let a = try_betweenness(&mut e1, &sources).unwrap();
         let mut e4 = engine(4, &g);
-        let b = betweenness(&mut e4, &sources);
+        let b = try_betweenness(&mut e4, &sources).unwrap();
         for (x, y) in a.centrality.iter().zip(&b.centrality) {
             assert!((x - y).abs() < 1e-9);
         }
@@ -359,7 +360,7 @@ mod tests {
     fn sampling_subset_of_sources() {
         let g = generate::path(6);
         let mut e = engine(2, &g);
-        let r = betweenness(&mut e, &[0]);
+        let r = try_betweenness(&mut e, &[0]).unwrap();
         assert_eq!(r.sources, 1);
         // From source 0 only: dependency of vertex k (0<k<5) is 4-k.
         assert_eq!(r.centrality[1], 4.0);

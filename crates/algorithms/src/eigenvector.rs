@@ -70,6 +70,7 @@ impl NodeTask for Square {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_eigenvector`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_eigenvector instead")]
 pub fn eigenvector(engine: &mut Engine, max_iters: usize, tol: f64) -> EigenVectorResult {
     try_eigenvector(engine, max_iters, tol)
         .unwrap_or_else(|e| panic!("eigenvector job failed: {e}"))
@@ -142,7 +143,7 @@ mod tests {
     fn complete_graph_uniform_centrality() {
         let g = generate::complete(8);
         let mut e = engine(2, &g);
-        let r = eigenvector(&mut e, 50, 1e-12);
+        let r = try_eigenvector(&mut e, 50, 1e-12).unwrap();
         let expect = 1.0 / (8f64).sqrt();
         for &c in &r.centrality {
             assert!((c - expect).abs() < 1e-6, "{c}");
@@ -153,7 +154,7 @@ mod tests {
     fn result_is_l2_normalized() {
         let g = generate::rmat(8, 4, generate::RmatParams::skewed(), 61);
         let mut e = engine(3, &g);
-        let r = eigenvector(&mut e, 30, 0.0);
+        let r = try_eigenvector(&mut e, 30, 0.0).unwrap();
         let norm: f64 = r.centrality.iter().map(|c| c * c).sum::<f64>().sqrt();
         assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
     }
@@ -172,7 +173,7 @@ mod tests {
         }
         let g = b.build();
         let mut e = engine(2, &g);
-        let r = eigenvector(&mut e, 200, 1e-12);
+        let r = try_eigenvector(&mut e, 200, 1e-12).unwrap();
         let hub = r.centrality[0];
         for &c in &r.centrality[1..] {
             assert!(hub > c, "hub {hub} vs spoke {c}");
@@ -183,9 +184,9 @@ mod tests {
     fn matches_single_machine() {
         let g = generate::rmat(7, 5, generate::RmatParams::mild(), 62);
         let mut e1 = engine(1, &g);
-        let a = eigenvector(&mut e1, 20, 0.0);
+        let a = try_eigenvector(&mut e1, 20, 0.0).unwrap();
         let mut e4 = engine(4, &g);
-        let b = eigenvector(&mut e4, 20, 0.0);
+        let b = try_eigenvector(&mut e4, 20, 0.0).unwrap();
         for (x, y) in a.centrality.iter().zip(&b.centrality) {
             assert!((x - y).abs() < 1e-9);
         }

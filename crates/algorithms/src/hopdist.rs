@@ -55,6 +55,7 @@ impl NodeTask for Advance {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_hopdist`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_hopdist instead")]
 pub fn hopdist(engine: &mut Engine, root: NodeId) -> HopDistResult {
     try_hopdist(engine, root).unwrap_or_else(|e| panic!("hopdist job failed: {e}"))
 }
@@ -210,7 +211,7 @@ mod tests {
     fn tree_levels() {
         let g = generate::binary_tree(15);
         let mut e = engine(2, &g);
-        let r = hopdist(&mut e, 0);
+        let r = try_hopdist(&mut e, 0).unwrap();
         assert_eq!(r.hops[0], 0);
         assert_eq!(r.hops[1], 1);
         assert_eq!(r.hops[2], 1);
@@ -223,7 +224,7 @@ mod tests {
     fn grid_manhattan_distance() {
         let g = generate::grid(4, 5); // edges right and down only
         let mut e = engine(3, &g);
-        let r = hopdist(&mut e, 0);
+        let r = try_hopdist(&mut e, 0).unwrap();
         for row in 0..4i64 {
             for col in 0..5i64 {
                 assert_eq!(r.hops[(row * 5 + col) as usize], row + col);
@@ -235,7 +236,7 @@ mod tests {
     fn unreachable_stays_max() {
         let g = generate::path(3);
         let mut e = engine(2, &g);
-        let r = hopdist(&mut e, 1);
+        let r = try_hopdist(&mut e, 1).unwrap();
         assert_eq!(r.hops, vec![i64::MAX, 0, 1]);
     }
 
@@ -243,9 +244,9 @@ mod tests {
     fn matches_single_machine() {
         let g = generate::rmat(9, 4, generate::RmatParams::skewed(), 51);
         let mut e1 = engine(1, &g);
-        let a = hopdist(&mut e1, 0);
+        let a = try_hopdist(&mut e1, 0).unwrap();
         let mut e4 = engine(4, &g);
-        let b = hopdist(&mut e4, 0);
+        let b = try_hopdist(&mut e4, 0).unwrap();
         assert_eq!(a.hops, b.hops);
     }
 }

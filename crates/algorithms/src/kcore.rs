@@ -70,6 +70,7 @@ impl NodeTask for InitDegree {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_kcore`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_kcore instead")]
 pub fn kcore(engine: &mut Engine, max_k: i64) -> KCoreResult {
     try_kcore(engine, max_k).unwrap_or_else(|e| panic!("kcore job failed: {e}"))
 }
@@ -159,7 +160,7 @@ mod tests {
         // graph survives until k = 8 and vanishes at k = 9.
         let g = generate::complete(5);
         let mut e = engine(2, &g);
-        let r = kcore(&mut e, 64);
+        let r = try_kcore(&mut e, 64).unwrap();
         assert_eq!(r.max_core, 8);
         assert!(r.core.iter().all(|&c| c == 8));
     }
@@ -169,7 +170,7 @@ mod tests {
         // Directed ring: degree 2 everywhere → max core 2.
         let g = generate::ring(12);
         let mut e = engine(3, &g);
-        let r = kcore(&mut e, 64);
+        let r = try_kcore(&mut e, 64).unwrap();
         assert_eq!(r.max_core, 2);
     }
 
@@ -179,7 +180,7 @@ mod tests {
         // At k=3 every spoke dies, which starves the hub: max core 2.
         let g = generate::star(10);
         let mut e = engine(2, &g);
-        let r = kcore(&mut e, 64);
+        let r = try_kcore(&mut e, 64).unwrap();
         assert_eq!(r.max_core, 2);
         assert!(r.core.iter().all(|&c| c == 2));
     }
@@ -193,7 +194,7 @@ mod tests {
             vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (3, 0)],
         );
         let mut e = engine(2, &g);
-        let r = kcore(&mut e, 64);
+        let r = try_kcore(&mut e, 64).unwrap();
         assert_eq!(r.max_core, 4);
         assert_eq!(r.core[3], 1, "pendant vertex peels at k=2");
         assert!(r.core[..3].iter().all(|&c| c == 4));
@@ -203,9 +204,9 @@ mod tests {
     fn matches_single_machine() {
         let g = generate::rmat(7, 4, generate::RmatParams::skewed(), 71);
         let mut e1 = engine(1, &g);
-        let a = kcore(&mut e1, 256);
+        let a = try_kcore(&mut e1, 256).unwrap();
         let mut e3 = engine(3, &g);
-        let b = kcore(&mut e3, 256);
+        let b = try_kcore(&mut e3, 256).unwrap();
         assert_eq!(a.max_core, b.max_core);
         assert_eq!(a.core, b.core);
     }
@@ -214,7 +215,7 @@ mod tests {
     fn empty_graph() {
         let g = graph_from_edges(3, vec![]);
         let mut e = engine(2, &g);
-        let r = kcore(&mut e, 8);
+        let r = try_kcore(&mut e, 8).unwrap();
         assert_eq!(r.max_core, 0);
         assert!(r.core.iter().all(|&c| c == 0));
     }

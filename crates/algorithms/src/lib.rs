@@ -38,14 +38,32 @@ pub mod pagerank;
 pub mod sssp;
 pub mod wcc;
 
-pub use betweenness::{betweenness, try_betweenness};
-pub use eigenvector::{eigenvector, try_eigenvector};
-pub use hopdist::{hopdist, recoverable_hopdist, try_hopdist, ResumableHopDist};
-pub use kcore::{kcore, try_kcore};
-pub use mis::{mis, try_mis};
+// The panicking wrappers stay re-exported (with their deprecation
+// warnings) so existing callers keep compiling while they migrate.
+#[allow(deprecated)]
+pub use betweenness::betweenness;
+pub use betweenness::try_betweenness;
+#[allow(deprecated)]
+pub use eigenvector::eigenvector;
+pub use eigenvector::try_eigenvector;
+#[allow(deprecated)]
+pub use hopdist::hopdist;
+pub use hopdist::{recoverable_hopdist, try_hopdist, ResumableHopDist};
+#[allow(deprecated)]
+pub use kcore::kcore;
+pub use kcore::try_kcore;
+#[allow(deprecated)]
+pub use mis::mis;
+pub use mis::try_mis;
+#[allow(deprecated)]
+pub use pagerank::{pagerank_approx, pagerank_pull, pagerank_push};
 pub use pagerank::{
-    pagerank_approx, pagerank_pull, pagerank_push, recoverable_pagerank_pull, try_pagerank_approx,
-    try_pagerank_pull, try_pagerank_push, ResumablePageRankPull,
+    recoverable_pagerank_pull, try_pagerank_approx, try_pagerank_pull, try_pagerank_pull_with,
+    try_pagerank_push, try_pagerank_push_with, ResumablePageRankPull,
 };
-pub use sssp::{recoverable_sssp, sssp, try_sssp, ResumableSssp};
-pub use wcc::{recoverable_wcc, try_wcc, wcc, ResumableWcc};
+#[allow(deprecated)]
+pub use sssp::sssp;
+pub use sssp::{recoverable_sssp, try_sssp, ResumableSssp};
+#[allow(deprecated)]
+pub use wcc::wcc;
+pub use wcc::{recoverable_wcc, try_wcc, try_wcc_with, ResumableWcc};

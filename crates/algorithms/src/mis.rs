@@ -126,6 +126,7 @@ impl NodeTask for ApplyExclusions {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_mis`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_mis instead")]
 pub fn mis(engine: &mut Engine) -> MisResult {
     try_mis(engine).unwrap_or_else(|e| panic!("mis job failed: {e}"))
 }
@@ -276,7 +277,7 @@ mod tests {
     fn mis_on_ring_is_valid() {
         let g = generate::ring(20);
         let mut e = engine(3, &g);
-        let r = mis(&mut e);
+        let r = try_mis(&mut e).unwrap();
         validate_mis(&g, &r.in_set).unwrap();
         let members = r.in_set.iter().filter(|&&x| x).count();
         // A 20-ring MIS has between ceil(20/3)=7 and 10 members.
@@ -287,7 +288,7 @@ mod tests {
     fn mis_on_complete_graph_is_single_vertex() {
         let g = generate::complete(8);
         let mut e = engine(2, &g);
-        let r = mis(&mut e);
+        let r = try_mis(&mut e).unwrap();
         validate_mis(&g, &r.in_set).unwrap();
         assert_eq!(r.in_set.iter().filter(|&&x| x).count(), 1);
     }
@@ -296,7 +297,7 @@ mod tests {
     fn mis_on_edgeless_graph_is_everything() {
         let g = pgxd_graph::builder::graph_from_edges(9, vec![]);
         let mut e = engine(3, &g);
-        let r = mis(&mut e);
+        let r = try_mis(&mut e).unwrap();
         assert!(r.in_set.iter().all(|&x| x));
         assert_eq!(r.rounds, 1);
     }
@@ -305,7 +306,7 @@ mod tests {
     fn mis_valid_on_skewed_rmat() {
         let g = generate::rmat(8, 5, generate::RmatParams::skewed(), 77);
         let mut e = engine(4, &g);
-        let r = mis(&mut e);
+        let r = try_mis(&mut e).unwrap();
         validate_mis(&g, &r.in_set).unwrap();
         assert!(r.rounds <= 40, "Luby should converge quickly: {}", r.rounds);
     }
@@ -314,9 +315,9 @@ mod tests {
     fn mis_deterministic_across_machine_counts() {
         let g = generate::rmat(7, 4, generate::RmatParams::mild(), 78);
         let mut e1 = engine(1, &g);
-        let a = mis(&mut e1);
+        let a = try_mis(&mut e1).unwrap();
         let mut e4 = engine(4, &g);
-        let b = mis(&mut e4);
+        let b = try_mis(&mut e4).unwrap();
         assert_eq!(a.in_set, b.in_set, "priorities are deterministic");
     }
 
@@ -324,7 +325,7 @@ mod tests {
     fn star_mis_is_all_spokes_or_hub() {
         let g = generate::star(12);
         let mut e = engine(2, &g);
-        let r = mis(&mut e);
+        let r = try_mis(&mut e).unwrap();
         validate_mis(&g, &r.in_set).unwrap();
         let members = r.in_set.iter().filter(|&&x| x).count();
         assert!(members == 1 || members == 12);

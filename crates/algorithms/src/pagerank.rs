@@ -2,8 +2,8 @@
 
 use pgxd::recover::{Recovered, RecoveryDriver, ResumableAlgorithm, StepOutcome};
 use pgxd::{
-    Config, Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop,
-    ReadDoneCtx, ReduceOp,
+    CancelToken, Config, Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask,
+    Prop, ReadDoneCtx, ReduceOp,
 };
 use pgxd_graph::Graph;
 
@@ -87,7 +87,7 @@ fn pagerank_exact(
     tol: f64,
     pull: bool,
 ) -> PageRankResult {
-    try_pagerank_exact(engine, damping, max_iters, tol, pull)
+    try_pagerank_exact(engine, damping, max_iters, tol, pull, &CancelToken::never())
         .unwrap_or_else(|e| panic!("pagerank job failed: {e}"))
 }
 
@@ -97,6 +97,7 @@ fn try_pagerank_exact(
     max_iters: usize,
     tol: f64,
     pull: bool,
+    cancel: &CancelToken,
 ) -> Result<PageRankResult, JobError> {
     let n = engine.num_nodes();
     let pr = engine.add_prop("pr", 1.0 / n as f64);
@@ -111,21 +112,23 @@ fn try_pagerank_exact(
                 return Ok(());
             }
             *iterations += 1;
-            engine.try_run_node_job(&JobSpec::new(), Scale { pr, tmp })?;
+            engine.try_run_node_job_with(&JobSpec::new(), Scale { pr, tmp }, cancel)?;
             if pull {
-                engine.try_run_edge_job(
+                engine.try_run_edge_job_with(
                     Dir::In,
                     &JobSpec::new().read(tmp),
                     PullKernel { tmp, nxt },
+                    cancel,
                 )?;
             } else {
-                engine.try_run_edge_job(
+                engine.try_run_edge_job_with(
                     Dir::Out,
                     &JobSpec::new().reduce(nxt, ReduceOp::Sum),
                     PushKernel { tmp, nxt },
+                    cancel,
                 )?;
             }
-            engine.try_run_node_job(
+            engine.try_run_node_job_with(
                 &JobSpec::new(),
                 Apply {
                     pr,
@@ -134,6 +137,7 @@ fn try_pagerank_exact(
                     base,
                     damping,
                 },
+                cancel,
             )?;
             // Sequential region: convergence check (driver side).
             if engine.reduce(diff, ReduceOp::Sum) < tol {
@@ -159,6 +163,7 @@ fn try_pagerank_exact(
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_pagerank_pull`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_pagerank_pull instead")]
 pub fn pagerank_pull(
     engine: &mut Engine,
     damping: f64,
@@ -177,13 +182,28 @@ pub fn try_pagerank_pull(
     max_iters: usize,
     tol: f64,
 ) -> Result<PageRankResult, JobError> {
-    try_pagerank_exact(engine, damping, max_iters, tol, true)
+    try_pagerank_exact(engine, damping, max_iters, tol, true, &CancelToken::never())
+}
+
+/// [`try_pagerank_pull`] with a cancellation token: a fired token stops
+/// the iteration within one chunk and surfaces `JobError::Cancelled` /
+/// `JobError::DeadlineExceeded`; scratch properties are released either
+/// way.
+pub fn try_pagerank_pull_with(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+    cancel: &CancelToken,
+) -> Result<PageRankResult, JobError> {
+    try_pagerank_exact(engine, damping, max_iters, tol, true, cancel)
 }
 
 /// Exact PageRank with the *data pushing* pattern (out-neighbor writes).
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_pagerank_push`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_pagerank_push instead")]
 pub fn pagerank_push(
     engine: &mut Engine,
     damping: f64,
@@ -201,7 +221,26 @@ pub fn try_pagerank_push(
     max_iters: usize,
     tol: f64,
 ) -> Result<PageRankResult, JobError> {
-    try_pagerank_exact(engine, damping, max_iters, tol, false)
+    try_pagerank_exact(
+        engine,
+        damping,
+        max_iters,
+        tol,
+        false,
+        &CancelToken::never(),
+    )
+}
+
+/// [`try_pagerank_push`] with a cancellation token (see
+/// [`try_pagerank_pull_with`]).
+pub fn try_pagerank_push_with(
+    engine: &mut Engine,
+    damping: f64,
+    max_iters: usize,
+    tol: f64,
+    cancel: &CancelToken,
+) -> Result<PageRankResult, JobError> {
+    try_pagerank_exact(engine, damping, max_iters, tol, false, cancel)
 }
 
 /// Pull-mode PageRank decomposed into driver-visible iterations so the
@@ -353,6 +392,7 @@ impl NodeTask for DeltaApply {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_pagerank_approx`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_pagerank_approx instead")]
 pub fn pagerank_approx(
     engine: &mut Engine,
     damping: f64,
@@ -430,7 +470,7 @@ mod tests {
         // On a ring every node has the same score: 1/n.
         let g = generate::ring(32);
         let mut e = engine(2, &g);
-        let r = pagerank_pull(&mut e, 0.85, 50, 1e-12);
+        let r = try_pagerank_pull(&mut e, 0.85, 50, 1e-12).unwrap();
         for &s in &r.scores {
             assert!((s - 1.0 / 32.0).abs() < 1e-9, "score {s}");
         }
@@ -440,9 +480,9 @@ mod tests {
     fn pull_and_push_agree() {
         let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 21);
         let mut e1 = engine(3, &g);
-        let r_pull = pagerank_pull(&mut e1, 0.85, 30, 0.0);
+        let r_pull = try_pagerank_pull(&mut e1, 0.85, 30, 0.0).unwrap();
         let mut e2 = engine(3, &g);
-        let r_push = pagerank_push(&mut e2, 0.85, 30, 0.0);
+        let r_push = try_pagerank_push(&mut e2, 0.85, 30, 0.0).unwrap();
         assert_eq!(r_pull.scores.len(), r_push.scores.len());
         for (a, b) in r_pull.scores.iter().zip(&r_push.scores) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
@@ -453,9 +493,9 @@ mod tests {
     fn distributed_matches_single_machine() {
         let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 22);
         let mut e1 = engine(1, &g);
-        let single = pagerank_pull(&mut e1, 0.85, 20, 0.0);
+        let single = try_pagerank_pull(&mut e1, 0.85, 20, 0.0).unwrap();
         let mut e4 = engine(4, &g);
-        let multi = pagerank_pull(&mut e4, 0.85, 20, 0.0);
+        let multi = try_pagerank_pull(&mut e4, 0.85, 20, 0.0).unwrap();
         for (a, b) in single.scores.iter().zip(&multi.scores) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -475,8 +515,8 @@ mod tests {
             .build(&g)
             .unwrap();
         assert!(!ghosted.cluster().ghosts().is_empty(), "test needs ghosts");
-        let a = pagerank_push(&mut plain, 0.85, 10, 0.0);
-        let b = pagerank_push(&mut ghosted, 0.85, 10, 0.0);
+        let a = try_pagerank_push(&mut plain, 0.85, 10, 0.0).unwrap();
+        let b = try_pagerank_push(&mut ghosted, 0.85, 10, 0.0).unwrap();
         for (x, y) in a.scores.iter().zip(&b.scores) {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
@@ -486,7 +526,7 @@ mod tests {
     fn scores_sum_to_one() {
         let g = generate::rmat(9, 4, generate::RmatParams::mild(), 24);
         let mut e = engine(2, &g);
-        let r = pagerank_pull(&mut e, 0.85, 40, 1e-10);
+        let r = try_pagerank_pull(&mut e, 0.85, 40, 1e-10).unwrap();
         let sum: f64 = r.scores.iter().sum();
         // Dangling nodes leak mass in the simple formulation; allow slack.
         assert!(sum > 0.5 && sum <= 1.0 + 1e-6, "sum {sum}");
@@ -496,9 +536,9 @@ mod tests {
     fn approx_close_to_exact_and_terminates() {
         let g = generate::rmat(8, 6, generate::RmatParams::skewed(), 25);
         let mut e1 = engine(2, &g);
-        let exact = pagerank_pull(&mut e1, 0.85, 100, 1e-12);
+        let exact = try_pagerank_pull(&mut e1, 0.85, 100, 1e-12).unwrap();
         let mut e2 = engine(2, &g);
-        let approx = pagerank_approx(&mut e2, 0.85, 1e-9, 200);
+        let approx = try_pagerank_approx(&mut e2, 0.85, 1e-9, 200).unwrap();
         assert!(approx.iterations < 200, "approx must deactivate everything");
         let mut exact_rank: Vec<usize> = (0..exact.scores.len()).collect();
         exact_rank.sort_by(|&a, &b| exact.scores[b].total_cmp(&exact.scores[a]));
@@ -515,7 +555,7 @@ mod tests {
     fn convergence_stops_early() {
         let g = generate::ring(16);
         let mut e = engine(2, &g);
-        let r = pagerank_pull(&mut e, 0.85, 1000, 1e-9);
+        let r = try_pagerank_pull(&mut e, 0.85, 1000, 1e-9).unwrap();
         assert!(r.iterations < 1000);
     }
 }

@@ -58,6 +58,7 @@ impl NodeTask for Settle {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_sssp`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_sssp instead")]
 pub fn sssp(engine: &mut Engine, root: NodeId) -> SsspResult {
     try_sssp(engine, root).unwrap_or_else(|e| panic!("sssp job failed: {e}"))
 }
@@ -191,7 +192,7 @@ mod tests {
     fn path_distances() {
         let g = generate::path(6);
         let mut e = engine(2, &g);
-        let r = sssp(&mut e, 0);
+        let r = try_sssp(&mut e, 0).unwrap();
         assert_eq!(r.dist, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 
@@ -199,7 +200,7 @@ mod tests {
     fn unreachable_is_infinite() {
         let g = generate::path(4); // 3 -> nothing; start from 2
         let mut e = engine(2, &g);
-        let r = sssp(&mut e, 2);
+        let r = try_sssp(&mut e, 2).unwrap();
         assert_eq!(r.dist[2], 0.0);
         assert_eq!(r.dist[3], 1.0);
         assert!(r.dist[0].is_infinite());
@@ -215,7 +216,7 @@ mod tests {
             .add_weighted_edge(2, 1, 2.0);
         let g = b.build();
         let mut e = engine(2, &g);
-        let r = sssp(&mut e, 0);
+        let r = try_sssp(&mut e, 0).unwrap();
         assert_eq!(r.dist, vec![0.0, 3.0, 1.0]);
     }
 
@@ -224,9 +225,9 @@ mod tests {
         let g = generate::rmat(8, 4, generate::RmatParams::skewed(), 41)
             .with_uniform_weights(1.0, 10.0, 7);
         let mut e1 = engine(1, &g);
-        let a = sssp(&mut e1, 0);
+        let a = try_sssp(&mut e1, 0).unwrap();
         let mut e3 = engine(3, &g);
-        let b = sssp(&mut e3, 0);
+        let b = try_sssp(&mut e3, 0).unwrap();
         for (x, y) in a.dist.iter().zip(&b.dist) {
             assert!(
                 (x - y).abs() < 1e-9 || (x.is_infinite() && y.is_infinite()),
@@ -239,7 +240,7 @@ mod tests {
     fn ring_wraps_around() {
         let g = generate::ring(10);
         let mut e = engine(3, &g);
-        let r = sssp(&mut e, 7);
+        let r = try_sssp(&mut e, 7).unwrap();
         assert_eq!(r.dist[7], 0.0);
         assert_eq!(r.dist[8], 1.0);
         assert_eq!(r.dist[6], 9.0);

@@ -4,7 +4,8 @@
 
 use pgxd::recover::{Recovered, RecoveryDriver, ResumableAlgorithm, StepOutcome};
 use pgxd::{
-    Config, Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask, Prop, ReduceOp,
+    CancelToken, Config, Dir, EdgeCtx, EdgeTask, Engine, JobError, JobSpec, NodeCtx, NodeTask,
+    Prop, ReduceOp,
 };
 use pgxd_graph::Graph;
 
@@ -63,6 +64,7 @@ impl NodeTask for Adopt {
 ///
 /// **Deprecated:** panics if the cluster aborts mid-job. New code should
 /// call [`try_wcc`].
+#[deprecated(note = "panics if the cluster aborts mid-job; call try_wcc instead")]
 pub fn wcc(engine: &mut Engine) -> WccResult {
     try_wcc(engine).unwrap_or_else(|e| panic!("wcc job failed: {e}"))
 }
@@ -70,6 +72,14 @@ pub fn wcc(engine: &mut Engine) -> WccResult {
 /// Fallible [`wcc`]: returns `Err` instead of panicking when the cluster
 /// aborts mid-job (machine crash, retry exhaustion).
 pub fn try_wcc(engine: &mut Engine) -> Result<WccResult, JobError> {
+    try_wcc_with(engine, &CancelToken::never())
+}
+
+/// [`try_wcc`] with a cancellation token: a fired token (explicit cancel
+/// or deadline) stops the propagation within one chunk and surfaces
+/// `JobError::Cancelled` / `JobError::DeadlineExceeded`; scratch
+/// properties are released either way.
+pub fn try_wcc_with(engine: &mut Engine, cancel: &CancelToken) -> Result<WccResult, JobError> {
     let comp = engine.add_prop("wcc_comp", 0u32);
     let nxt = engine.add_prop("wcc_nxt", u32::MAX);
     let active = engine.add_prop("wcc_active", true);
@@ -85,9 +95,19 @@ pub fn try_wcc(engine: &mut Engine) -> Result<WccResult, JobError> {
             *iterations += 1;
             let spec = JobSpec::new().reduce(nxt, ReduceOp::Min);
             // Weak connectivity: propagate along out-edges AND in-edges.
-            engine.try_run_edge_job(Dir::Out, &spec, PushLabel { comp, nxt, active })?;
-            engine.try_run_edge_job(Dir::In, &spec, PushLabel { comp, nxt, active })?;
-            engine.try_run_node_job(
+            engine.try_run_edge_job_with(
+                Dir::Out,
+                &spec,
+                PushLabel { comp, nxt, active },
+                cancel,
+            )?;
+            engine.try_run_edge_job_with(
+                Dir::In,
+                &spec,
+                PushLabel { comp, nxt, active },
+                cancel,
+            )?;
+            engine.try_run_node_job_with(
                 &JobSpec::new(),
                 Adopt {
                     comp,
@@ -95,6 +115,7 @@ pub fn try_wcc(engine: &mut Engine) -> Result<WccResult, JobError> {
                     active,
                     changed,
                 },
+                cancel,
             )?;
             if engine.count_true(changed) == 0 {
                 return Ok(());
@@ -252,7 +273,7 @@ mod tests {
     fn ring_is_one_component() {
         let g = generate::ring(24);
         let mut e = engine(3, &g);
-        let r = wcc(&mut e);
+        let r = try_wcc(&mut e).unwrap();
         assert_eq!(r.num_components, 1);
         assert!(r.component.iter().all(|&c| c == 0));
     }
@@ -262,7 +283,7 @@ mod tests {
         // Two directed paths and one isolated node: 3 components.
         let g = graph_from_edges(7, vec![(0, 1), (1, 2), (3, 4), (4, 5)]);
         let mut e = engine(2, &g);
-        let r = wcc(&mut e);
+        let r = try_wcc(&mut e).unwrap();
         assert_eq!(r.num_components, 3);
         assert_eq!(r.component[0], r.component[2]);
         assert_eq!(r.component[3], r.component[5]);
@@ -275,7 +296,7 @@ mod tests {
         // 0 -> 1 <- 2: weakly connected even though not strongly.
         let g = graph_from_edges(3, vec![(0, 1), (2, 1)]);
         let mut e = engine(2, &g);
-        let r = wcc(&mut e);
+        let r = try_wcc(&mut e).unwrap();
         assert_eq!(r.num_components, 1);
     }
 
@@ -283,9 +304,9 @@ mod tests {
     fn matches_single_machine() {
         let g = generate::rmat(8, 3, generate::RmatParams::skewed(), 31);
         let mut e1 = engine(1, &g);
-        let a = wcc(&mut e1);
+        let a = try_wcc(&mut e1).unwrap();
         let mut e4 = engine(4, &g);
-        let b = wcc(&mut e4);
+        let b = try_wcc(&mut e4).unwrap();
         assert_eq!(a.component, b.component);
         assert_eq!(a.num_components, b.num_components);
     }
@@ -303,8 +324,8 @@ mod tests {
             .ghost_threshold(Some(16))
             .build(&g)
             .unwrap();
-        let a = wcc(&mut plain);
-        let b = wcc(&mut ghosted);
+        let a = try_wcc(&mut plain).unwrap();
+        let b = try_wcc(&mut ghosted).unwrap();
         assert_eq!(a.component, b.component);
     }
 }

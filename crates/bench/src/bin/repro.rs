@@ -89,6 +89,7 @@ fn main() {
             "chaos" => emit(&chaos::run_experiment(scale), "chaos"),
             "commfast" => emit(&commfast::run_experiment(scale), "commfast"),
             "recover" => emit(&recover::run_experiment(scale), "recover"),
+            "serve" => emit(&serve::run_experiment(scale), "serve"),
             "telemetry" => {
                 let dir = telemetry_dir
                     .clone()
@@ -106,7 +107,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 chaos commfast recover telemetry verify all"
+                    "known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 chaos commfast recover serve telemetry verify all"
                 );
                 std::process::exit(2);
             }

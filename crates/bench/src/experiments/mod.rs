@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod recover;
+pub mod serve;
 pub mod table3;
 pub mod table4;
 pub mod telemetry;

@@ -5,6 +5,7 @@ use crate::prop::Prop;
 use crate::spec::JobSpec;
 use crate::task::{Dir, EdgeTask, NodeTask};
 use pgxd_graph::{Graph, NodeId};
+use pgxd_runtime::cancel::{CancelReason, CancelToken};
 use pgxd_runtime::checkpoint::Checkpoint;
 use pgxd_runtime::chunk::{make_chunks, node_target_from_edges, ChunkQueue};
 use pgxd_runtime::config::{
@@ -162,6 +163,32 @@ impl EngineBuilder {
     /// is declared dead (only meaningful with reliability enabled).
     pub fn heartbeat_deadline_ms(mut self, ms: u64) -> Self {
         self.config.reliability.watchdog_ms = ms;
+        self
+    }
+
+    /// Job-server submission-queue depth (see `pgxd::serve`).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.serve.queue_depth = depth;
+        self
+    }
+
+    /// Job-server admission memory budget in bytes; `0` disables
+    /// admission control.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config.serve.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Job-server `[interactive, batch]` weighted-fair drain weights.
+    pub fn lane_weights(mut self, weights: [u32; 2]) -> Self {
+        self.config.serve.lane_weights = weights;
+        self
+    }
+
+    /// Default per-job deadline for served jobs, in milliseconds; `0`
+    /// means no default deadline.
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.serve.default_deadline_ms = ms;
         self
     }
 
@@ -335,6 +362,22 @@ impl Engine {
         spec: &JobSpec,
         task: T,
     ) -> Result<JobReport, JobError> {
+        self.try_run_edge_job_with(dir, spec, task, &CancelToken::never())
+    }
+
+    /// [`Engine::try_run_edge_job`] with a cancellation token. Workers poll
+    /// the token once per chunk; a fired token lets the current chunk
+    /// finish, retires the rest of the queue, ends the phase at its normal
+    /// barrier, and surfaces [`JobError::Cancelled`] or
+    /// [`JobError::DeadlineExceeded`]. The cluster stays healthy — the next
+    /// job runs normally.
+    pub fn try_run_edge_job_with<T: EdgeTask>(
+        &mut self,
+        dir: Dir,
+        spec: &JobSpec,
+        task: T,
+        cancel: &CancelToken,
+    ) -> Result<JobReport, JobError> {
         let queues = self.build_edge_queues(dir);
         let total_chunks: usize = queues.iter().map(|q| q.len()).sum();
         let config = self.cluster.config().clone();
@@ -344,14 +387,15 @@ impl Engine {
             reduces: spec.reduces.clone(),
             privatize: config.ghost_privatization,
             queues,
-            job: JobState::new(
+            job: JobState::with_cancel(
                 total_chunks,
                 self.cluster.pending().clone(),
                 config.machines,
                 config.workers,
+                cancel.clone(),
             ),
         });
-        self.try_run_job_phases(spec, main.job.clone(), main)
+        self.try_run_job_phases(spec, main.job.clone(), main, cancel)
     }
 
     /// Runs a node-iterator job: `task.run` executes once per active
@@ -370,6 +414,17 @@ impl Engine {
         spec: &JobSpec,
         task: T,
     ) -> Result<JobReport, JobError> {
+        self.try_run_node_job_with(spec, task, &CancelToken::never())
+    }
+
+    /// [`Engine::try_run_node_job`] with a cancellation token; see
+    /// [`Engine::try_run_edge_job_with`] for the semantics.
+    pub fn try_run_node_job_with<T: NodeTask>(
+        &mut self,
+        spec: &JobSpec,
+        task: T,
+        cancel: &CancelToken,
+    ) -> Result<JobReport, JobError> {
         let queues = self.build_node_queues();
         let total_chunks: usize = queues.iter().map(|q| q.len()).sum();
         let config = self.cluster.config().clone();
@@ -378,14 +433,23 @@ impl Engine {
             reduces: spec.reduces.clone(),
             privatize: config.ghost_privatization,
             queues,
-            job: JobState::new(
+            job: JobState::with_cancel(
                 total_chunks,
                 self.cluster.pending().clone(),
                 config.machines,
                 config.workers,
+                cancel.clone(),
             ),
         });
-        self.try_run_job_phases(spec, main.job.clone(), main)
+        self.try_run_job_phases(spec, main.job.clone(), main, cancel)
+    }
+
+    /// Maps a fired token to its structured error.
+    fn cancel_error(cancel: &CancelToken) -> Option<JobError> {
+        cancel.fired().map(|reason| match reason {
+            CancelReason::Explicit => JobError::Cancelled { job: cancel.job() },
+            CancelReason::Deadline => JobError::DeadlineExceeded { job: cancel.job() },
+        })
     }
 
     fn try_run_job_phases(
@@ -393,6 +457,7 @@ impl Engine {
         spec: &JobSpec,
         main_job: Arc<JobState>,
         main: Arc<dyn Phase>,
+        cancel: &CancelToken,
     ) -> Result<JobReport, JobError> {
         let config = self.cluster.config().clone();
         let workers_total = config.machines * config.workers;
@@ -400,12 +465,19 @@ impl Engine {
         let before = self.cluster.total_stats();
         let t0 = Instant::now();
 
+        // A token that fired while the job sat in a queue means nothing
+        // ran yet; bail before spinning up any phase.
+        if let Some(err) = Self::cancel_error(cancel) {
+            return Err(err);
+        }
+
         if has_ghosts && !spec.is_empty() {
-            let job = JobState::new(
+            let job = JobState::with_cancel(
                 workers_total,
                 self.cluster.pending().clone(),
                 config.machines,
                 config.workers,
+                cancel.clone(),
             );
             self.cluster.try_run_labeled_phase(
                 "ghost_push",
@@ -421,12 +493,13 @@ impl Engine {
         self.cluster.try_run_labeled_phase("main", main)?;
         let main_dur = t_main.elapsed();
 
-        if has_ghosts && !spec.reduces.is_empty() {
-            let job = JobState::new(
+        if has_ghosts && !spec.reduces.is_empty() && !cancel.is_cancelled() {
+            let job = JobState::with_cancel(
                 workers_total,
                 self.cluster.pending().clone(),
                 config.machines,
                 config.workers,
+                cancel.clone(),
             );
             self.cluster.try_run_labeled_phase(
                 "ghost_reduce",
@@ -435,6 +508,12 @@ impl Engine {
                     job,
                 }),
             )?;
+        }
+
+        // The phases ended at their barriers; a fired token now becomes
+        // the job's structured result.
+        if let Some(err) = Self::cancel_error(cancel) {
+            return Err(err);
         }
 
         let total = t0.elapsed();

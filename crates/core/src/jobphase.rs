@@ -135,6 +135,15 @@ impl<T: EdgeTask> Phase for EdgeJobPhase<T> {
         let mut claims = 0u64;
         while let Some(chunk) = queue.pop() {
             claims += 1;
+            if self.job.cancel().is_cancelled() {
+                // Cooperative cancellation: retire this chunk unexecuted,
+                // claim-and-retire the remainder of the queue, and fall
+                // through to the normal end-of-phase drain + barrier so
+                // exact termination still reaches zero on every machine.
+                self.job.retire();
+                self.job.retire_many(queue.drain_remaining());
+                break;
+            }
             for node in chunk {
                 {
                     let mut nctx = NodeCtx {
@@ -192,6 +201,12 @@ impl<T: NodeTask> Phase for NodeJobPhase<T> {
         let mut claims = 0u64;
         while let Some(chunk) = queue.pop() {
             claims += 1;
+            if self.job.cancel().is_cancelled() {
+                // Same cooperative-cancellation path as the edge phase.
+                self.job.retire();
+                self.job.retire_many(queue.drain_remaining());
+                break;
+            }
             for node in chunk {
                 let skip = {
                     let mut nctx = NodeCtx {

@@ -57,6 +57,7 @@ mod jobphase;
 mod prop;
 pub mod recover;
 mod scope;
+pub mod serve;
 mod spec;
 mod task;
 pub mod tune;
@@ -78,10 +79,11 @@ pub mod tasks {
 
 // Re-exports so algorithm code only needs `pgxd`.
 pub use pgxd_graph::NodeId;
+pub use pgxd_runtime::cancel::{CancelReason, CancelToken};
 pub use pgxd_runtime::checkpoint::{Checkpoint, CheckpointStore, JobProgress};
 pub use pgxd_runtime::config::{
     AdaptiveFlushConfig, ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode,
-    RecoveryConfig, ReliabilityConfig, SlowPlan, TelemetryConfig,
+    RecoveryConfig, ReliabilityConfig, ServeConfig, SlowPlan, TelemetryConfig,
 };
 pub use pgxd_runtime::health::JobError;
 pub use pgxd_runtime::props::{PropValue, ReduceOp};

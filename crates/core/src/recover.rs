@@ -96,8 +96,10 @@ impl RetryPolicy {
     }
 
     /// Whether a `retry`-th retry (1-based) is allowed after `err`.
+    /// Cancellations are never retried — the job was stopped on purpose,
+    /// and replaying it would resurrect work the caller asked to kill.
     pub fn should_retry(&self, err: &JobError, retry: u32) -> bool {
-        err.is_transient() && retry <= self.max_retries
+        err.is_transient() && !err.is_cancellation() && retry <= self.max_retries
     }
 
     /// Backoff before the `retry`-th retry (1-based): `base * 2^(retry-1)`
@@ -315,6 +317,17 @@ mod tests {
         assert!(!p.should_retry(&down, 3));
         assert!(!p.should_retry(&JobError::Protocol("x".into()), 1));
         assert!(!p.should_retry(&JobError::CheckpointCorrupt("x".into()), 1));
+    }
+
+    #[test]
+    fn cancellations_are_never_retried() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            backoff_base_ms: 1,
+            backoff_max_ms: 1,
+        };
+        assert!(!p.should_retry(&JobError::Cancelled { job: 7 }, 1));
+        assert!(!p.should_retry(&JobError::DeadlineExceeded { job: 7 }, 1));
     }
 
     /// Adds 1 to every vertex per iteration for a fixed count — all state

@@ -1,0 +1,169 @@
+//! Cooperative per-job cancellation.
+//!
+//! A [`CancelToken`] is the serving layer's kill switch for *one* job. It
+//! is deliberately separate from [`ClusterHealth`](crate::health): an
+//! aborted cluster is terminal (stale traffic may still be in flight),
+//! while a cancelled job must leave the shared cluster healthy so the next
+//! queued job can run on it. Workers therefore never unwind on a token —
+//! they stop *starting* chunks, retire the remainder unexecuted, and let
+//! the phase run to its normal barrier, keeping the exact-termination
+//! accounting (outstanding chunks + cluster-global pending entries)
+//! intact.
+//!
+//! A token optionally carries a deadline; [`CancelToken::fired`] reports
+//! which of the two trips first, so the driver can map the outcome to
+//! [`JobError::Cancelled`](crate::health::JobError::Cancelled) versus
+//! [`JobError::DeadlineExceeded`](crate::health::JobError::DeadlineExceeded).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (client request, session close).
+    Explicit,
+    /// The job's deadline passed before it completed.
+    Deadline,
+}
+
+struct Inner {
+    cancelled: AtomicBool,
+    /// Deadline in nanoseconds since `epoch`; 0 = no deadline.
+    deadline_ns: AtomicU64,
+    epoch: Instant,
+    job: u64,
+}
+
+/// Cloneable cancellation handle threaded from the job server through the
+/// driver into every worker's chunk-claim loop. See the module docs.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh token for job `job` (the id only flavors error messages).
+    pub fn for_job(job: u64) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_ns: AtomicU64::new(0),
+                epoch: Instant::now(),
+                job,
+            }),
+        }
+    }
+
+    /// A token that can never fire — the default for direct `try_run_*`
+    /// callers that predate the serving layer.
+    pub fn never() -> Self {
+        Self::for_job(0)
+    }
+
+    /// The job id this token belongs to.
+    pub fn job(&self) -> u64 {
+        self.inner.job
+    }
+
+    /// Arms a deadline `after` from now. A zero duration fires
+    /// immediately.
+    pub fn set_deadline(&self, after: Duration) {
+        let ns = self.inner.epoch.elapsed().as_nanos() as u64 + after.as_nanos() as u64;
+        // 0 means "no deadline", so an immediate deadline still stores 1.
+        self.inner.deadline_ns.store(ns.max(1), Ordering::Release);
+    }
+
+    /// Builder-style [`CancelToken::set_deadline`].
+    pub fn with_deadline(self, after: Duration) -> Self {
+        self.set_deadline(after);
+        self
+    }
+
+    /// Requests cancellation. Idempotent; workers observe it within one
+    /// chunk.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        let d = self.inner.deadline_ns.load(Ordering::Acquire);
+        d != 0 && self.inner.epoch.elapsed().as_nanos() as u64 >= d
+    }
+
+    /// Whether the job should stop: explicitly cancelled *or* past its
+    /// deadline. This is the poll workers run per chunk — two relaxed-ish
+    /// atomic loads and a monotonic clock read.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire) || self.deadline_expired()
+    }
+
+    /// Which trigger fired, if any. An explicit cancel wins over a
+    /// deadline that passed while the cancel was being delivered.
+    pub fn fired(&self) -> Option<CancelReason> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            Some(CancelReason::Explicit)
+        } else if self.deadline_expired() {
+            Some(CancelReason::Deadline)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("job", &self.inner.job)
+            .field("fired", &self.fired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_quiet() {
+        let t = CancelToken::for_job(7);
+        assert!(!t.is_cancelled());
+        assert_eq!(t.fired(), None);
+        assert_eq!(t.job(), 7);
+    }
+
+    #[test]
+    fn explicit_cancel_fires_and_clones_observe_it() {
+        let t = CancelToken::never();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.fired(), Some(CancelReason::Explicit));
+    }
+
+    #[test]
+    fn deadline_fires_after_elapsing() {
+        let t = CancelToken::for_job(1).with_deadline(Duration::from_millis(5));
+        assert!(!t.is_cancelled());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(t.is_cancelled());
+        assert_eq!(t.fired(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn zero_deadline_fires_immediately() {
+        let t = CancelToken::never().with_deadline(Duration::ZERO);
+        assert!(t.deadline_expired());
+        assert_eq!(t.fired(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::never().with_deadline(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Explicit));
+    }
+}

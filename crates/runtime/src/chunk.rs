@@ -107,6 +107,32 @@ impl ChunkQueue {
     pub fn reset(&self) {
         self.next.store(0, Ordering::Relaxed);
     }
+
+    /// Claims every remaining chunk without returning them and reports how
+    /// many were taken. This is the cooperative-cancellation fast path: a
+    /// worker that observes a fired
+    /// [`CancelToken`](crate::cancel::CancelToken) retires the rest of the
+    /// queue unexecuted so the exact-termination counter still reaches
+    /// zero and the phase ends at its normal barrier. Safe against
+    /// concurrent `pop` calls — every chunk is counted exactly once.
+    pub fn drain_remaining(&self) -> usize {
+        let total = self.chunks.len();
+        let mut claimed = self.next.load(Ordering::Relaxed);
+        loop {
+            if claimed >= total {
+                return 0;
+            }
+            match self.next.compare_exchange_weak(
+                claimed,
+                total,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return total - claimed,
+                Err(actual) => claimed = actual,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +207,36 @@ mod tests {
         assert!(q.pop().is_none());
         q.reset();
         assert_eq!(q.pop(), Some(0..2));
+    }
+
+    #[test]
+    fn drain_remaining_counts_leftovers_once() {
+        let q = ChunkQueue::new((0..10).map(|i| i..i + 1).collect());
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.drain_remaining(), 7);
+        assert!(q.pop().is_none(), "drained queue yields nothing");
+        assert_eq!(q.drain_remaining(), 0, "second drain finds nothing");
+    }
+
+    #[test]
+    fn drain_remaining_races_with_pop() {
+        use std::sync::Arc;
+        let q = Arc::new(ChunkQueue::new((0..1000).map(|i| i..i + 1).collect()));
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut popped = 0usize;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                popped
+            })
+        };
+        let drained = q.drain_remaining();
+        let popped = popper.join().unwrap();
+        assert_eq!(popped + drained, 1000, "every chunk accounted exactly once");
     }
 
     #[test]

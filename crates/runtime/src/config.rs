@@ -320,6 +320,50 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// Job-server (serving layer) knobs: submission queue depth, admission
+/// memory budget, lane weights, and the default per-job deadline. Used by
+/// the `pgxd::serve` subsystem; inert for direct `try_run_*` callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded submission-queue depth across all lanes; a submit beyond
+    /// this is rejected with `JobError::QueueFull` instead of blocking.
+    pub queue_depth: usize,
+    /// Admission-control memory budget in bytes; a job whose estimate
+    /// (property columns + buffer-pool share + checkpoint overhead) would
+    /// overshoot it is rejected with `JobError::AdmissionDenied`.
+    /// `0` disables admission control.
+    pub memory_budget_bytes: u64,
+    /// Weighted-fair dispatch weights for the `[interactive, batch]`
+    /// lanes; `[3, 1]` drains roughly three interactive jobs per batch
+    /// job. Both weights must be >= 1.
+    pub lane_weights: [u32; 2],
+    /// Default per-job deadline in milliseconds, applied when a submit
+    /// does not set its own; `0` means no default deadline.
+    pub default_deadline_ms: u64,
+    /// Maximum jobs one session may have in flight (dispatched, not yet
+    /// completed); a queued job whose session is at the cap is skipped —
+    /// not dropped — until a slot frees up.
+    pub session_cap: usize,
+}
+
+impl ServeConfig {
+    pub const fn default_const() -> Self {
+        ServeConfig {
+            queue_depth: 64,
+            memory_budget_bytes: 0,
+            lane_weights: [3, 1],
+            default_deadline_ms: 0,
+            session_cap: 16,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::default_const()
+    }
+}
+
 /// Adaptive flush-threshold bounds (§3.4 / Figure 8b). When enabled, the
 /// per-machine [`FlushController`](crate::flow::FlushController) moves the
 /// effective flush threshold within `[min_bytes, max_bytes]` between phase
@@ -414,6 +458,9 @@ pub struct Config {
     pub read_combining: bool,
     /// Adaptive flush-threshold control loop (off by default).
     pub adaptive_flush: AdaptiveFlushConfig,
+    /// Job-server knobs (queue depth, memory budget, lane weights,
+    /// default deadline); only read by the serving layer.
+    pub serve: ServeConfig,
 }
 
 impl Config {
@@ -448,6 +495,7 @@ impl Config {
             pool_shards: 2,
             read_combining: true,
             adaptive_flush: AdaptiveFlushConfig::off(),
+            serve: ServeConfig::default_const(),
         }
     }
 
@@ -474,6 +522,7 @@ impl Config {
             pool_shards: 4,
             read_combining: true,
             adaptive_flush: AdaptiveFlushConfig::off(),
+            serve: ServeConfig::default_const(),
         }
     }
 
@@ -562,6 +611,15 @@ impl Config {
             if r.watchdog_ms < 2 * r.tick_ms {
                 return Err("reliability watchdog_ms must be >= 2 * tick_ms".into());
             }
+        }
+        if self.serve.queue_depth == 0 {
+            return Err("serve.queue_depth must be >= 1".into());
+        }
+        if self.serve.lane_weights.contains(&0) {
+            return Err("serve.lane_weights must both be >= 1".into());
+        }
+        if self.serve.session_cap == 0 {
+            return Err("serve.session_cap must be >= 1".into());
         }
         if self.recovery.enabled {
             let rc = &self.recovery;
@@ -729,6 +787,38 @@ impl ConfigBuilder {
     /// Adaptive flush-threshold control loop.
     pub fn adaptive_flush(mut self, f: AdaptiveFlushConfig) -> Self {
         self.config.adaptive_flush = f;
+        self
+    }
+
+    /// Full job-server configuration block.
+    pub fn serve(mut self, s: ServeConfig) -> Self {
+        self.config.serve = s;
+        self
+    }
+
+    /// Job-server submission-queue depth (bounded; overflow is rejected
+    /// with `JobError::QueueFull`).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.config.serve.queue_depth = n;
+        self
+    }
+
+    /// Job-server admission memory budget in bytes (`0` = unlimited).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config.serve.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Weighted-fair dispatch weights for the `[interactive, batch]`
+    /// lanes.
+    pub fn lane_weights(mut self, weights: [u32; 2]) -> Self {
+        self.config.serve.lane_weights = weights;
+        self
+    }
+
+    /// Default per-job deadline in milliseconds (`0` = none).
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.serve.default_deadline_ms = ms;
         self
     }
 
@@ -923,6 +1013,26 @@ mod tests {
             .build()
             .expect("fault() auto-enables reliability");
         assert!(c.reliability.enabled);
+    }
+
+    #[test]
+    fn serve_knobs_validated_and_built() {
+        let c = Config::builder()
+            .queue_depth(8)
+            .memory_budget(1 << 20)
+            .lane_weights([4, 1])
+            .default_deadline_ms(250)
+            .build()
+            .expect("valid serve config");
+        assert_eq!(c.serve.queue_depth, 8);
+        assert_eq!(c.serve.memory_budget_bytes, 1 << 20);
+        assert_eq!(c.serve.lane_weights, [4, 1]);
+        assert_eq!(c.serve.default_deadline_ms, 250);
+        assert!(Config::builder().queue_depth(0).build().is_err());
+        assert!(Config::builder().lane_weights([0, 1]).build().is_err());
+        let mut c = Config::test(2);
+        c.serve.session_cap = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

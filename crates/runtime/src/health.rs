@@ -51,6 +51,35 @@ pub enum JobError {
         /// The failure of the final attempt.
         last: Box<JobError>,
     },
+    /// The job server's bounded submission queue was full; the submit was
+    /// rejected instead of blocking the client.
+    QueueFull {
+        /// Jobs already queued when the submit arrived.
+        queued: usize,
+        /// The configured queue depth (`ServeConfig::queue_depth`).
+        depth: usize,
+    },
+    /// Admission control refused to dispatch the job: its memory estimate
+    /// would overshoot the configured budget.
+    AdmissionDenied {
+        /// Estimated bytes the job would pin (property columns +
+        /// buffer-pool share + checkpoint overhead).
+        estimated_bytes: u64,
+        /// The configured budget (`ServeConfig::memory_budget_bytes`).
+        budget_bytes: u64,
+    },
+    /// The job was cancelled (client request or session close). Workers
+    /// observed the token cooperatively; the cluster stays healthy.
+    Cancelled {
+        /// The cancelled job's id.
+        job: u64,
+    },
+    /// The job's deadline passed before it completed (possibly while it
+    /// was still queued).
+    DeadlineExceeded {
+        /// The expired job's id.
+        job: u64,
+    },
 }
 
 impl JobError {
@@ -60,6 +89,17 @@ impl JobError {
     /// deterministic and would only fail again.
     pub fn is_transient(&self) -> bool {
         matches!(self, JobError::MachineDown { .. })
+    }
+
+    /// Whether this failure is a cancellation (explicit cancel or missed
+    /// deadline). Cancellations are *fatal by design*: the client asked
+    /// the job to stop, so the recovery driver's `RetryPolicy` must never
+    /// re-run it, even though the cluster itself is still healthy.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            JobError::Cancelled { .. } | JobError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -76,6 +116,28 @@ impl fmt::Display for JobError {
                     f,
                     "job failed after {attempts} attempts; last error: {last}"
                 )
+            }
+            JobError::QueueFull { queued, depth } => {
+                write!(
+                    f,
+                    "job rejected: submission queue is full ({queued} of {depth} slots taken)"
+                )
+            }
+            JobError::AdmissionDenied {
+                estimated_bytes,
+                budget_bytes,
+            } => {
+                write!(
+                    f,
+                    "job denied admission: estimated {estimated_bytes} bytes \
+                     exceeds the {budget_bytes}-byte memory budget"
+                )
+            }
+            JobError::Cancelled { job } => {
+                write!(f, "job {job} was cancelled")
+            }
+            JobError::DeadlineExceeded { job } => {
+                write!(f, "job {job} exceeded its deadline")
             }
         }
     }
@@ -254,6 +316,22 @@ mod tests {
         };
         assert!(e.to_string().contains("4 attempts"));
         assert!(e.to_string().contains("machine 2"));
+        let e = JobError::QueueFull {
+            queued: 8,
+            depth: 8,
+        };
+        assert!(e.to_string().contains("8 of 8"));
+        let e = JobError::AdmissionDenied {
+            estimated_bytes: 4096,
+            budget_bytes: 1024,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("1024"));
+        let e = JobError::Cancelled { job: 3 };
+        assert!(e.to_string().contains("job 3"));
+        let e = JobError::DeadlineExceeded { job: 9 };
+        assert!(e.to_string().contains("job 9"));
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]
@@ -270,5 +348,21 @@ mod tests {
         // `?` with Box<dyn Error> works and the chain reaches the cause.
         let cause = e.source().expect("has source");
         assert!(cause.to_string().contains("machine 1"));
+    }
+
+    #[test]
+    fn cancellation_classification() {
+        assert!(JobError::Cancelled { job: 1 }.is_cancellation());
+        assert!(JobError::DeadlineExceeded { job: 1 }.is_cancellation());
+        assert!(!JobError::MachineDown { machine: 0 }.is_cancellation());
+        assert!(!JobError::QueueFull {
+            queued: 1,
+            depth: 1
+        }
+        .is_cancellation());
+        // Cancellations are never transient: the retry gate must treat
+        // them as fatal even though the cluster is healthy.
+        assert!(!JobError::Cancelled { job: 1 }.is_transient());
+        assert!(!JobError::DeadlineExceeded { job: 1 }.is_transient());
     }
 }

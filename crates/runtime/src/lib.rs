@@ -30,6 +30,7 @@
 
 pub mod barrier;
 pub mod buffer;
+pub mod cancel;
 pub mod checkpoint;
 pub mod chunk;
 pub mod cluster;
@@ -52,11 +53,12 @@ pub mod stats;
 pub mod telemetry;
 pub mod worker;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::{Checkpoint, CheckpointStore, JobProgress};
 pub use cluster::Cluster;
 pub use config::{
     AdaptiveFlushConfig, ChunkingMode, Config, ConfigBuilder, CrashPlan, FaultPlan, NetConfig,
-    PartitioningMode, RecoveryConfig, ReliabilityConfig, SlowPlan, TelemetryConfig,
+    PartitioningMode, RecoveryConfig, ReliabilityConfig, ServeConfig, SlowPlan, TelemetryConfig,
 };
 pub use flow::FlushController;
 pub use health::{ClusterHealth, JobError};

@@ -16,6 +16,7 @@
 //! requests". [`JobState`] tracks both halves — a producer/chunk counter
 //! and the cluster-global `pending` entry counter.
 
+use crate::cancel::CancelToken;
 use crate::machine::MachineState;
 use crate::message::MsgKind;
 use crate::props::{bottom_bits, PropId, ReduceOp};
@@ -58,6 +59,11 @@ pub struct JobState {
     start: Instant,
     /// Per-machine, per-worker timing records (Figure 6c).
     timings: Mutex<Vec<Vec<WorkerTiming>>>,
+    /// The job's cancellation token (never fires for direct callers).
+    /// Workers poll it once per chunk; a fired token makes them retire the
+    /// rest of the queue unexecuted, so the phase still terminates at its
+    /// barrier with exact accounting.
+    cancel: CancelToken,
 }
 
 impl JobState {
@@ -69,12 +75,37 @@ impl JobState {
         machines: usize,
         workers: usize,
     ) -> Arc<Self> {
+        Self::with_cancel(
+            outstanding,
+            pending,
+            machines,
+            workers,
+            CancelToken::never(),
+        )
+    }
+
+    /// [`JobState::new`] with an explicit cancellation token — the serving
+    /// layer's entry point.
+    pub fn with_cancel(
+        outstanding: usize,
+        pending: Arc<AtomicI64>,
+        machines: usize,
+        workers: usize,
+        cancel: CancelToken,
+    ) -> Arc<Self> {
         Arc::new(JobState {
             outstanding: AtomicUsize::new(outstanding),
             pending,
             start: Instant::now(),
             timings: Mutex::new(vec![vec![WorkerTiming::default(); workers]; machines]),
+            cancel,
         })
+    }
+
+    /// The job's cancellation token.
+    #[inline]
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Retires one work unit (a finished chunk / a finished producer).
@@ -82,6 +113,17 @@ impl JobState {
     pub fn retire(&self) {
         let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "retired more work units than existed");
+    }
+
+    /// Retires `n` work units at once — the cancellation path, where one
+    /// worker claims every remaining chunk unexecuted.
+    #[inline]
+    pub fn retire_many(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.outstanding.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "retired more work units than existed");
     }
 
     /// True when no work unit remains and every buffered entry has been
@@ -226,9 +268,11 @@ impl Phase for GhostPushPhase {
         }
 
         // 2. Broadcast owner values of this machine's ghosted vertices for
-        //    every read property.
+        //    every read property. Skipped once the job's token fired: the
+        //    results will be discarded, so only the barrier handshake
+        //    below still matters.
         env.comm.set_mut_kind(MsgKind::GhostSync);
-        if !self.read_props.is_empty() && !ghosts.is_empty() {
+        if !self.read_props.is_empty() && !ghosts.is_empty() && !self.job.cancel().is_cancelled() {
             let start = m.partition.start(m.id);
             let end = m.partition.end(m.id);
             let owned_lo = ghosts.nodes().partition_point(|&v| v < start);
@@ -282,7 +326,13 @@ impl Phase for GhostReducePhase {
         let end = m.partition.end(m.id);
 
         env.comm.set_mut_kind(MsgKind::GhostReduce);
-        let my_share = share(ghosts.len(), workers, env.worker_idx);
+        // A cancelled job's partials will never be read: skip the send
+        // loop and go straight to the barrier handshake.
+        let my_share = if self.job.cancel().is_cancelled() {
+            0..0
+        } else {
+            share(ghosts.len(), workers, env.worker_idx)
+        };
         m.telemetry.trace(
             env.worker_idx,
             EventKind::GhostReduce,
@@ -373,6 +423,19 @@ mod tests {
         assert!(!job.is_complete(), "pending entry blocks completion");
         pending.fetch_sub(1, Ordering::SeqCst);
         assert!(job.is_complete());
+    }
+
+    #[test]
+    fn job_state_carries_cancel_token() {
+        let pending = Arc::new(AtomicI64::new(0));
+        let token = CancelToken::for_job(42);
+        let job = JobState::with_cancel(1, pending.clone(), 1, 1, token.clone());
+        assert!(!job.cancel().is_cancelled());
+        token.cancel();
+        assert!(job.cancel().is_cancelled());
+        // Default construction never fires.
+        let job = JobState::new(1, pending, 1, 1);
+        assert!(!job.cancel().is_cancelled());
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct MachineStats {
     pub checkpoint_bytes: AtomicU64,
     /// Checkpoint restores applied to this machine's property columns.
     pub restores_applied: AtomicU64,
+    /// Jobs the serving layer admitted and dispatched onto the cluster.
+    pub jobs_admitted: AtomicU64,
+    /// Jobs the serving layer rejected (full queue or admission denial).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs cancelled (explicit cancel or session close).
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs that missed their deadline (queued or mid-run).
+    pub jobs_deadline_missed: AtomicU64,
 }
 
 /// A point-in-time copy of [`MachineStats`], subtractable.
@@ -83,6 +91,10 @@ pub struct StatsSnapshot {
     pub checkpoints_taken: u64,
     pub checkpoint_bytes: u64,
     pub restores_applied: u64,
+    pub jobs_admitted: u64,
+    pub jobs_rejected: u64,
+    pub jobs_cancelled: u64,
+    pub jobs_deadline_missed: u64,
 }
 
 impl MachineStats {
@@ -108,6 +120,10 @@ impl MachineStats {
             checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             restores_applied: self.restores_applied.load(Ordering::Relaxed),
+            jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_deadline_missed: self.jobs_deadline_missed.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +151,10 @@ impl std::ops::Sub for StatsSnapshot {
             checkpoints_taken: self.checkpoints_taken - rhs.checkpoints_taken,
             checkpoint_bytes: self.checkpoint_bytes - rhs.checkpoint_bytes,
             restores_applied: self.restores_applied - rhs.restores_applied,
+            jobs_admitted: self.jobs_admitted - rhs.jobs_admitted,
+            jobs_rejected: self.jobs_rejected - rhs.jobs_rejected,
+            jobs_cancelled: self.jobs_cancelled - rhs.jobs_cancelled,
+            jobs_deadline_missed: self.jobs_deadline_missed - rhs.jobs_deadline_missed,
         }
     }
 }
@@ -162,6 +182,10 @@ impl std::ops::Add for StatsSnapshot {
             checkpoints_taken: self.checkpoints_taken + rhs.checkpoints_taken,
             checkpoint_bytes: self.checkpoint_bytes + rhs.checkpoint_bytes,
             restores_applied: self.restores_applied + rhs.restores_applied,
+            jobs_admitted: self.jobs_admitted + rhs.jobs_admitted,
+            jobs_rejected: self.jobs_rejected + rhs.jobs_rejected,
+            jobs_cancelled: self.jobs_cancelled + rhs.jobs_cancelled,
+            jobs_deadline_missed: self.jobs_deadline_missed + rhs.jobs_deadline_missed,
         }
     }
 }

@@ -450,6 +450,10 @@ pub fn stats_json(s: &StatsSnapshot) -> Value {
         ("checkpoints_taken", s.checkpoints_taken.into()),
         ("checkpoint_bytes", s.checkpoint_bytes.into()),
         ("restores_applied", s.restores_applied.into()),
+        ("jobs_admitted", s.jobs_admitted.into()),
+        ("jobs_rejected", s.jobs_rejected.into()),
+        ("jobs_cancelled", s.jobs_cancelled.into()),
+        ("jobs_deadline_missed", s.jobs_deadline_missed.into()),
     ])
 }
 
@@ -471,6 +475,7 @@ fn histograms_json(t: &Telemetry) -> Value {
             histogram_json(&t.checkpoint_bytes_snapshot()),
         ),
         ("checkpoint_ns", histogram_json(&t.checkpoint_ns_snapshot())),
+        ("queue_wait_ns", histogram_json(&t.queue_wait_snapshot())),
     ])
 }
 
@@ -684,6 +689,12 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                         fields.push(("ph", "i".into()));
                         fields.push(("s", "t".into()));
                     }
+                    EventKind::JobEnqueue | EventKind::JobDispatch | EventKind::JobCancel => {
+                        fields.push(("name", e.kind.name().into()));
+                        fields.push(("cat", "serve".into()));
+                        fields.push(("ph", "i".into()));
+                        fields.push(("s", "t".into()));
+                    }
                 }
                 fields.push(("pid", pid.into()));
                 fields.push(("tid", w.into()));
@@ -697,6 +708,9 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                     EventKind::CheckpointTaken => Some("bytes"),
                     EventKind::RecoveryStart => Some("attempt"),
                     EventKind::RecoveryDone => Some("iteration"),
+                    EventKind::JobEnqueue | EventKind::JobDispatch | EventKind::JobCancel => {
+                        Some("job")
+                    }
                     _ => Some("epoch"),
                 };
                 if let Some(k) = arg_key {

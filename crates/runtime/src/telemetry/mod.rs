@@ -53,6 +53,7 @@ pub struct Telemetry {
     chunk_claims: Histogram,
     checkpoint_bytes: Histogram,
     checkpoint_ns: Histogram,
+    queue_wait_ns: Histogram,
     dest_bytes: Vec<AtomicU64>,
     tracers: Vec<Tracer>,
 }
@@ -73,6 +74,7 @@ impl Telemetry {
             chunk_claims: Histogram::new(),
             checkpoint_bytes: Histogram::new(),
             checkpoint_ns: Histogram::new(),
+            queue_wait_ns: Histogram::new(),
             dest_bytes: if enabled {
                 (0..config.machines).map(|_| AtomicU64::new(0)).collect()
             } else {
@@ -178,6 +180,14 @@ impl Telemetry {
         }
     }
 
+    /// Time one job spent queued in the server before dispatch, nanoseconds.
+    #[inline]
+    pub fn record_queue_wait(&self, ns: u64) {
+        if self.enabled {
+            self.queue_wait_ns.record(ns);
+        }
+    }
+
     /// Payload bytes sent from this machine to `dest`.
     #[inline]
     pub fn record_dest_bytes(&self, dest: usize, bytes: u64) {
@@ -234,6 +244,10 @@ impl Telemetry {
 
     pub fn checkpoint_ns_snapshot(&self) -> HistogramSnapshot {
         self.checkpoint_ns.snapshot()
+    }
+
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.queue_wait_ns.snapshot()
     }
 
     pub fn dest_bytes_snapshot(&self) -> Vec<u64> {
@@ -304,6 +318,8 @@ impl Telemetry {
     #[inline(always)]
     pub fn record_checkpoint_ns(&self, _ns: u64) {}
     #[inline(always)]
+    pub fn record_queue_wait(&self, _ns: u64) {}
+    #[inline(always)]
     pub fn record_dest_bytes(&self, _dest: usize, _bytes: u64) {}
 
     pub fn workers(&self) -> usize {
@@ -337,6 +353,9 @@ impl Telemetry {
         HistogramSnapshot::default()
     }
     pub fn checkpoint_ns_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot::default()
     }
     pub fn dest_bytes_snapshot(&self) -> Vec<u64> {

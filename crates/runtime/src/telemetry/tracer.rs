@@ -55,6 +55,15 @@ pub enum EventKind {
     /// A retry attempt finished restoring state and resumed the job.
     /// `arg` = the iteration resumed from.
     RecoveryDone = 14,
+    /// The job server accepted a submission into a scheduler lane.
+    /// `arg` = the job id.
+    JobEnqueue = 15,
+    /// The job server dispatched a queued job onto the cluster.
+    /// `arg` = the job id.
+    JobDispatch = 16,
+    /// A job was cancelled (explicitly, by deadline, or at session close).
+    /// `arg` = the job id.
+    JobCancel = 17,
 }
 
 impl EventKind {
@@ -75,6 +84,9 @@ impl EventKind {
             EventKind::CheckpointTaken => "checkpoint_taken",
             EventKind::RecoveryStart => "recovery_start",
             EventKind::RecoveryDone => "recovery_done",
+            EventKind::JobEnqueue => "job_enqueue",
+            EventKind::JobDispatch => "job_dispatch",
+            EventKind::JobCancel => "job_cancel",
         }
     }
 
@@ -95,6 +107,9 @@ impl EventKind {
             12 => EventKind::CheckpointTaken,
             13 => EventKind::RecoveryStart,
             14 => EventKind::RecoveryDone,
+            15 => EventKind::JobEnqueue,
+            16 => EventKind::JobDispatch,
+            17 => EventKind::JobCancel,
             _ => return None,
         })
     }

@@ -6,7 +6,7 @@
 //! ```
 
 use pgxd::Engine;
-use pgxd_algorithms::pagerank_pull;
+use pgxd_algorithms::try_pagerank_pull;
 use pgxd_graph::generate::{rmat, RmatParams};
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
     );
 
     // 3. Run an algorithm from the suite.
-    let result = pagerank_pull(&mut engine, 0.85, 100, 1e-10);
+    let result = try_pagerank_pull(&mut engine, 0.85, 100, 1e-10).unwrap();
     println!("pagerank converged after {} iterations", result.iterations);
 
     // 4. Inspect the result (driver-side sequential region).

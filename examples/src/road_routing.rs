@@ -8,7 +8,7 @@
 //! ```
 
 use pgxd::Engine;
-use pgxd_algorithms::{hopdist, sssp};
+use pgxd_algorithms::{try_hopdist, try_sssp};
 use pgxd_graph::generate::grid;
 
 const ROWS: usize = 96;
@@ -38,14 +38,14 @@ fn main() {
 
     // Travel times from the depot at the north-west corner.
     let depot = 0u32;
-    let times = sssp(&mut engine, depot);
+    let times = try_sssp(&mut engine, depot).unwrap();
     println!(
         "Bellman-Ford settled after {} relaxation rounds",
         times.iterations
     );
 
     // Hop distance (number of intersections) for comparison.
-    let hops = hopdist(&mut engine, depot);
+    let hops = try_hopdist(&mut engine, depot).unwrap();
     println!("BFS frontier swept {} levels", hops.iterations);
 
     // The far corner: compare shortest travel time vs fewest turns.

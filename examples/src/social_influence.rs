@@ -10,7 +10,7 @@
 //! ```
 
 use pgxd::Engine;
-use pgxd_algorithms::{pagerank_approx, wcc};
+use pgxd_algorithms::{try_pagerank_approx, try_wcc};
 use pgxd_graph::generate::{rmat, RmatParams};
 use std::collections::HashMap;
 
@@ -39,7 +39,7 @@ fn main() {
     );
 
     // Communities.
-    let communities = wcc(&mut engine);
+    let communities = try_wcc(&mut engine).unwrap();
     println!(
         "{} weakly connected communities found in {} iterations",
         communities.num_components, communities.iterations
@@ -47,7 +47,7 @@ fn main() {
 
     // Influence scores (approximate PageRank: decreasing work per
     // iteration as accounts converge and deactivate).
-    let influence = pagerank_approx(&mut engine, 0.85, 1e-8, 500);
+    let influence = try_pagerank_approx(&mut engine, 0.85, 1e-8, 500).unwrap();
     println!(
         "approximate pagerank deactivated everyone after {} iterations",
         influence.iterations

@@ -10,7 +10,7 @@
 //! ```
 
 use pgxd::{Dir, EdgeCtx, EdgeTask, Engine, JobSpec, Prop, ReadDoneCtx};
-use pgxd_algorithms::{eigenvector, kcore};
+use pgxd_algorithms::{try_eigenvector, try_kcore};
 use pgxd_graph::generate::{rmat, RmatParams};
 
 /// Custom kernel: for each page, pull each in-neighbor's authority score
@@ -55,11 +55,11 @@ fn main() {
         .expect("engine");
 
     // 1. Authority: eigenvector centrality (pull-based power iteration).
-    let ev = eigenvector(&mut engine, 50, 1e-9);
+    let ev = try_eigenvector(&mut engine, 50, 1e-9).unwrap();
     println!("eigenvector centrality: {} iterations", ev.iterations);
 
     // 2. Cohesion: k-core decomposition.
-    let cores = kcore(&mut engine, i64::MAX);
+    let cores = try_kcore(&mut engine, i64::MAX).unwrap();
     println!(
         "densest core: k = {} (peeling took {} parallel steps)",
         cores.max_core, cores.iterations

@@ -39,4 +39,13 @@ echo "== recover smoke (checkpoint/restore + automatic retry acceptance) =="
 # nonzero checkpoint telemetry; with recovery off, a clean MachineDown).
 cargo run --release -p pgxd-bench --bin repro -- recover
 
+echo "== serve smoke (job server acceptance: sessions, lanes, admission) =="
+# Serves TWT-S to 3 concurrent sessions and asserts the serving contract
+# internally (results match solo runs, weighted-fair 3:1 lane order,
+# structured Cancelled/DeadlineExceeded/AdmissionDenied, columns freed).
+cargo run --release -p pgxd-bench --bin repro -- serve
+
+echo "== cargo doc --workspace --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "tier-1: all checks passed"

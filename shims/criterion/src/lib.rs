@@ -148,13 +148,21 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let per_iter = b.elapsed;
     let rate = throughput.map(|t| match t {
         Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
-            format!(" ({:.2} MiB/s)", n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                " ({:.2} MiB/s)",
+                n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+            )
         }
         Throughput::Elements(n) => {
             format!(" ({:.2} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
         }
     });
-    println!("bench: {:<48} {:>12.3?}{}", id, per_iter, rate.unwrap_or_default());
+    println!(
+        "bench: {:<48} {:>12.3?}{}",
+        id,
+        per_iter,
+        rate.unwrap_or_default()
+    );
 }
 
 #[macro_export]

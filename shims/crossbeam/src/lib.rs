@@ -171,11 +171,7 @@ pub mod channel {
                     return Err(RecvTimeoutError::Timeout);
                 }
                 st.waiting += 1;
-                let (g, _res) = self
-                    .inner
-                    .avail
-                    .wait_timeout(st, deadline - now)
-                    .unwrap();
+                let (g, _res) = self.inner.avail.wait_timeout(st, deadline - now).unwrap();
                 st = g;
                 st.waiting -= 1;
             }

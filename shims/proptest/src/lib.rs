@@ -350,7 +350,10 @@ macro_rules! prop_assert_ne {
         if lhs == rhs {
             return ::std::result::Result::Err(::std::format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                ::std::stringify!($lhs), ::std::stringify!($rhs), lhs));
+                ::std::stringify!($lhs),
+                ::std::stringify!($rhs),
+                lhs
+            ));
         }
     }};
 }

@@ -10,7 +10,7 @@
 //!   teardown, and the cluster stays cleanly dead afterwards.
 
 use pgxd::{Engine, FaultPlan, JobError};
-use pgxd_algorithms::{hopdist, try_pagerank_pull};
+use pgxd_algorithms::{try_hopdist, try_pagerank_pull};
 use pgxd_graph::generate;
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
@@ -41,11 +41,11 @@ proptest! {
         let g = generate::rmat(7, 6, generate::RmatParams::skewed(), 77);
 
         let mut clean = engine_with(FaultPlan::none(), &g);
-        let baseline = hopdist(&mut clean, 0);
+        let baseline = try_hopdist(&mut clean, 0).unwrap();
 
         let plan = FaultPlan::lossy(seed, drop, dup, reorder);
         let mut chaotic = engine_with(plan, &g);
-        let r = hopdist(&mut chaotic, 0);
+        let r = try_hopdist(&mut chaotic, 0).unwrap();
 
         // i64 Min-reduction: equality is exact, not approximate.
         prop_assert_eq!(&baseline.hops, &r.hops);
@@ -125,10 +125,10 @@ fn machine_crash_fails_cleanly_without_hanging() {
 fn aggressive_fixed_plan_is_exactly_once() {
     let g = generate::rmat(7, 6, generate::RmatParams::skewed(), 79);
     let mut clean = engine_with(FaultPlan::none(), &g);
-    let baseline = hopdist(&mut clean, 0);
+    let baseline = try_hopdist(&mut clean, 0).unwrap();
 
     let mut chaotic = engine_with(FaultPlan::lossy(0xDEAD_BEEF, 150, 100, 50), &g);
-    let r = hopdist(&mut chaotic, 0);
+    let r = try_hopdist(&mut chaotic, 0).unwrap();
     assert_eq!(baseline.hops, r.hops);
 
     let injected = chaotic

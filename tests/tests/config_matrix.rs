@@ -43,7 +43,7 @@ fn pagerank_identical_across_all_configurations() {
                         for privatize in [false, true] {
                             let mut e =
                                 build(&g, machines, workers, part, chunk, ghosts, privatize);
-                            let got = algos::pagerank_push(&mut e, 0.85, 6, 0.0);
+                            let got = algos::try_pagerank_push(&mut e, 0.85, 6, 0.0).unwrap();
                             for (r, x) in reference.iter().zip(&got.scores) {
                                 assert!(
                                     (r - x).abs() < 1e-9,
@@ -70,7 +70,7 @@ fn wcc_identical_across_key_configurations() {
         (4, PartitioningMode::Edge, Some(0)),
     ] {
         let mut e = build(&g, machines, 2, part, ChunkingMode::Edge, ghosts, true);
-        let got = algos::wcc(&mut e);
+        let got = algos::try_wcc(&mut e).unwrap();
         assert_eq!(got.component, reference, "m={machines} {part:?} {ghosts:?}");
     }
 }
@@ -90,7 +90,7 @@ fn more_machines_than_meaningful_partitions() {
         Some(4),
         true,
     );
-    let got = algos::wcc(&mut e);
+    let got = algos::try_wcc(&mut e).unwrap();
     assert_eq!(got.component, reference);
 }
 
@@ -110,7 +110,7 @@ fn ghost_everything_extreme() {
         true,
     );
     assert!(e.cluster().ghosts().len() > g.num_nodes() / 2);
-    let got = algos::pagerank_push(&mut e, 0.85, 4, 0.0);
+    let got = algos::try_pagerank_push(&mut e, 0.85, 4, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.scores) {
         assert!((r - x).abs() < 1e-9);
     }
@@ -135,7 +135,7 @@ fn tiny_buffers_force_many_messages_same_result() {
         .ghost_threshold(None)
         .build(&g)
         .unwrap();
-    let got = algos::pagerank_pull(&mut e, 0.85, 4, 0.0);
+    let got = algos::try_pagerank_pull(&mut e, 0.85, 4, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.scores) {
         assert!((r - x).abs() < 1e-9);
     }
@@ -155,7 +155,7 @@ fn back_pressure_pool_exhaustion_is_survivable() {
     config.buffer_bytes = 128;
     config.send_buffers_per_machine = 2; // absurdly small quota
     let mut e = pgxd::EngineBuilder::from_config(config).build(&g).unwrap();
-    let got = algos::pagerank_pull(&mut e, 0.85, 3, 0.0);
+    let got = algos::try_pagerank_pull(&mut e, 0.85, 3, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.scores) {
         assert!((r - x).abs() < 1e-9);
     }
@@ -175,10 +175,10 @@ fn strict_distributed_mode_gives_same_results() {
     let mut config = pgxd::Config::test(3);
     config.strict_distributed = true;
     let mut e = pgxd::EngineBuilder::from_config(config).build(&g).unwrap();
-    let got = algos::pagerank_pull(&mut e, 0.85, 4, 0.0);
+    let got = algos::try_pagerank_pull(&mut e, 0.85, 4, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.scores) {
         assert!((r - x).abs() < 1e-9);
     }
-    let wcc = algos::wcc(&mut e);
+    let wcc = algos::try_wcc(&mut e).unwrap();
     assert_eq!(wcc.component, seq::wcc(&g));
 }

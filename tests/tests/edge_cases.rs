@@ -20,13 +20,13 @@ fn engine(machines: usize, g: &pgxd_graph::Graph) -> Engine {
 fn edgeless_graph() {
     let g = graph_from_edges(10, vec![]);
     let mut e = engine(3, &g);
-    let w = algos::wcc(&mut e);
+    let w = algos::try_wcc(&mut e).unwrap();
     assert_eq!(w.num_components, 10);
-    let pr = algos::pagerank_push(&mut e, 0.85, 3, 0.0);
+    let pr = algos::try_pagerank_push(&mut e, 0.85, 3, 0.0).unwrap();
     for &s in &pr.scores {
         assert!((s - 0.15 / 10.0).abs() < 1e-12);
     }
-    let kc = algos::kcore(&mut e, 8);
+    let kc = algos::try_kcore(&mut e, 8).unwrap();
     assert_eq!(kc.max_core, 0);
 }
 
@@ -34,7 +34,7 @@ fn edgeless_graph() {
 fn two_node_graph_many_machines() {
     let g = graph_from_edges(2, vec![(0, 1)]);
     let mut e = engine(4, &g); // more machines than meaningful partitions
-    let h = algos::hopdist(&mut e, 0);
+    let h = algos::try_hopdist(&mut e, 0).unwrap();
     assert_eq!(h.hops, vec![0, 1]);
 }
 
@@ -42,9 +42,9 @@ fn two_node_graph_many_machines() {
 fn self_loops_survive_the_stack() {
     let g = graph_from_edges(4, vec![(0, 0), (0, 1), (1, 1), (1, 2), (3, 3)]);
     let mut e = engine(2, &g);
-    let w = algos::wcc(&mut e);
+    let w = algos::try_wcc(&mut e).unwrap();
     assert_eq!(w.component, seq::wcc(&g));
-    let h = algos::hopdist(&mut e, 0);
+    let h = algos::try_hopdist(&mut e, 0).unwrap();
     assert_eq!(h.hops, seq::bfs(&g, 0));
 }
 
@@ -52,7 +52,7 @@ fn self_loops_survive_the_stack() {
 fn parallel_edges_count_twice() {
     let g = graph_from_edges(3, vec![(0, 1), (0, 1), (1, 2)]);
     let mut e = engine(2, &g);
-    let pr = algos::pagerank_push(&mut e, 0.85, 5, 0.0);
+    let pr = algos::try_pagerank_push(&mut e, 0.85, 5, 0.0).unwrap();
     let reference = seq::pagerank(&g, 0.85, 5);
     for (a, b) in pr.scores.iter().zip(&reference) {
         assert!((a - b).abs() < 1e-12);
@@ -72,10 +72,10 @@ fn single_giant_hub() {
     let g = graph_from_edges(n, edges);
     let mut e = engine(4, &g);
     assert!(!e.cluster().ghosts().is_empty(), "the hub must be ghosted");
-    let w = algos::wcc(&mut e);
+    let w = algos::try_wcc(&mut e).unwrap();
     assert_eq!(w.num_components, 1);
     let (rk, rc) = seq::kcore(&g);
-    let kc = algos::kcore(&mut e, i64::MAX);
+    let kc = algos::try_kcore(&mut e, i64::MAX).unwrap();
     assert_eq!(kc.max_core, rk);
     assert_eq!(kc.core, rc);
 }
@@ -96,7 +96,7 @@ fn star_traffic_with_and_without_ghosts() {
         .ghost_threshold(None)
         .build(&g)
         .unwrap();
-    let _ = algos::pagerank_push(&mut no_ghost, 0.85, 2, 0.0);
+    let _ = algos::try_pagerank_push(&mut no_ghost, 0.85, 2, 0.0).unwrap();
     let without = no_ghost.cluster().total_stats().write_entries;
 
     let mut ghosted = Engine::builder()
@@ -104,7 +104,7 @@ fn star_traffic_with_and_without_ghosts() {
         .ghost_threshold(Some(10))
         .build(&g)
         .unwrap();
-    let _ = algos::pagerank_push(&mut ghosted, 0.85, 2, 0.0);
+    let _ = algos::try_pagerank_push(&mut ghosted, 0.85, 2, 0.0).unwrap();
     let with = ghosted.cluster().total_stats().write_entries;
 
     assert!(
@@ -120,7 +120,7 @@ fn long_chain_needs_many_iterations() {
     let n = 300usize;
     let g = generate::path(n);
     let mut e = engine(3, &g);
-    let h = algos::hopdist(&mut e, 0);
+    let h = algos::try_hopdist(&mut e, 0).unwrap();
     assert_eq!(h.iterations, n, "one frontier level per path vertex");
     assert_eq!(h.hops[n - 1], (n - 1) as i64);
 }
@@ -138,7 +138,7 @@ fn disconnected_islands_across_machines() {
     }
     let g = graph_from_edges((islands * 3) as usize, edges);
     let mut e = engine(4, &g);
-    let w = algos::wcc(&mut e);
+    let w = algos::try_wcc(&mut e).unwrap();
     assert_eq!(w.num_components, islands as usize);
 }
 
@@ -150,7 +150,7 @@ fn zero_weight_edges() {
         .add_weighted_edge(0, 2, 5.0);
     let g = b.build();
     let mut e = engine(2, &g);
-    let d = algos::sssp(&mut e, 0);
+    let d = algos::try_sssp(&mut e, 0).unwrap();
     assert_eq!(d.dist, vec![0.0, 0.0, 0.0]);
 }
 
@@ -160,7 +160,7 @@ fn engine_survives_many_tiny_jobs() {
     // framework-overhead stress of §5.3.1).
     let g = generate::path(64);
     let mut e = engine(3, &g);
-    let kc = algos::kcore(&mut e, i64::MAX);
+    let kc = algos::try_kcore(&mut e, i64::MAX).unwrap();
     let (rk, rc) = seq::kcore(&g);
     assert_eq!(kc.max_core, rk);
     assert_eq!(kc.core, rc);
@@ -221,7 +221,7 @@ fn modeled_network_gives_same_results() {
     let mut config = pgxd::Config::test(2);
     config.net = pgxd::NetConfig::infiniband_like();
     let mut e = pgxd::EngineBuilder::from_config(config).build(&g).unwrap();
-    let got = algos::pagerank_pull(&mut e, 0.85, 3, 0.0);
+    let got = algos::try_pagerank_pull(&mut e, 0.85, 3, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.scores) {
         assert!((r - x).abs() < 1e-9);
     }
@@ -244,15 +244,15 @@ fn soak_large_graph_all_algorithms() {
         .ghost_threshold(Some(512))
         .build(&g)
         .unwrap();
-    let pr = algos::pagerank_pull(&mut e, 0.85, 10, 0.0);
+    let pr = algos::try_pagerank_pull(&mut e, 0.85, 10, 0.0).unwrap();
     assert!(pr.scores.iter().all(|s| s.is_finite()));
-    let w = algos::wcc(&mut e);
+    let w = algos::try_wcc(&mut e).unwrap();
     assert_eq!(w.component, seq::wcc(&g));
-    let d = algos::sssp(&mut e, 0);
+    let d = algos::try_sssp(&mut e, 0).unwrap();
     let rd = seq::sssp(&g, 0);
     for (a, b) in d.dist.iter().zip(&rd) {
         assert!((a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()));
     }
-    let kc = algos::kcore(&mut e, i64::MAX);
+    let kc = algos::try_kcore(&mut e, i64::MAX).unwrap();
     assert_eq!(kc.max_core, seq::kcore(&g).0);
 }

@@ -21,7 +21,7 @@ fn pagerank_matches_sequential_reference() {
     let g = generate::rmat(9, 6, RmatParams::skewed(), 1001);
     let reference = seq::pagerank(&g, 0.85, 12);
     let mut e = engine(3, &g);
-    let got = algos::pagerank_pull(&mut e, 0.85, 12, 0.0);
+    let got = algos::try_pagerank_pull(&mut e, 0.85, 12, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.scores) {
         assert!((r - x).abs() < 1e-9, "{r} vs {x}");
     }
@@ -32,7 +32,7 @@ fn wcc_matches_sequential_reference() {
     let g = generate::rmat(9, 3, RmatParams::skewed(), 1002);
     let reference = seq::wcc(&g);
     let mut e = engine(4, &g);
-    let got = algos::wcc(&mut e);
+    let got = algos::try_wcc(&mut e).unwrap();
     assert_eq!(got.component, reference);
 }
 
@@ -41,7 +41,7 @@ fn sssp_matches_sequential_reference() {
     let g = generate::rmat(8, 5, RmatParams::mild(), 1003).with_uniform_weights(1.0, 9.0, 11);
     let reference = seq::sssp(&g, 3);
     let mut e = engine(3, &g);
-    let got = algos::sssp(&mut e, 3);
+    let got = algos::try_sssp(&mut e, 3).unwrap();
     for (r, x) in reference.iter().zip(&got.dist) {
         assert!(
             (r - x).abs() < 1e-9 || (r.is_infinite() && x.is_infinite()),
@@ -55,7 +55,7 @@ fn hopdist_matches_sequential_reference() {
     let g = generate::rmat(9, 4, RmatParams::skewed(), 1004);
     let reference = seq::bfs(&g, 0);
     let mut e = engine(4, &g);
-    let got = algos::hopdist(&mut e, 0);
+    let got = algos::try_hopdist(&mut e, 0).unwrap();
     assert_eq!(got.hops, reference);
 }
 
@@ -64,7 +64,7 @@ fn eigenvector_matches_sequential_reference() {
     let g = generate::rmat(8, 5, RmatParams::mild(), 1005);
     let reference = seq::eigenvector(&g, 10);
     let mut e = engine(2, &g);
-    let got = algos::eigenvector(&mut e, 10, 0.0);
+    let got = algos::try_eigenvector(&mut e, 10, 0.0).unwrap();
     for (r, x) in reference.iter().zip(&got.centrality) {
         assert!((r - x).abs() < 1e-9);
     }
@@ -75,7 +75,7 @@ fn kcore_matches_sequential_reference() {
     let g = generate::rmat(8, 4, RmatParams::skewed(), 1006);
     let (rk, rc) = seq::kcore(&g);
     let mut e = engine(3, &g);
-    let got = algos::kcore(&mut e, i64::MAX);
+    let got = algos::try_kcore(&mut e, i64::MAX).unwrap();
     assert_eq!(got.max_core, rk);
     assert_eq!(got.core, rc);
 }
@@ -86,14 +86,14 @@ fn whole_suite_chains_on_one_engine() {
     // creating and dropping temporary properties as they go.
     let g = generate::rmat(8, 6, RmatParams::skewed(), 1007).with_uniform_weights(1.0, 4.0, 5);
     let mut e = engine(3, &g);
-    let pr = algos::pagerank_pull(&mut e, 0.85, 5, 0.0);
-    let prp = algos::pagerank_push(&mut e, 0.85, 5, 0.0);
-    let apr = algos::pagerank_approx(&mut e, 0.85, 1e-7, 200);
-    let comps = algos::wcc(&mut e);
-    let dists = algos::sssp(&mut e, 0);
-    let hops = algos::hopdist(&mut e, 0);
-    let ev = algos::eigenvector(&mut e, 5, 0.0);
-    let kc = algos::kcore(&mut e, i64::MAX);
+    let pr = algos::try_pagerank_pull(&mut e, 0.85, 5, 0.0).unwrap();
+    let prp = algos::try_pagerank_push(&mut e, 0.85, 5, 0.0).unwrap();
+    let apr = algos::try_pagerank_approx(&mut e, 0.85, 1e-7, 200).unwrap();
+    let comps = algos::try_wcc(&mut e).unwrap();
+    let dists = algos::try_sssp(&mut e, 0).unwrap();
+    let hops = algos::try_hopdist(&mut e, 0).unwrap();
+    let ev = algos::try_eigenvector(&mut e, 5, 0.0).unwrap();
+    let kc = algos::try_kcore(&mut e, i64::MAX).unwrap();
 
     // Spot-check consistency between them.
     for (a, b) in pr.scores.iter().zip(&prp.scores) {
@@ -108,7 +108,7 @@ fn whole_suite_chains_on_one_engine() {
     assert_eq!(ev.centrality.len(), g.num_nodes());
     assert!(kc.max_core >= 1);
     // After dropping its temporaries, the engine serves fresh jobs.
-    let pr2 = algos::pagerank_pull(&mut e, 0.85, 5, 0.0);
+    let pr2 = algos::try_pagerank_pull(&mut e, 0.85, 5, 0.0).unwrap();
     for (a, b) in pr.scores.iter().zip(&pr2.scores) {
         assert!((a - b).abs() < 1e-12, "engine state leaked between runs");
     }
@@ -119,7 +119,7 @@ fn comparator_engines_agree_with_pgx() {
     use pgxd_baselines::programs::{self, Comparator};
     let g = generate::rmat(8, 4, RmatParams::skewed(), 1008);
     let mut e = engine(2, &g);
-    let pgx = algos::wcc(&mut e).component;
+    let pgx = algos::try_wcc(&mut e).unwrap().component;
     let gas = programs::wcc(Comparator::Gas, &g, 2);
     let flow = programs::wcc(Comparator::Dataflow, &g, 2);
     assert_eq!(pgx, gas);
@@ -143,7 +143,7 @@ fn graph_io_to_engine_roundtrip() {
     assert_eq!(g.out_csr().col_idx(), g2.out_csr().col_idx());
     assert_eq!(g.num_edges(), g2.num_edges());
     let mut e = engine(2, &g2);
-    let got = algos::wcc(&mut e);
+    let got = algos::try_wcc(&mut e).unwrap();
     assert_eq!(got.component, seq::wcc(&g2));
     let _ = std::fs::remove_file(text);
     let _ = std::fs::remove_file(bin);
@@ -157,15 +157,15 @@ fn dynamic_graph_snapshots_reload_into_engines() {
     // Two disjoint paths.
     let g0 = pgxd_graph::builder::graph_from_edges(6, vec![(0, 1), (1, 2), (3, 4), (4, 5)]);
     let mut e0 = engine(2, &g0);
-    assert_eq!(algos::wcc(&mut e0).num_components, 2);
+    assert_eq!(algos::try_wcc(&mut e0).unwrap().num_components, 2);
 
     // Epoch 1: bridge the components.
     let mut d = GraphDelta::new();
     d.add_edge(2, 3);
     let g1 = d.apply(&g0);
     let mut e1 = engine(3, &g1);
-    assert_eq!(algos::wcc(&mut e1).num_components, 1);
-    let h = algos::hopdist(&mut e1, 0);
+    assert_eq!(algos::try_wcc(&mut e1).unwrap().num_components, 1);
+    let h = algos::try_hopdist(&mut e1, 0).unwrap();
     assert_eq!(h.hops[5], 5);
 
     // Epoch 2: cut the bridge again and grow the graph.
@@ -173,7 +173,7 @@ fn dynamic_graph_snapshots_reload_into_engines() {
     d.remove_edge(2, 3).grow_nodes(8).add_edge(6, 7);
     let g2 = d.apply(&g1);
     let mut e2 = engine(2, &g2);
-    let w = algos::wcc(&mut e2);
+    let w = algos::try_wcc(&mut e2).unwrap();
     assert_eq!(w.num_components, 3);
     assert_eq!(w.component, seq::wcc(&g2));
 }

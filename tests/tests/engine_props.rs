@@ -43,7 +43,7 @@ proptest! {
     fn wcc_agrees_with_reference(g in arb_graph(40, 120), machines in 1usize..5) {
         let reference = seq::wcc(&g);
         let mut e = engine(machines, Some(4), &g);
-        let got = algos::wcc(&mut e);
+        let got = algos::try_wcc(&mut e).unwrap();
         prop_assert_eq!(got.component, reference);
     }
 
@@ -52,7 +52,7 @@ proptest! {
         let root = root % g.num_nodes() as u32;
         let reference = seq::bfs(&g, root);
         let mut e = engine(machines, None, &g);
-        let got = algos::hopdist(&mut e, root);
+        let got = algos::try_hopdist(&mut e, root).unwrap();
         prop_assert_eq!(got.hops, reference);
     }
 
@@ -60,9 +60,9 @@ proptest! {
     fn pagerank_pull_push_and_reference_agree(g in arb_graph(32, 100), machines in 1usize..4) {
         let reference = seq::pagerank(&g, 0.85, 4);
         let mut e1 = engine(machines, Some(2), &g);
-        let pull = algos::pagerank_pull(&mut e1, 0.85, 4, 0.0);
+        let pull = algos::try_pagerank_pull(&mut e1, 0.85, 4, 0.0).unwrap();
         let mut e2 = engine(machines, None, &g);
-        let push = algos::pagerank_push(&mut e2, 0.85, 4, 0.0);
+        let push = algos::try_pagerank_push(&mut e2, 0.85, 4, 0.0).unwrap();
         for ((r, a), b) in reference.iter().zip(&pull.scores).zip(&push.scores) {
             prop_assert!((r - a).abs() < 1e-9, "pull {} vs {}", a, r);
             prop_assert!((r - b).abs() < 1e-9, "push {} vs {}", b, r);
@@ -73,7 +73,7 @@ proptest! {
     fn kcore_agrees_with_reference(g in arb_graph(24, 80), machines in 1usize..4) {
         let (rk, rc) = seq::kcore(&g);
         let mut e = engine(machines, Some(3), &g);
-        let got = algos::kcore(&mut e, i64::MAX);
+        let got = algos::try_kcore(&mut e, i64::MAX).unwrap();
         prop_assert_eq!(got.max_core, rk);
         prop_assert_eq!(got.core, rc);
     }

@@ -14,7 +14,9 @@
 //!   `Err(MachineDown)`, no retry.
 
 use pgxd::{Config, Engine, FaultPlan, JobError, TelemetryConfig};
-use pgxd_algorithms::{hopdist, pagerank_pull, recoverable_hopdist, recoverable_pagerank_pull};
+use pgxd_algorithms::{
+    recoverable_hopdist, recoverable_pagerank_pull, try_hopdist, try_pagerank_pull,
+};
 use pgxd_graph::generate;
 use proptest::prelude::*;
 
@@ -49,7 +51,7 @@ proptest! {
             .workers(2)
             .build(&g)
             .expect("engine");
-        let baseline = hopdist(&mut clean, 0);
+        let baseline = try_hopdist(&mut clean, 0).unwrap();
         drop(clean);
 
         let rec = recoverable_hopdist(&g, recovery_config(machine, crash_after), 0)
@@ -75,7 +77,7 @@ fn pagerank_recovers_to_fault_free_fixpoint() {
         .workers(2)
         .build(&g)
         .expect("engine");
-    let baseline = pagerank_pull(&mut clean, 0.85, 30, 0.0);
+    let baseline = try_pagerank_pull(&mut clean, 0.85, 30, 0.0).unwrap();
     drop(clean);
 
     let rec = recoverable_pagerank_pull(&g, recovery_config(1, 1_000), 0.85, 30, 0.0)

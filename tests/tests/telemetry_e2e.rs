@@ -54,7 +54,7 @@ fn trace_shape(trace: &Value) -> BTreeSet<(u64, u64, String, String)> {
 fn run_pagerank_trace() -> Value {
     let g = generate::rmat(8, 6, RmatParams::skewed(), 2024);
     let mut e = engine(2, 1, true, &g);
-    algos::pagerank_pull(&mut e, 0.85, 3, 0.0);
+    algos::try_pagerank_pull(&mut e, 0.85, 3, 0.0).unwrap();
     Value::parse(&e.cluster().trace_json()).expect("trace parses")
 }
 
@@ -85,7 +85,7 @@ fn golden_trace_shape_is_deterministic() {
 fn report_covers_every_machine_and_phase() {
     let g = generate::rmat(8, 6, RmatParams::skewed(), 2025);
     let mut e = engine(3, 2, true, &g);
-    algos::pagerank_pull(&mut e, 0.85, 2, 0.0);
+    algos::try_pagerank_pull(&mut e, 0.85, 2, 0.0).unwrap();
     let dir = std::env::temp_dir().join("pgxd-telemetry-e2e");
     let (trace_path, report_path) = e.export_telemetry(&dir).unwrap();
     let trace = Value::parse(&std::fs::read_to_string(trace_path).unwrap()).unwrap();
@@ -119,7 +119,7 @@ fn telemetry_does_not_change_traffic() {
     let traffic = |telemetry: bool| -> (StatsSnapshot, Engine) {
         let mut e = engine(2, 1, telemetry, &g);
         let before = e.cluster().total_stats();
-        algos::pagerank_pull(&mut e, 0.85, 3, 0.0);
+        algos::try_pagerank_pull(&mut e, 0.85, 3, 0.0).unwrap();
         let after = e.cluster().total_stats();
         (after - before, e)
     };
