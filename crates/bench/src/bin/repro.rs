@@ -5,11 +5,18 @@
 //! cargo run -p pgxd-bench --release --bin repro -- table3 --full # 8× larger graphs
 //! cargo run -p pgxd-bench --release --bin repro -- fig6 fig8 -v
 //! cargo run -p pgxd-bench --release --bin repro -- --telemetry out/
+//! cargo run -p pgxd-bench --release --bin repro -- bench --quick
 //! ```
 //!
 //! Text tables print to stdout; machine-readable JSON lands in `results/`.
 //! `--telemetry <dir>` runs an instrumented 4-machine PageRank and writes
 //! `<dir>/trace.json` (Perfetto-viewable) plus `<dir>/report.json`.
+//! `bench` appends a `BENCH_<date>.json` trajectory snapshot (to the
+//! current directory, or `$BENCH_DIR`); see `scripts/bench_compare.sh`
+//! for the regression gate over the two newest snapshots.
+//!
+//! `repro --help` lists every experiment; an unknown experiment name
+//! exits non-zero with the same list.
 
 use pgxd_bench::datasets::Scale;
 use pgxd_bench::experiments::*;
@@ -31,8 +38,37 @@ fn emit(tables: &[Table], slug: &str) {
     }
 }
 
+/// Renders the experiment list, one aligned line per registry entry.
+fn experiment_list() -> String {
+    let w = EXPERIMENTS.iter().map(|e| e.name.len()).max().unwrap_or(0);
+    EXPERIMENTS
+        .iter()
+        .map(|e| format!("  {:<w$}  {}", e.name, e.desc))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerates the PGX.D paper's tables and figures\n\n\
+         usage: repro [EXPERIMENT...] [--full] [-v|--verbose] [--telemetry DIR] [--quick]\n\n\
+         experiments (default: the table/figure set; `all` also selects it):\n{}\n\n\
+         flags:\n  \
+         --full             8× larger graphs (default is quick scale)\n  \
+         -v, --verbose      per-run progress on stderr\n  \
+         --telemetry DIR    write trace.json + report.json under DIR\n  \
+         --quick            shrink the `bench` run for CI\n  \
+         -h, --help         this list",
+        experiment_list()
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        print_help();
+        return;
+    }
     // `--telemetry <dir>` consumes its operand so it isn't mistaken for an
     // experiment name.
     let mut telemetry_dir: Option<PathBuf> = None;
@@ -47,6 +83,7 @@ fn main() {
     }
     let scale = Scale::from_args(&args);
     let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
+    let quick = args.iter().any(|a| a == "--quick");
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
@@ -62,6 +99,14 @@ fn main() {
             "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
         ]
     };
+
+    for exp in &wanted {
+        if !EXPERIMENTS.iter().any(|e| e.name == *exp) {
+            eprintln!("unknown experiment '{exp}'\n\nknown experiments (or `all`):");
+            eprintln!("{}", experiment_list());
+            std::process::exit(2);
+        }
+    }
 
     eprintln!("# PGX.D reproduction harness — scale: {scale:?}, experiments: {wanted:?}");
     for exp in wanted {
@@ -86,6 +131,12 @@ fn main() {
                 emit(&[fig8::run_fig8a()], "fig8a");
                 emit(&[fig8::run_fig8b()], "fig8b");
             }
+            "bench" => {
+                let dir = std::env::var_os("BENCH_DIR")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."));
+                emit(&bench::run_experiment(scale, quick, &dir), "bench");
+            }
             "chaos" => emit(&chaos::run_experiment(scale), "chaos"),
             "commfast" => emit(&commfast::run_experiment(scale), "commfast"),
             "recover" => emit(&recover::run_experiment(scale), "recover"),
@@ -104,13 +155,7 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                eprintln!(
-                    "known: table3 table4 fig3 fig4 fig5 fig6 fig7 fig8 chaos commfast recover serve telemetry verify all"
-                );
-                std::process::exit(2);
-            }
+            other => unreachable!("'{other}' is in EXPERIMENTS but has no dispatch arm"),
         }
         eprintln!("== {exp} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
     }

@@ -1,0 +1,328 @@
+//! `repro bench`: the tracked benchmark trajectory.
+//!
+//! Runs a pinned two-phase measurement on TWT-S × 4 simulated machines
+//! and appends a dated snapshot (`BENCH_<date>.json`) to the repo's
+//! performance trajectory:
+//!
+//! 1. **solo throughput** — PageRank-pull at a fixed iteration count on a
+//!    dedicated engine; headline `edges_per_s` plus total wire bytes and
+//!    sealed message buffers from the cluster stats.
+//! 2. **served latency** — the same engine behind the job server; a burst
+//!    of interactive PageRank and batch hop-distance jobs is submitted
+//!    from two sessions and each completion's [`JobReport`] yields the
+//!    client-observed latency (queue wait + run) and the scheduler queue
+//!    wait; headline p50/p99 of both.
+//!
+//! Snapshot schema (`"schema": "pgxd-bench-v1"`):
+//!
+//! ```text
+//! {
+//!   "schema":   "pgxd-bench-v1",
+//!   "date":     "YYYY-MM-DD",          // UTC, also in the filename
+//!   "preset":   { graph, machines, workers, copiers, scale, seed,
+//!                 nodes, edges, pr_iters, served_jobs },
+//!   "headline": { edges_per_s,         // solo PageRank throughput
+//!                 p50_latency_ns, p99_latency_ns,   // served, queue+run
+//!                 wire_bytes, wire_msgs,            // solo run totals
+//!                 queue_wait_p50_ns, queue_wait_p99_ns },
+//!   "detail":   { solo_seconds, per_job: [ {job, session, lane,
+//!                 queue_wait_ns, run_ns, compute_ns, comm_ns, drain_ns,
+//!                 wire_bytes, wire_msgs} ... ] }
+//! }
+//! ```
+//!
+//! Every headline key is flat and numeric so `scripts/bench_compare.sh`
+//! can diff the two newest snapshots and gate on >10% regressions.
+//! Re-running on the same date appends a `_2`/`_3` suffix rather than
+//! overwriting, so an intra-day before/after pair still compares.
+//!
+//! [`JobReport`]: pgxd::serve::JobReport
+
+use crate::datasets::{BenchGraph, Scale};
+use crate::report::Table;
+use pgxd::serve::{JobReport, Lane};
+use pgxd::Engine;
+use pgxd_algorithms as algos;
+use pgxd_runtime::telemetry::export::json::Value;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Simulated machines in the pinned preset.
+pub const MACHINES: usize = 4;
+/// Workers per machine in the pinned preset.
+pub const WORKERS: usize = 2;
+/// Copiers per machine in the pinned preset.
+pub const COPIERS: usize = 1;
+
+const DAMPING: f64 = 0.85;
+/// PageRank iterations per served interactive job (kept short so the
+/// burst measures scheduling, not one long job).
+const SERVED_PR_ITERS: usize = 2;
+
+fn bench_engine(graph: &pgxd_graph::Graph) -> Engine {
+    Engine::builder()
+        .machines(MACHINES)
+        .workers(WORKERS)
+        .copiers(COPIERS)
+        .telemetry(true)
+        .lane_weights([3, 1])
+        .build(graph)
+        .expect("engine")
+}
+
+/// Runs the pinned measurement, writes `BENCH_<date>.json` under `dir`,
+/// and returns the printed summary table. `quick` shrinks the iteration
+/// and job counts for CI; the preset (graph, seeds, topology) is
+/// identical either way so quick snapshots are comparable to each other.
+pub fn run_experiment(scale: Scale, quick: bool, dir: &Path) -> Vec<Table> {
+    let graph = BenchGraph::Twt.generate(scale);
+    let edges = graph.num_edges() as f64;
+    let pr_iters = if quick { 4 } else { 12 };
+    let jobs_per_lane: usize = if quick { 6 } else { 12 };
+
+    // --- phase 1: solo throughput --------------------------------------
+    eprintln!("[bench] solo PageRank-pull, {pr_iters} iterations");
+    let mut engine = bench_engine(&graph);
+    let t0 = Instant::now();
+    algos::try_pagerank_pull(&mut engine, DAMPING, pr_iters, 0.0).expect("solo pagerank");
+    let solo_s = t0.elapsed().as_secs_f64();
+    let stats = engine.cluster().total_stats();
+    drop(engine);
+    let edges_per_s = edges * pr_iters as f64 / solo_s;
+
+    // --- phase 2: served burst latency ---------------------------------
+    eprintln!("[bench] served burst, {} jobs", 2 * jobs_per_lane);
+    let server = bench_engine(&graph).into_server();
+    let si = server.session("bench-interactive");
+    let sb = server.session("bench-batch");
+    let nodes = graph.num_nodes() as u32;
+    let mut handles = Vec::new();
+    for k in 0..jobs_per_lane as u32 {
+        handles.push(
+            si.submit(Lane::Interactive, 2, move |e: &mut Engine, _| {
+                algos::try_pagerank_pull(e, DAMPING, SERVED_PR_ITERS, 0.0).map(|_| ())
+            })
+            .expect("submit interactive"),
+        );
+        handles.push(
+            sb.submit(Lane::Batch, 2, move |e: &mut Engine, _| {
+                algos::try_hopdist(e, k % nodes).map(|_| ())
+            })
+            .expect("submit batch"),
+        );
+    }
+    let mut reports: Vec<JobReport> = Vec::new();
+    for h in handles {
+        let (res, report) = h.join_with_report();
+        res.expect("served bench job");
+        reports.push(report.expect("completion report"));
+    }
+    drop(si);
+    drop(sb);
+    server.shutdown();
+
+    let mut total_ns: Vec<u64> = reports
+        .iter()
+        .map(|r| (r.queue_wait + r.run).as_nanos() as u64)
+        .collect();
+    let mut queue_ns: Vec<u64> = reports
+        .iter()
+        .map(|r| r.queue_wait.as_nanos() as u64)
+        .collect();
+    total_ns.sort_unstable();
+    queue_ns.sort_unstable();
+
+    let headline = vec![
+        ("edges_per_s", edges_per_s),
+        ("p50_latency_ns", pct(&total_ns, 0.50) as f64),
+        ("p99_latency_ns", pct(&total_ns, 0.99) as f64),
+        ("wire_bytes", stats.bytes_sent as f64),
+        ("wire_msgs", stats.msgs_sent as f64),
+        ("queue_wait_p50_ns", pct(&queue_ns, 0.50) as f64),
+        ("queue_wait_p99_ns", pct(&queue_ns, 0.99) as f64),
+    ];
+
+    let date = today_utc();
+    let doc = Value::obj(vec![
+        ("schema", "pgxd-bench-v1".into()),
+        ("date", date.as_str().into()),
+        (
+            "preset",
+            Value::obj(vec![
+                ("graph", "TWT-S".into()),
+                ("machines", MACHINES.into()),
+                ("workers", WORKERS.into()),
+                ("copiers", COPIERS.into()),
+                ("scale", format!("{scale:?}").to_lowercase().into()),
+                ("quick", quick.into()),
+                ("seed", "0xBE11_0001".into()),
+                ("nodes", graph.num_nodes().into()),
+                ("edges", graph.num_edges().into()),
+                ("pr_iters", pr_iters.into()),
+                ("served_jobs", (2 * jobs_per_lane).into()),
+            ]),
+        ),
+        (
+            "headline",
+            Value::obj(headline.iter().map(|&(k, v)| (k, v.into())).collect()),
+        ),
+        (
+            "detail",
+            Value::obj(vec![
+                ("solo_seconds", solo_s.into()),
+                (
+                    "per_job",
+                    Value::Arr(reports.iter().map(job_json).collect()),
+                ),
+            ]),
+        ),
+    ]);
+
+    let path = snapshot_path(dir, &date);
+    std::fs::create_dir_all(dir).expect("bench output dir");
+    std::fs::write(&path, doc.to_pretty()).expect("write bench snapshot");
+    eprintln!("[bench snapshot -> {}]", path.display());
+
+    let mut t = Table::new(
+        &format!("Bench — trajectory snapshot ({date}), TWT-S × {MACHINES} machines"),
+        vec!["value".into()],
+        "edges_per_s: solo PageRank throughput; latencies in ns through \
+         the serve layer; wire totals from the solo run",
+    );
+    for (k, v) in &headline {
+        t.push_row(k, vec![Some(*v)]);
+    }
+    vec![t]
+}
+
+fn job_json(r: &JobReport) -> Value {
+    Value::obj(vec![
+        ("job", r.job.into()),
+        ("session", r.session.into()),
+        ("lane", format!("{:?}", r.lane).to_lowercase().into()),
+        ("queue_wait_ns", (r.queue_wait.as_nanos() as u64).into()),
+        ("run_ns", (r.run.as_nanos() as u64).into()),
+        ("compute_ns", (r.compute().as_nanos() as u64).into()),
+        ("comm_ns", (r.comm().as_nanos() as u64).into()),
+        ("drain_ns", (r.drain().as_nanos() as u64).into()),
+        ("wire_bytes", r.wire_bytes().into()),
+        ("wire_msgs", r.wire_msgs().into()),
+    ])
+}
+
+/// Ceil-rank quantile over a sorted sample (exact, no interpolation) —
+/// the same convention the telemetry histograms use, so served latencies
+/// here and histogram quantiles elsewhere are comparable.
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// First free `BENCH_<date>[_N].json` under `dir`: same-day reruns get a
+/// suffix so a before/after pair on one day still compares by mtime.
+fn snapshot_path(dir: &Path, date: &str) -> PathBuf {
+    let base = dir.join(format!("BENCH_{date}.json"));
+    if !base.exists() {
+        return base;
+    }
+    for n in 2.. {
+        let p = dir.join(format!("BENCH_{date}_{n}.json"));
+        if !p.exists() {
+            return p;
+        }
+    }
+    unreachable!()
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from `SystemTime` (no chrono —
+/// days-to-civil conversion per Howard Hinnant's algorithm).
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs() as i64;
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+// The snapshot needs per-job attribution, which needs the instruments
+// compiled in.
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    /// Acceptance: a quick run emits a schema-`pgxd-bench-v1` snapshot
+    /// whose headline block carries every gated metric, all positive.
+    #[test]
+    fn quick_run_emits_schema_v1_snapshot() {
+        let dir = std::env::temp_dir().join(format!("pgxd-bench-accept-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tables = run_experiment(Scale::Quick, true, &dir);
+        assert_eq!(tables.len(), 1);
+
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 1, "exactly one snapshot written");
+        let name = files[0].file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("BENCH_") && name.ends_with(".json"));
+
+        let doc = Value::parse(&std::fs::read_to_string(&files[0]).unwrap()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("pgxd-bench-v1")
+        );
+        let headline = doc.get("headline").expect("headline block");
+        for key in [
+            "edges_per_s",
+            "p50_latency_ns",
+            "p99_latency_ns",
+            "wire_bytes",
+            "wire_msgs",
+            "queue_wait_p50_ns",
+            "queue_wait_p99_ns",
+        ] {
+            let v = headline.get(key).and_then(Value::as_f64);
+            assert!(v.unwrap_or(-1.0) > 0.0, "headline {key} present and > 0");
+        }
+        let per_job = doc
+            .get("detail")
+            .and_then(|d| d.get("per_job"))
+            .and_then(Value::as_arr)
+            .expect("per_job array");
+        assert_eq!(per_job.len(), 12);
+        // Per-job attribution flowed through: at least one served job
+        // charged wire bytes.
+        assert!(per_job
+            .iter()
+            .any(|j| j.get("wire_bytes").and_then(Value::as_f64).unwrap_or(0.0) > 0.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pct_is_ceil_rank() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(pct(&v, 0.50), 20);
+        assert_eq!(pct(&v, 0.99), 40);
+        assert_eq!(pct(&v, 0.01), 10);
+    }
+
+    #[test]
+    fn date_is_iso_shaped() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+    }
+}

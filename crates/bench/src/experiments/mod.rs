@@ -1,5 +1,6 @@
 //! One module per table/figure of the paper's evaluation.
 
+pub mod bench;
 pub mod chaos;
 pub mod commfast;
 pub mod fig3;
@@ -16,6 +17,79 @@ pub mod telemetry;
 pub mod verify;
 
 use crate::datasets::Scale;
+
+/// One selectable `repro` experiment: its CLI name and a one-line
+/// description for `repro --help` / the unknown-subcommand listing.
+pub struct ExperimentInfo {
+    pub name: &'static str,
+    pub desc: &'static str,
+}
+
+/// Every experiment the `repro` binary can run, in help order. The
+/// binary gates its dispatch on membership here, so a registry entry
+/// without a dispatch arm fails loudly instead of silently no-opping.
+pub const EXPERIMENTS: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        name: "table3",
+        desc: "per-algorithm runtimes vs the paper's Table 3 systems comparison",
+    },
+    ExperimentInfo {
+        name: "table4",
+        desc: "partitioning/chunking mode sweep (Table 4)",
+    },
+    ExperimentInfo {
+        name: "fig3",
+        desc: "machine-count scaling of PageRank (Figure 3)",
+    },
+    ExperimentInfo {
+        name: "fig4",
+        desc: "algorithm sweep across machine counts (Figure 4)",
+    },
+    ExperimentInfo {
+        name: "fig5",
+        desc: "ghost-node threshold and selective-ghost sensitivity (Figure 5)",
+    },
+    ExperimentInfo {
+        name: "fig6",
+        desc: "buffer sizing, copier counts and pool pressure (Figure 6)",
+    },
+    ExperimentInfo {
+        name: "fig7",
+        desc: "read-combining effectiveness (Figure 7)",
+    },
+    ExperimentInfo {
+        name: "fig8",
+        desc: "flush thresholds, fixed vs adaptive (Figure 8)",
+    },
+    ExperimentInfo {
+        name: "bench",
+        desc: "tracked benchmark trajectory: BENCH_<date>.json snapshot (--quick for CI)",
+    },
+    ExperimentInfo {
+        name: "chaos",
+        desc: "fault-injection sweep: drops, dups, delays, machine loss",
+    },
+    ExperimentInfo {
+        name: "commfast",
+        desc: "communication fast-path acceptance: sharded pool, combining, flush",
+    },
+    ExperimentInfo {
+        name: "recover",
+        desc: "checkpoint/restore and automatic job recovery acceptance",
+    },
+    ExperimentInfo {
+        name: "serve",
+        desc: "job-server acceptance: lanes, sessions, cancel, deadlines, admission",
+    },
+    ExperimentInfo {
+        name: "telemetry",
+        desc: "instrumented PageRank demo: Chrome trace + metrics report",
+    },
+    ExperimentInfo {
+        name: "verify",
+        desc: "cross-checks engine results against reference implementations",
+    },
+];
 
 /// Machine counts swept by the distributed experiments. The paper goes to
 /// 32 physical machines; the simulation sweeps fewer since all simulated

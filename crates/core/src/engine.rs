@@ -13,6 +13,7 @@ use pgxd_runtime::config::{
     RecoveryConfig, ReliabilityConfig,
 };
 use pgxd_runtime::health::JobError;
+use pgxd_runtime::jobctx::{JobCtx, JobExec, JobOutcome};
 use pgxd_runtime::machine::RmiFn;
 use pgxd_runtime::phase::{GhostPushPhase, GhostReducePhase, JobState, Phase};
 use pgxd_runtime::props::{PropValue, ReduceOp};
@@ -202,6 +203,7 @@ impl EngineBuilder {
         Ok(Engine {
             cluster: Cluster::load(graph, self.config)?,
             last_timings: Vec::new(),
+            job_acc: None,
         })
     }
 
@@ -210,6 +212,7 @@ impl EngineBuilder {
         Ok(Engine {
             cluster: Cluster::load_with_ghosts(graph, self.config, ghosts)?,
             last_timings: Vec::new(),
+            job_acc: None,
         })
     }
 }
@@ -227,10 +230,24 @@ pub struct JobReport {
     pub breakdown: Breakdown,
 }
 
+/// Accumulates engine-level breakdowns while a served job's attribution
+/// window is open: one served job may run many barrier-delimited engine
+/// jobs (e.g. one per PageRank iteration), and the serve layer wants
+/// their compute/comm/drain/checkpoint seconds summed.
+#[derive(Default)]
+struct JobAcc {
+    compute_s: f64,
+    comm_s: f64,
+    drain_s: f64,
+    checkpoint_s: f64,
+    engine_jobs: u64,
+}
+
 /// The PGX.D engine: a loaded distributed graph plus its thread pools.
 pub struct Engine {
     cluster: Cluster,
     last_timings: Vec<Vec<pgxd_runtime::stats::WorkerTiming>>,
+    job_acc: Option<JobAcc>,
 }
 
 impl Engine {
@@ -315,7 +332,12 @@ impl Engine {
         iteration: u64,
         scalars: Vec<u64>,
     ) -> Result<Arc<Checkpoint>, JobError> {
-        self.cluster.take_checkpoint(iteration, scalars)
+        let t0 = Instant::now();
+        let result = self.cluster.take_checkpoint(iteration, scalars);
+        if let Some(acc) = &mut self.job_acc {
+            acc.checkpoint_s += t0.elapsed().as_secs_f64();
+        }
+        result
     }
 
     /// Restores a checkpoint taken on this cluster or on a differently
@@ -518,11 +540,18 @@ impl Engine {
 
         let total = t0.elapsed();
         self.last_timings = main_job.timings();
+        let breakdown = Breakdown::from_timings(&self.last_timings);
+        if let Some(acc) = &mut self.job_acc {
+            acc.compute_s += breakdown.fully_parallel;
+            acc.comm_s += breakdown.intra_machine + breakdown.inter_machine;
+            acc.drain_s += breakdown.drain;
+            acc.engine_jobs += 1;
+        }
         Ok(JobReport {
             total,
             main: main_dur,
             traffic: self.cluster.total_stats() - before,
-            breakdown: Breakdown::from_timings(&self.last_timings),
+            breakdown,
         })
     }
 
@@ -551,6 +580,33 @@ impl Engine {
     /// Per-worker timings of the last job's main phase.
     pub fn last_timings(&self) -> &[Vec<pgxd_runtime::stats::WorkerTiming>] {
         &self.last_timings
+    }
+
+    // ------------------------------------------------------------------
+    // Served-job attribution (the serve layer's ServeEngine hooks)
+    // ------------------------------------------------------------------
+
+    /// Opens a served-job attribution window: the cluster charges wire
+    /// traffic to `ctx` and this engine starts summing compute/comm/drain
+    /// breakdowns of the engine jobs it runs until
+    /// [`Engine::end_job_window`].
+    pub fn begin_job_window(&mut self, ctx: JobCtx, enqueue_ns: u64) {
+        self.job_acc = Some(JobAcc::default());
+        self.cluster.begin_job(ctx, enqueue_ns);
+    }
+
+    /// Closes the window and returns the job's execution record, also
+    /// appending it to the Chrome-trace job lanes.
+    pub fn end_job_window(&mut self, outcome: JobOutcome) -> Option<JobExec> {
+        let acc = self.job_acc.take().unwrap_or_default();
+        let mut exec = self.cluster.end_job(outcome)?;
+        exec.compute_s = acc.compute_s;
+        exec.comm_s = acc.comm_s;
+        exec.drain_s = acc.drain_s;
+        exec.checkpoint_s = acc.checkpoint_s;
+        exec.engine_jobs = acc.engine_jobs;
+        self.cluster.push_job_span(exec.clone());
+        Some(exec)
     }
 
     /// Writes `trace.json` (Chrome `trace_event` format, Perfetto-viewable)

@@ -48,8 +48,8 @@ use std::sync::Arc;
 pub use pgxd_runtime::cancel::{CancelReason, CancelToken};
 pub use pgxd_runtime::config::ServeConfig;
 pub use pgxd_sched::{
-    estimate_bytes, JobHandle, JobMeta, JobServer, Lane, MemProfile, Scheduler, ServeEngine,
-    Session,
+    estimate_bytes, JobCtx, JobExec, JobHandle, JobMeta, JobOutcome, JobReport, JobServer, JobWire,
+    Lane, MemProfile, PhaseSpan, Scheduler, ServeEngine, Session,
 };
 
 impl ServeEngine for Engine {
@@ -84,6 +84,14 @@ impl ServeEngine for Engine {
 
     fn telemetry(&self) -> Arc<Telemetry> {
         Arc::clone(&self.cluster().telemetries()[0])
+    }
+
+    fn begin_job(&mut self, ctx: JobCtx, enqueue_ns: u64) {
+        self.begin_job_window(ctx, enqueue_ns);
+    }
+
+    fn end_job(&mut self, outcome: JobOutcome) -> Option<JobExec> {
+        self.end_job_window(outcome)
     }
 }
 

@@ -17,6 +17,7 @@ use crate::fabric::{make_endpoints, Fabric, MachineEndpoints};
 use crate::ghost::GhostTable;
 use crate::health::{ClusterHealth, JobError};
 use crate::ids::MachineId;
+use crate::jobctx::{JobCtx, JobExec, JobOutcome, JobWire, PhaseSpan};
 use crate::localgraph::LocalGraph;
 use crate::machine::{MachineState, RmiFn};
 use crate::message::{Envelope, MsgKind};
@@ -24,7 +25,7 @@ use crate::partition::Partitioning;
 use crate::phase::{DistBarrierPhase, Phase, WorkerEnv};
 use crate::props::{PropId, PropValue, ReduceOp, TypeTag};
 use crate::stats::StatsSnapshot;
-use crate::telemetry::{export, EventKind, Telemetry};
+use crate::telemetry::{export, EventKind, HistogramSnapshot, Telemetry};
 use crate::worker::{CommTuning, WorkerComm};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use parking_lot::{Condvar, Mutex};
@@ -89,6 +90,25 @@ pub struct Cluster {
     /// Driver-supplied name of each phase run so far, indexed by
     /// `epoch - 1`; resolves trace events back to phase names at export.
     phase_labels: Vec<String>,
+    /// The served job currently bracketed by
+    /// [`Cluster::begin_job`]/[`Cluster::end_job`], if any.
+    active_job: Option<ActiveJob>,
+    /// Finished job executions, kept for the Chrome-trace job lanes.
+    job_spans: Vec<JobExec>,
+}
+
+/// Window state captured at [`Cluster::begin_job`]: baselines the deltas
+/// [`Cluster::end_job`] computes.
+struct ActiveJob {
+    ctx: JobCtx,
+    enqueue_ns: u64,
+    dispatch_ns: u64,
+    /// `phase_labels.len()` at dispatch: epochs above this belong to the job.
+    epoch_start: usize,
+    stats_before: StatsSnapshot,
+    read_rtt_before: HistogramSnapshot,
+    flush_fill_before: HistogramSnapshot,
+    copier_service_before: HistogramSnapshot,
 }
 
 impl Cluster {
@@ -231,6 +251,8 @@ impl Cluster {
             last_ckpt: None,
             ckpt_seq: 0,
             phase_labels: Vec::new(),
+            active_job: None,
+            job_spans: Vec::new(),
         })
     }
 
@@ -590,6 +612,160 @@ impl Cluster {
     }
 
     // -----------------------------------------------------------------
+    // Job-scoped attribution (serve layer)
+    // -----------------------------------------------------------------
+
+    /// Opens a per-job attribution window: every machine's telemetry
+    /// starts charging wire traffic to `ctx`, and counter/histogram
+    /// baselines are captured for the window deltas. Called by the job
+    /// dispatcher right before it runs the job body; jobs serialize on
+    /// the dispatcher thread, so at most one window is open.
+    pub fn begin_job(&mut self, ctx: JobCtx, enqueue_ns: u64) {
+        for m in &self.machines {
+            m.telemetry.begin_job(ctx);
+        }
+        let dispatch_ns = self
+            .machines
+            .first()
+            .map(|m| m.telemetry.now_ns())
+            .unwrap_or(0);
+        self.active_job = Some(ActiveJob {
+            ctx,
+            enqueue_ns,
+            dispatch_ns,
+            epoch_start: self.phase_labels.len(),
+            stats_before: self.total_stats(),
+            read_rtt_before: self.merged_hist(|t| t.read_rtt_snapshot()),
+            flush_fill_before: self.merged_hist(|t| t.flush_fill_snapshot()),
+            copier_service_before: self.merged_hist(|t| t.copier_service_snapshot()),
+        });
+    }
+
+    /// Closes the attribution window opened by [`Cluster::begin_job`] and
+    /// assembles the [`JobExec`]: job-charged wire traffic summed across
+    /// machines, cluster-wide counter and histogram deltas, tracer-derived
+    /// phase/barrier spans, and recovery retries observed in the window.
+    /// Engine-level compute/comm/drain seconds are filled in by the caller
+    /// (the `pgxd` crate), which owns the per-phase timing breakdowns.
+    pub fn end_job(&mut self, outcome: JobOutcome) -> Option<JobExec> {
+        let aj = self.active_job.take()?;
+        let mut wire = JobWire::default();
+        for m in &self.machines {
+            wire += m.telemetry.end_job();
+        }
+        let done_ns = self
+            .machines
+            .first()
+            .map(|m| m.telemetry.now_ns())
+            .unwrap_or(0);
+        let (phases, retry_ns) = self.scan_job_events(aj.epoch_start, aj.dispatch_ns, done_ns);
+        Some(JobExec {
+            ctx: aj.ctx,
+            outcome,
+            enqueue_ns: aj.enqueue_ns,
+            dispatch_ns: aj.dispatch_ns,
+            done_ns,
+            traffic: self.total_stats() - aj.stats_before,
+            wire,
+            read_rtt: self.merged_hist(|t| t.read_rtt_snapshot()) - aj.read_rtt_before,
+            flush_fill: self.merged_hist(|t| t.flush_fill_snapshot()) - aj.flush_fill_before,
+            copier_service: self.merged_hist(|t| t.copier_service_snapshot())
+                - aj.copier_service_before,
+            retries: retry_ns.len() as u64,
+            retry_ns,
+            phases,
+            compute_s: 0.0,
+            comm_s: 0.0,
+            drain_s: 0.0,
+            checkpoint_s: 0.0,
+            engine_jobs: 0,
+        })
+    }
+
+    /// Appends a finished job execution to the trace export's job lanes.
+    pub fn push_job_span(&mut self, exec: JobExec) {
+        self.job_spans.push(exec);
+    }
+
+    /// Executions recorded via [`Cluster::push_job_span`], oldest first.
+    pub fn job_spans(&self) -> &[JobExec] {
+        &self.job_spans
+    }
+
+    fn merged_hist(&self, pick: fn(&Telemetry) -> HistogramSnapshot) -> HistogramSnapshot {
+        self.machines.iter().map(|m| pick(&m.telemetry)).sum()
+    }
+
+    /// Reconstructs the job's phase spans (and recovery-retry timestamps)
+    /// from the worker tracer rings: for each epoch the job ran, the wall
+    /// is earliest `PhaseStart` → latest `PhaseEnd` across all machines,
+    /// and barrier residence is the mean per-worker `BarrierExit` −
+    /// `BarrierEnter`. Phases whose events were evicted from a ring are
+    /// reported from whatever survives; fully evicted epochs are skipped.
+    fn scan_job_events(
+        &self,
+        epoch_start: usize,
+        from_ns: u64,
+        to_ns: u64,
+    ) -> (Vec<PhaseSpan>, Vec<u64>) {
+        let count = self.phase_labels.len().saturating_sub(epoch_start);
+        let mut start: Vec<Option<u64>> = vec![None; count];
+        let mut end: Vec<Option<u64>> = vec![None; count];
+        let mut barrier_sum = vec![0u64; count];
+        let mut barrier_pairs = vec![0u64; count];
+        let mut retry_ns = Vec::new();
+        for m in &self.machines {
+            let t = &m.telemetry;
+            for w in 0..t.workers() {
+                // Per-worker open barrier timestamps, indexed like `start`.
+                let mut entered: Vec<Option<u64>> = vec![None; count];
+                for e in t.worker_events(w) {
+                    if e.kind == EventKind::RecoveryStart && e.ts_ns >= from_ns && e.ts_ns <= to_ns
+                    {
+                        retry_ns.push(e.ts_ns);
+                        continue;
+                    }
+                    let idx = match (e.arg as usize).checked_sub(epoch_start + 1) {
+                        Some(i) if i < count => i,
+                        _ => continue,
+                    };
+                    match e.kind {
+                        EventKind::PhaseStart => {
+                            start[idx] = Some(start[idx].map_or(e.ts_ns, |s| s.min(e.ts_ns)));
+                        }
+                        EventKind::PhaseEnd => {
+                            end[idx] = Some(end[idx].map_or(e.ts_ns, |s| s.max(e.ts_ns)));
+                        }
+                        EventKind::BarrierEnter => entered[idx] = Some(e.ts_ns),
+                        EventKind::BarrierExit => {
+                            if let Some(enter) = entered[idx].take() {
+                                barrier_sum[idx] += e.ts_ns.saturating_sub(enter);
+                                barrier_pairs[idx] += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        retry_ns.sort_unstable();
+        retry_ns.dedup();
+        let phases = (0..count)
+            .filter_map(|i| {
+                let (s, e) = (start[i]?, end[i]?);
+                Some(PhaseSpan {
+                    label: self.phase_labels[epoch_start + i].clone(),
+                    epoch: (epoch_start + i + 1) as u64,
+                    start_ns: s,
+                    end_ns: e.max(s),
+                    barrier_ns: barrier_sum[i].checked_div(barrier_pairs[i]).unwrap_or(0),
+                })
+            })
+            .collect();
+        (phases, retry_ns)
+    }
+
+    // -----------------------------------------------------------------
     // RMI
     // -----------------------------------------------------------------
 
@@ -754,7 +930,8 @@ impl Cluster {
     /// (open in Perfetto or chrome://tracing). Call between phases — the
     /// tracers must be quiescent.
     pub fn trace_json(&self) -> String {
-        export::chrome_trace(&self.telemetries(), &self.phase_labels).to_pretty()
+        export::chrome_trace_with_jobs(&self.telemetries(), &self.phase_labels, &self.job_spans)
+            .to_pretty()
     }
 
     /// Renders the metrics report (stats, histograms, traffic matrix) as

@@ -42,6 +42,7 @@ pub mod flow;
 pub mod ghost;
 pub mod health;
 pub mod ids;
+pub mod jobctx;
 pub mod localgraph;
 pub mod machine;
 pub mod message;
@@ -63,5 +64,6 @@ pub use config::{
 pub use flow::FlushController;
 pub use health::{ClusterHealth, JobError};
 pub use ids::{GlobalId, MachineId};
+pub use jobctx::{JobCtx, JobExec, JobOutcome, JobWire, PhaseSpan};
 pub use props::{PropId, PropValue, ReduceOp};
 pub use telemetry::Telemetry;

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use super::histogram::HistogramSnapshot;
 use super::tracer::EventKind;
 use super::Telemetry;
+use crate::jobctx::JobExec;
 use crate::stats::StatsSnapshot;
 
 pub mod json {
@@ -544,6 +545,12 @@ pub fn metrics_report(
                     Value::obj(vec![
                         ("recorded", recorded.into()),
                         ("dropped", dropped.into()),
+                        // Ring-buffer overflow per worker: nonzero means
+                        // that worker's timeline is incomplete.
+                        (
+                            "trace_events_dropped",
+                            Value::Arr(t.worker_dropped().into_iter().map(Value::from).collect()),
+                        ),
                     ]),
                 ),
             ])
@@ -604,6 +611,18 @@ fn phase_name(phase_labels: &[String], epoch: u64) -> String {
 /// object format). pid = machine, tid = worker, timestamps in microseconds
 /// since the cluster epoch. Open the file in Perfetto or chrome://tracing.
 pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Value {
+    chrome_trace_with_jobs(telemetry, phase_labels, &[])
+}
+
+/// [`chrome_trace`] plus one synthetic "jobs" process holding a colored
+/// lane per served job: a `queued` span (enqueue → dispatch), a run span
+/// (dispatch → done) carrying the attribution summary in its args, nested
+/// phase/barrier spans, and retry instants.
+pub fn chrome_trace_with_jobs(
+    telemetry: &[Arc<Telemetry>],
+    phase_labels: &[String],
+    jobs: &[JobExec],
+) -> Value {
     let mut events: Vec<Value> = Vec::new();
     for t in telemetry {
         let pid = u64::from(t.machine());
@@ -689,7 +708,10 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                         fields.push(("ph", "i".into()));
                         fields.push(("s", "t".into()));
                     }
-                    EventKind::JobEnqueue | EventKind::JobDispatch | EventKind::JobCancel => {
+                    EventKind::JobEnqueue
+                    | EventKind::JobDispatch
+                    | EventKind::JobCancel
+                    | EventKind::JobDone => {
                         fields.push(("name", e.kind.name().into()));
                         fields.push(("cat", "serve".into()));
                         fields.push(("ph", "i".into()));
@@ -708,9 +730,10 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
                     EventKind::CheckpointTaken => Some("bytes"),
                     EventKind::RecoveryStart => Some("attempt"),
                     EventKind::RecoveryDone => Some("iteration"),
-                    EventKind::JobEnqueue | EventKind::JobDispatch | EventKind::JobCancel => {
-                        Some("job")
-                    }
+                    EventKind::JobEnqueue
+                    | EventKind::JobDispatch
+                    | EventKind::JobCancel
+                    | EventKind::JobDone => Some("job"),
                     _ => Some("epoch"),
                 };
                 if let Some(k) = arg_key {
@@ -720,9 +743,127 @@ pub fn chrome_trace(telemetry: &[Arc<Telemetry>], phase_labels: &[String]) -> Va
             }
         }
     }
+
+    // Per-job causal lanes: one synthetic process after the machines,
+    // tid = job id, Perfetto reserved-color names cycled per job.
+    if !jobs.is_empty() {
+        let jobs_pid = telemetry.len() as u64;
+        const PALETTE: [&str; 6] = [
+            "thread_state_running",
+            "rail_response",
+            "rail_animation",
+            "thread_state_iowait",
+            "rail_load",
+            "rail_idle",
+        ];
+        events.push(Value::obj(vec![
+            ("name", "process_name".into()),
+            ("ph", "M".into()),
+            ("pid", jobs_pid.into()),
+            ("args", Value::obj(vec![("name", "jobs".into())])),
+        ]));
+        let us = |ns: u64| ns as f64 / 1000.0;
+        for (i, j) in jobs.iter().enumerate() {
+            let tid = j.ctx.job;
+            let cname = PALETTE[i % PALETTE.len()];
+            events.push(Value::obj(vec![
+                ("name", "thread_name".into()),
+                ("ph", "M".into()),
+                ("pid", jobs_pid.into()),
+                ("tid", tid.into()),
+                (
+                    "args",
+                    Value::obj(vec![(
+                        "name",
+                        format!(
+                            "job{} (session {}, {})",
+                            j.ctx.job,
+                            j.ctx.session,
+                            j.ctx.lane_name()
+                        )
+                        .into(),
+                    )]),
+                ),
+            ]));
+            let span = |name: &str, ph: &str, ts_ns: u64, args: Option<Value>| {
+                let mut f: Vec<(&str, Value)> = vec![
+                    ("name", name.into()),
+                    ("cat", "job".into()),
+                    ("ph", ph.into()),
+                    ("pid", jobs_pid.into()),
+                    ("tid", tid.into()),
+                    ("ts", us(ts_ns).into()),
+                    ("cname", cname.into()),
+                ];
+                if let Some(a) = args {
+                    f.push(("args", a));
+                }
+                Value::obj(f)
+            };
+            if j.dispatch_ns > j.enqueue_ns {
+                events.push(span("queued", "B", j.enqueue_ns, None));
+                events.push(span("queued", "E", j.dispatch_ns, None));
+            }
+            let run_args = Value::obj(vec![
+                ("job", j.ctx.job.into()),
+                ("session", j.ctx.session.into()),
+                ("lane", j.ctx.lane_name().into()),
+                ("outcome", j.outcome.name().into()),
+                ("wire_msgs", j.wire.msgs_sent.into()),
+                ("wire_bytes", j.wire.bytes_sent.into()),
+                ("compute_s", j.compute_s.into()),
+                ("comm_s", j.comm_s.into()),
+                ("drain_s", j.drain_s.into()),
+                ("checkpoint_s", j.checkpoint_s.into()),
+                ("retries", j.retries.into()),
+            ]);
+            events.push(span(
+                &format!("run job{}", j.ctx.job),
+                "B",
+                j.dispatch_ns,
+                Some(run_args),
+            ));
+            for p in &j.phases {
+                let phase_args = Value::obj(vec![("epoch", p.epoch.into())]);
+                events.push(span(&p.label, "B", p.start_ns, Some(phase_args)));
+                events.push(span(&p.label, "E", p.end_ns, None));
+                if p.barrier_ns > 0 {
+                    events.push(span("barrier", "B", p.end_ns, None));
+                    events.push(span("barrier", "E", p.end_ns + p.barrier_ns, None));
+                }
+            }
+            for &r in &j.retry_ns {
+                let mut f = vec![
+                    ("name", Value::from("retry")),
+                    ("cat", "job".into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("pid", jobs_pid.into()),
+                    ("tid", tid.into()),
+                    ("ts", us(r).into()),
+                ];
+                f.push(("args", Value::obj(vec![("job", j.ctx.job.into())])));
+                events.push(Value::obj(f));
+            }
+            events.push(span(&format!("run job{}", j.ctx.job), "E", j.done_ns, None));
+        }
+    }
+
+    // Ring-overflow metadata: [machine][worker] dropped-event counts, so
+    // a clean-looking timeline can be cross-checked for silent loss.
+    let dropped_meta = Value::Arr(
+        telemetry
+            .iter()
+            .map(|t| Value::Arr(t.worker_dropped().into_iter().map(Value::from).collect()))
+            .collect(),
+    );
     Value::obj(vec![
         ("displayTimeUnit", "ms".into()),
         ("traceEvents", Value::Arr(events)),
+        (
+            "metadata",
+            Value::obj(vec![("trace_events_dropped", dropped_meta)]),
+        ),
     ])
 }
 

@@ -64,6 +64,9 @@ pub enum EventKind {
     /// A job was cancelled (explicitly, by deadline, or at session close).
     /// `arg` = the job id.
     JobCancel = 17,
+    /// A dispatched job finished and released the cluster (successfully
+    /// or with an error). `arg` = the job id.
+    JobDone = 18,
 }
 
 impl EventKind {
@@ -87,6 +90,7 @@ impl EventKind {
             EventKind::JobEnqueue => "job_enqueue",
             EventKind::JobDispatch => "job_dispatch",
             EventKind::JobCancel => "job_cancel",
+            EventKind::JobDone => "job_done",
         }
     }
 
@@ -110,6 +114,7 @@ impl EventKind {
             15 => EventKind::JobEnqueue,
             16 => EventKind::JobDispatch,
             17 => EventKind::JobCancel,
+            18 => EventKind::JobDone,
             _ => return None,
         })
     }

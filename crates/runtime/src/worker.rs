@@ -422,6 +422,9 @@ impl WorkerComm {
         if telem {
             self.telemetry
                 .record_flush_fill((payload_len * 100 / self.buffer_bytes.max(1)) as u64);
+            // Charge the sealed buffer to the cluster's active job — this
+            // is the send-side half of per-job wire attribution.
+            self.telemetry.record_job_send(payload_len as u64);
             self.telemetry.trace(
                 self.worker as usize,
                 EventKind::BufferFlush,

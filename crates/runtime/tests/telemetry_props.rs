@@ -65,6 +65,52 @@ proptest! {
         prop_assert_eq!((sa + sb) + sc, sa + (sb + sc));
     }
 
+    /// Merge commutativity: a + b == b + a (shard drain order must not
+    /// matter when the exporter folds per-worker snapshots).
+    #[test]
+    fn merge_commutative(a in prop::collection::vec(any::<u64>(), 0..80),
+                         b in prop::collection::vec(any::<u64>(), 0..80)) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb) = (snap(&a), snap(&b));
+        prop_assert_eq!(sa + sb, sb + sa);
+    }
+
+    /// The p50/p99 estimates land in the same power-of-two bucket as the
+    /// exact sample quantiles (both sides use the ceil-rank convention),
+    /// i.e. the estimate is never more than one bucket boundary off.
+    #[test]
+    fn quantile_estimate_within_one_bucket(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let est = s.quantile_lower_bound(q);
+            let (be, bx) = (Histogram::bucket_index(est), Histogram::bucket_index(exact));
+            prop_assert!(
+                be.abs_diff(bx) <= 1,
+                "q={} estimate {} (bucket {}) vs exact {} (bucket {})",
+                q, est, be, exact, bx
+            );
+            // The estimate is a *lower bound*: it never overshoots the
+            // exact quantile value.
+            prop_assert!(est <= exact, "estimate {} above exact {}", est, exact);
+        }
+    }
+
     /// Quantile lower bounds are monotone in `q` and never exceed the
     /// largest recorded value.
     #[test]

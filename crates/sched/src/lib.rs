@@ -35,9 +35,10 @@ pub mod server;
 
 pub use admission::{estimate_bytes, MemProfile};
 pub use scheduler::{JobMeta, Lane, Scheduler};
-pub use server::{JobHandle, JobServer, Session};
+pub use server::{JobHandle, JobReport, JobServer, Session};
 
 pub use pgxd_runtime::cancel::{CancelReason, CancelToken};
+pub use pgxd_runtime::jobctx::{JobCtx, JobExec, JobOutcome, JobWire, PhaseSpan};
 
 use pgxd_runtime::props::PropId;
 use pgxd_runtime::telemetry::Telemetry;
@@ -61,4 +62,18 @@ pub trait ServeEngine: Send + 'static {
     /// and `JobEnqueue`/`JobDispatch`/`JobCancel` tracer events into
     /// (machine 0's, for a cluster-backed engine).
     fn telemetry(&self) -> Arc<Telemetry>;
+
+    /// Opens a per-job attribution window right before the dispatcher
+    /// runs the job body. A cluster-backed engine threads `ctx` to every
+    /// machine so workers/copiers charge wire traffic to the job;
+    /// `enqueue_ns` is the submit timestamp on the engine's clock (for
+    /// the queued span in trace exports). The default is a no-op so
+    /// non-cluster engines (and test mocks) need not care.
+    fn begin_job(&mut self, _ctx: JobCtx, _enqueue_ns: u64) {}
+
+    /// Closes the window opened by [`ServeEngine::begin_job`] and returns
+    /// the per-job execution record, if the engine tracks one.
+    fn end_job(&mut self, _outcome: JobOutcome) -> Option<JobExec> {
+        None
+    }
 }

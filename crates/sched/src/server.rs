@@ -31,6 +31,7 @@ use parking_lot::{Condvar, Mutex};
 use pgxd_runtime::cancel::{CancelReason, CancelToken};
 use pgxd_runtime::config::ServeConfig;
 use pgxd_runtime::health::JobError;
+use pgxd_runtime::jobctx::{JobCtx, JobExec, JobOutcome, PhaseSpan};
 use pgxd_runtime::props::PropId;
 use pgxd_runtime::telemetry::{EventKind, Telemetry};
 use std::any::Any;
@@ -43,13 +44,86 @@ use std::time::{Duration, Instant};
 
 type JobResult = Result<Box<dyn Any + Send>, JobError>;
 type BoxedJob<E> = Box<dyn FnOnce(&mut E, &CancelToken) -> JobResult + Send>;
+/// What the dispatcher sends back per job: the typed result plus the
+/// completion report (`None` for jobs failed before dispatch).
+type JobCompletion = (JobResult, Option<JobReport>);
 
 /// A job waiting in the scheduler.
 struct QueuedJob<E> {
     run: BoxedJob<E>,
     token: CancelToken,
-    tx: mpsc::Sender<JobResult>,
+    tx: mpsc::Sender<JobCompletion>,
     submitted: Instant,
+    /// Submit timestamp on the engine's telemetry clock, for the queued
+    /// span in trace exports (0 with telemetry off).
+    enqueue_ns: u64,
+}
+
+/// Completion report for one served job: where its time went and what it
+/// cost the cluster. Returned by [`JobHandle::join_with_report`].
+///
+/// The wall-clock fields (`queue_wait`, `run`) are always measured; the
+/// breakdown and wire attribution come from the engine's [`JobExec`]
+/// record and are zero when the engine doesn't track one (mock engines,
+/// or the `telemetry` feature compiled out).
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Owning session.
+    pub session: u64,
+    pub lane: Lane,
+    /// Time from submit to dispatch.
+    pub queue_wait: Duration,
+    /// Time the job body held the cluster.
+    pub run: Duration,
+    pub outcome: JobOutcome,
+    /// The engine's per-job attribution record, when tracked.
+    pub exec: Option<JobExec>,
+}
+
+impl JobReport {
+    fn exec_secs(&self, pick: fn(&JobExec) -> f64) -> Duration {
+        self.exec
+            .as_ref()
+            .map(|e| Duration::from_secs_f64(pick(e).max(0.0)))
+            .unwrap_or_default()
+    }
+
+    /// Fully-parallel compute time across the job's parallel regions.
+    pub fn compute(&self) -> Duration {
+        self.exec_secs(|e| e.compute_s)
+    }
+
+    /// Communication time (intra- + inter-machine message work).
+    pub fn comm(&self) -> Duration {
+        self.exec_secs(|e| e.comm_s)
+    }
+
+    /// Post-task message-drain time.
+    pub fn drain(&self) -> Duration {
+        self.exec_secs(|e| e.drain_s)
+    }
+
+    /// Time spent taking checkpoints inside the job.
+    pub fn checkpoint(&self) -> Duration {
+        self.exec_secs(|e| e.checkpoint_s)
+    }
+
+    /// Payload bytes workers sent on the job's behalf.
+    pub fn wire_bytes(&self) -> u64 {
+        self.exec.as_ref().map_or(0, |e| e.wire.bytes_sent)
+    }
+
+    /// Message buffers workers sealed on the job's behalf.
+    pub fn wire_msgs(&self) -> u64 {
+        self.exec.as_ref().map_or(0, |e| e.wire.msgs_sent)
+    }
+
+    /// Phase spans (with per-phase barrier residence), execution order.
+    pub fn phases(&self) -> &[PhaseSpan] {
+        self.exec.as_ref().map_or(&[], |e| e.phases.as_slice())
+    }
 }
 
 struct State<E> {
@@ -93,7 +167,7 @@ impl<E> Shared<E> {
         if err.is_cancellation() {
             self.telemetry.trace(0, EventKind::JobCancel, job);
         }
-        let _ = qj.tx.send(Err(err));
+        let _ = qj.tx.send((Err(err), None));
     }
 }
 
@@ -108,7 +182,7 @@ enum Work<E> {
 pub struct JobHandle<T> {
     job: u64,
     token: CancelToken,
-    rx: mpsc::Receiver<JobResult>,
+    rx: mpsc::Receiver<JobCompletion>,
     /// Type-erased hook that removes the job from the queue on cancel.
     cancel_queued: Arc<dyn Fn(u64) + Send + Sync>,
     _result: PhantomData<fn() -> T>,
@@ -141,28 +215,39 @@ impl<T: 'static> JobHandle<T> {
 
     /// Blocks until the job finishes (or fails) and returns its result.
     pub fn join(self) -> Result<T, JobError> {
-        let boxed = self
-            .rx
-            .recv()
-            .map_err(|_| JobError::Protocol("job server shut down".into()))??;
-        Ok(*boxed
-            .downcast::<T>()
-            .expect("job result type matches the submit closure"))
+        self.join_with_report().0
+    }
+
+    /// [`JobHandle::join`] plus the job's completion report: queue-wait /
+    /// compute / comm / drain / checkpoint breakdown, per-phase barrier
+    /// times, and the wire traffic attributed to the job. The report is
+    /// `None` for jobs that never dispatched (cancelled in the queue,
+    /// admission-denied, server shutdown).
+    pub fn join_with_report(self) -> (Result<T, JobError>, Option<JobReport>) {
+        match self.rx.recv() {
+            Ok((result, report)) => (Self::downcast(result), report),
+            Err(_) => (Err(JobError::Protocol("job server shut down".into())), None),
+        }
     }
 
     /// Non-blocking [`JobHandle::join`]: `None` while the job is still
     /// queued or running.
     pub fn try_join(&self) -> Option<Result<T, JobError>> {
         match self.rx.try_recv() {
-            Ok(Ok(boxed)) => Some(Ok(*boxed
-                .downcast::<T>()
-                .expect("job result type matches the submit closure"))),
-            Ok(Err(err)) => Some(Err(err)),
+            Ok((result, _report)) => Some(Self::downcast(result)),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => {
                 Some(Err(JobError::Protocol("job server shut down".into())))
             }
         }
+    }
+
+    fn downcast(result: JobResult) -> Result<T, JobError> {
+        result.map(|boxed| {
+            *boxed
+                .downcast::<T>()
+                .expect("job result type matches the submit closure")
+        })
     }
 }
 
@@ -277,6 +362,7 @@ impl<E: ServeEngine> Session<E> {
                 token: token.clone(),
                 tx,
                 submitted: Instant::now(),
+                enqueue_ns: shared.telemetry.now_ns(),
             },
         );
         drop(st);
@@ -512,8 +598,27 @@ fn run_one<E: ServeEngine>(
     stats.jobs_admitted.fetch_add(1, Ordering::Relaxed);
     telemetry.trace(0, EventKind::JobDispatch, meta.id);
 
+    // Open the per-job attribution window: machines charge wire traffic
+    // to this job until `end_job`. Jobs serialize on this thread, so the
+    // window brackets exactly one job body.
+    engine.begin_job(
+        JobCtx {
+            job: meta.id,
+            session: meta.session,
+            lane: meta.lane as u8,
+        },
+        qj.enqueue_ns,
+    );
     let before = engine.live_prop_ids();
+    let run_started = Instant::now();
     let result = (qj.run)(engine, &qj.token);
+    let run = run_started.elapsed();
+    let outcome = match &result {
+        Ok(_) => JobOutcome::Done,
+        Err(err) if err.is_cancellation() => JobOutcome::Cancelled,
+        Err(_) => JobOutcome::Failed,
+    };
+    let exec = engine.end_job(outcome);
     let after = engine.live_prop_ids();
     let created: Vec<PropId> = after
         .into_iter()
@@ -547,7 +652,21 @@ fn run_one<E: ServeEngine>(
         }
     }
 
-    let _ = qj.tx.send(result);
+    if outcome != JobOutcome::Cancelled {
+        // Cancellation already traced `JobCancel` above; everything else
+        // marks the cluster release explicitly.
+        telemetry.trace(0, EventKind::JobDone, meta.id);
+    }
+    let report = JobReport {
+        job: meta.id,
+        session: meta.session,
+        lane: meta.lane,
+        queue_wait: Duration::from_nanos(wait_ns),
+        run,
+        outcome,
+        exec,
+    };
+    let _ = qj.tx.send((result, Some(report)));
     shared.state.lock().sched.complete(meta.session);
     shared.cv.notify_all();
 }
@@ -849,5 +968,48 @@ mod tests {
         drop(server);
         assert_eq!(t.queue_wait_snapshot().count(), 1);
         assert_eq!(t.stats().snapshot().jobs_admitted, 1);
+    }
+
+    #[test]
+    fn completion_report_carries_wall_times_and_outcome() {
+        let server = JobServer::start(MockEngine::new(), config());
+        let session = server.session("s");
+        let h = session
+            .submit(Lane::Batch, 0, |_: &mut MockEngine, _| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(7u64)
+            })
+            .unwrap();
+        let (result, report) = h.join_with_report();
+        assert_eq!(result.unwrap(), 7);
+        let r = report.expect("dispatched jobs report");
+        assert_eq!(r.outcome, JobOutcome::Done);
+        assert_eq!(r.lane, Lane::Batch);
+        assert!(r.run >= Duration::from_millis(2));
+        // MockEngine tracks no JobExec: breakdown accessors default to zero.
+        assert!(r.exec.is_none());
+        assert_eq!(r.compute(), Duration::ZERO);
+        assert_eq!(r.wire_bytes(), 0);
+        assert!(r.phases().is_empty());
+
+        // A job cancelled while queued never dispatches → no report.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let blocker = session
+            .submit(Lane::Batch, 0, move |_: &mut MockEngine, _| {
+                block_rx.recv().ok();
+                Ok(())
+            })
+            .unwrap();
+        let victim = session
+            .submit(Lane::Batch, 0, |_: &mut MockEngine, _| Ok(()))
+            .unwrap();
+        victim.cancel();
+        let (result, report) = victim.join_with_report();
+        assert!(matches!(result, Err(JobError::Cancelled { .. })));
+        assert!(report.is_none());
+        block_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        drop(session);
+        server.shutdown();
     }
 }

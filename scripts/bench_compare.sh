@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Compares the two newest BENCH_<date>*.json trajectory snapshots (by
+# mtime) in a directory (default: repo root) and fails when any headline
+# metric regressed by more than BENCH_SLACK_PCT percent (default 10).
+#
+#   scripts/bench_compare.sh [dir]
+#
+# Headline metrics (schema pgxd-bench-v1):
+#   edges_per_s                          higher is better
+#   p50_latency_ns / p99_latency_ns      lower is better
+#   wire_bytes / wire_msgs               lower is better
+#   queue_wait_p50_ns / queue_wait_p99_ns  lower is better
+#
+# With fewer than two snapshots there is nothing to compare; that is a
+# clean exit (the trajectory has to start somewhere). A metric missing
+# from either snapshot is skipped with a note, not a failure, so the
+# schema can grow without breaking old baselines.
+set -euo pipefail
+
+dir="${1:-$(dirname "$0")/..}"
+slack="${BENCH_SLACK_PCT:-10}"
+
+# Two newest snapshots by mtime: $new is the run under test, $old the
+# baseline it must not regress from.
+mapfile -t files < <(ls -t "$dir"/BENCH_*.json 2>/dev/null || true)
+if (( ${#files[@]} < 2 )); then
+  echo "bench_compare: need two BENCH_*.json snapshots in $dir, found ${#files[@]} — nothing to compare"
+  exit 0
+fi
+new="${files[0]}"
+old="${files[1]}"
+echo "bench_compare: $(basename "$old") -> $(basename "$new") (slack ${slack}%)"
+
+# Pulls one numeric headline value out of a pretty-printed snapshot.
+# The headline block is flat ("key": number), so a line match suffices —
+# no JSON parser needed in shell.
+metric() { # file key
+  awk -v key="\"$2\"" '
+    /"headline"/ { inside = 1 }
+    inside && $1 == key ":" { gsub(/[,}]/, "", $2); print $2; exit }
+    inside && /}/ { exit }
+  ' "$1"
+}
+
+fail=0
+for spec in \
+  "edges_per_s:higher" \
+  "p50_latency_ns:lower" \
+  "p99_latency_ns:lower" \
+  "wire_bytes:lower" \
+  "wire_msgs:lower" \
+  "queue_wait_p50_ns:lower" \
+  "queue_wait_p99_ns:lower"
+do
+  key="${spec%%:*}"
+  dir_better="${spec##*:}"
+  before="$(metric "$old" "$key")"
+  after="$(metric "$new" "$key")"
+  if [[ -z "$before" || -z "$after" ]]; then
+    echo "  $key: missing in one snapshot, skipped"
+    continue
+  fi
+  # Regression percentage, signed so improvements print negative.
+  verdict="$(awk -v b="$before" -v a="$after" -v dir="$dir_better" -v slack="$slack" '
+    BEGIN {
+      if (b == 0) { print "ok 0"; exit }
+      if (dir == "higher") pct = (b - a) / b * 100
+      else                 pct = (a - b) / b * 100
+      printf "%s %.1f", (pct > slack) ? "REGRESSION" : "ok", pct
+    }')"
+  state="${verdict%% *}"
+  pct="${verdict##* }"
+  printf '  %-20s %14s -> %14s  %s (%+.1f%% vs %s-is-better)\n' \
+    "$key" "$before" "$after" "$state" "$pct" "$dir_better"
+  if [[ "$state" == "REGRESSION" ]]; then
+    fail=1
+  fi
+done
+
+if (( fail )); then
+  echo "bench_compare: FAILED — headline regression beyond ${slack}%"
+  exit 1
+fi
+echo "bench_compare: ok"

@@ -45,6 +45,62 @@ echo "== serve smoke (job server acceptance: sessions, lanes, admission) =="
 # structured Cancelled/DeadlineExceeded/AdmissionDenied, columns freed).
 cargo run --release -p pgxd-bench --bin repro -- serve
 
+echo "== instrumentation compiles out (cargo check -p pgxd --no-default-features) =="
+# The telemetry feature gates every instrument behind no-op twins; this
+# guards the uninstrumented build (and its API surface) from rotting.
+cargo check -q -p pgxd --no-default-features
+
+echo "== bench trajectory smoke (repro bench --quick, twice) =="
+# Two quick snapshots into a scratch dir, then the regression gate over
+# them. Same-machine back-to-back runs still jitter, so the real compare
+# uses a generous slack; the >10% gate itself is asserted on a synthetic
+# fixture below.
+bench_dir="$(mktemp -d)"
+BENCH_DIR="$bench_dir" cargo run --release -p pgxd-bench --bin repro -- bench --quick
+sleep 1  # distinct mtimes so ls -t orders the snapshots
+BENCH_DIR="$bench_dir" cargo run --release -p pgxd-bench --bin repro -- bench --quick
+BENCH_SLACK_PCT=400 scripts/bench_compare.sh "$bench_dir"
+rm -rf "$bench_dir"
+
+echo "== bench_compare regression gate (synthetic >10% fixture must fail) =="
+fix_dir="$(mktemp -d)"
+cat > "$fix_dir/BENCH_2000-01-01.json" <<'EOF'
+{
+  "schema": "pgxd-bench-v1",
+  "headline": {
+    "edges_per_s": 1000000,
+    "p50_latency_ns": 100000,
+    "p99_latency_ns": 500000,
+    "wire_bytes": 4000000,
+    "wire_msgs": 2000,
+    "queue_wait_p50_ns": 10000,
+    "queue_wait_p99_ns": 90000
+  }
+}
+EOF
+cat > "$fix_dir/BENCH_2000-01-02.json" <<'EOF'
+{
+  "schema": "pgxd-bench-v1",
+  "headline": {
+    "edges_per_s": 1000000,
+    "p50_latency_ns": 100000,
+    "p99_latency_ns": 600000,
+    "wire_bytes": 4000000,
+    "wire_msgs": 2000,
+    "queue_wait_p50_ns": 10000,
+    "queue_wait_p99_ns": 90000
+  }
+}
+EOF
+touch -d '2000-01-01' "$fix_dir/BENCH_2000-01-01.json"
+if scripts/bench_compare.sh "$fix_dir" > /dev/null; then
+  echo "bench_compare: synthetic 20% p99 regression was NOT rejected"
+  exit 1
+else
+  echo "bench_compare: synthetic regression correctly rejected"
+fi
+rm -rf "$fix_dir"
+
 echo "== cargo doc --workspace --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
