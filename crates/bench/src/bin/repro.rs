@@ -141,6 +141,7 @@ fn main() {
             "commfast" => emit(&commfast::run_experiment(scale), "commfast"),
             "recover" => emit(&recover::run_experiment(scale), "recover"),
             "serve" => emit(&serve::run_experiment(scale), "serve"),
+            "soak" => emit(&soak::run_experiment(scale, quick), "soak"),
             "telemetry" => {
                 let dir = telemetry_dir
                     .clone()

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod recover;
 pub mod serve;
+pub mod soak;
 pub mod table3;
 pub mod table4;
 pub mod telemetry;
@@ -80,6 +81,11 @@ pub const EXPERIMENTS: &[ExperimentInfo] = &[
     ExperimentInfo {
         name: "serve",
         desc: "job-server acceptance: lanes, sessions, cancel, deadlines, admission",
+    },
+    ExperimentInfo {
+        name: "soak",
+        desc:
+            "whole-stack chaos soak: brownout, retry budgets, quarantine, storage faults (--quick)",
     },
     ExperimentInfo {
         name: "telemetry",

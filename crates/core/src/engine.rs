@@ -160,6 +160,46 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs a storage fault plan on every machine's checkpoint store.
+    /// An active plan auto-enables recovery (without it the injected
+    /// corruption could never be detected, let alone survived).
+    pub fn storage_fault(mut self, plan: pgxd_runtime::config::StorageFaultPlan) -> Self {
+        self.config = self.config.with_storage_fault(plan);
+        self
+    }
+
+    /// How many checkpoints each store retains (the fallback depth for
+    /// corrupt-newest restores); enables recovery.
+    pub fn checkpoint_retain(mut self, n: usize) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.retain = n;
+        self
+    }
+
+    /// Watchdog trips a machine may accumulate before the flap detector
+    /// quarantines it; enables recovery.
+    pub fn flap_threshold(mut self, trips: u32) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.flap_threshold = trips;
+        self
+    }
+
+    /// Brownout gate thresholds as per-mille of the submission-queue depth:
+    /// the batch lane sheds above `shed`, re-opens below `reopen`.
+    pub fn brownout(mut self, shed_per_mille: u16, reopen_per_mille: u16) -> Self {
+        self.config.serve.brownout_shed_per_mille = shed_per_mille;
+        self.config.serve.brownout_reopen_per_mille = reopen_per_mille;
+        self
+    }
+
+    /// Server-wide retry token budget shared across sessions (`0` tokens
+    /// = unlimited); one token refills every `refill_ms`.
+    pub fn retry_budget(mut self, tokens: u32, refill_ms: u64) -> Self {
+        self.config.serve.retry_budget_tokens = tokens;
+        self.config.serve.retry_budget_refill_ms = refill_ms;
+        self
+    }
+
     /// Crash-watchdog deadline: how long a peer may stay silent before it
     /// is declared dead (only meaningful with reliability enabled).
     pub fn heartbeat_deadline_ms(mut self, ms: u64) -> Self {
@@ -346,10 +386,17 @@ impl Engine {
         self.cluster.restore_checkpoint(ckpt)
     }
 
-    /// The most recent complete checkpoint, if any (plain copied memory —
-    /// safe to hold across this engine's teardown).
+    /// The most recent durably-complete checkpoint, if any (plain copied
+    /// memory — safe to hold across this engine's teardown).
     pub fn last_checkpoint(&self) -> Option<Arc<Checkpoint>> {
         self.cluster.last_checkpoint()
+    }
+
+    /// All retained checkpoints, newest first. The recovery driver carries
+    /// this across engine teardown so a restore that finds the newest entry
+    /// corrupt can fall back to an older one.
+    pub fn checkpoint_ring(&self) -> Vec<Arc<Checkpoint>> {
+        self.cluster.checkpoint_ring()
     }
 
     // ------------------------------------------------------------------

@@ -83,8 +83,9 @@ pub use pgxd_runtime::cancel::{CancelReason, CancelToken};
 pub use pgxd_runtime::checkpoint::{Checkpoint, CheckpointStore, JobProgress};
 pub use pgxd_runtime::config::{
     AdaptiveFlushConfig, ChunkingMode, Config, CrashPlan, FaultPlan, NetConfig, PartitioningMode,
-    RecoveryConfig, ReliabilityConfig, ServeConfig, SlowPlan, TelemetryConfig,
+    RecoveryConfig, ReliabilityConfig, ServeConfig, SlowPlan, StorageFaultKind, StorageFaultPlan,
+    TelemetryConfig,
 };
-pub use pgxd_runtime::health::JobError;
+pub use pgxd_runtime::health::{JobError, RetryBudget};
 pub use pgxd_runtime::props::{PropValue, ReduceOp};
 pub use pgxd_runtime::stats::{Breakdown, StatsSnapshot};

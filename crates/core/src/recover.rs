@@ -9,29 +9,50 @@
 //! `checkpoint_every` completed iterations, and when an attempt dies with
 //! a transient [`JobError`] (machine loss), it
 //!
-//! 1. extracts the last complete checkpoint (plain copied memory — never a
-//!    view into the dead cluster),
-//! 2. tears the failed engine down and rebuilds a *degraded* cluster from
-//!    the `P−1` survivors — `Cluster::load` re-runs edge partitioning and
+//! 1. extracts the retained checkpoint *ring* (plain copied memory — never
+//!    a view into the dead cluster),
+//! 2. consults a [`FlapDetector`]: below the flap threshold the machine
+//!    gets another chance at full cluster size; at the threshold it is
+//!    quarantined and the driver rebuilds a *degraded* cluster from the
+//!    `P−1` survivors — `Cluster::load` re-runs edge partitioning and
 //!    ghost selection over the smaller machine set,
 //! 3. re-runs the algorithm's `setup` (re-registering the same properties
-//!    in the same order, so ids line up), restores the checkpoint under
-//!    the survivors' partitioning, and resumes `step`ping from the
-//!    checkpointed iteration.
+//!    in the same order, so ids line up), then restores the newest ring
+//!    entry that passes checksum verification — a corrupt newest
+//!    checkpoint (injected storage fault, `StorageFaultPlan`) falls back
+//!    to the next-older entry (`checkpoint_fallbacks` counter +
+//!    `CheckpointFallback` trace), and if no entry is restorable the job
+//!    cold-restarts from iteration 0 (`cold_restarts` + `ColdRestart`) —
+//!    and resumes `step`ping from wherever that landed.
 //!
-//! Fatal errors (protocol violations, corrupt checkpoints) and exhausted
-//! retry budgets surface to the caller; [`RetryPolicy`] draws the line and
-//! paces retries with bounded exponential backoff.
+//! Fatal errors (protocol violations) surface to the caller;
+//! [`RetryPolicy`] draws the transient-vs-fatal line and paces retries
+//! with seeded decorrelated-jitter backoff so concurrent tenants do not
+//! synchronize into retry storms. An optional server-wide [`RetryBudget`]
+//! is consulted before every retry; a dry bucket fails the job with
+//! [`JobError::RetryBudgetExhausted`] instead of amplifying the outage.
 
 use crate::engine::{Engine, EngineBuilder};
 use pgxd_graph::Graph;
 use pgxd_runtime::checkpoint::Checkpoint;
 use pgxd_runtime::config::{Config, RecoveryConfig};
-use pgxd_runtime::health::JobError;
+use pgxd_runtime::health::{FlapDetector, JobError, RetryBudget};
 use pgxd_runtime::stats::StatsSnapshot;
 use pgxd_runtime::telemetry::EventKind;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// splitmix64, the same hash family the fault injectors use: one
+/// independent 64-bit draw per `(seed, n)` pair, no RNG state to carry.
+#[inline]
+fn mix64(seed: u64, n: u64) -> u64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// What one [`ResumableAlgorithm::step`] call concluded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,16 +95,21 @@ pub trait ResumableAlgorithm {
     fn finish(&mut self, engine: &mut Engine) -> Self::Output;
 }
 
-/// When to retry and how long to wait: bounded attempts, exponential
-/// backoff, transient-vs-fatal classification of [`JobError`].
+/// When to retry and how long to wait: bounded attempts, seeded
+/// decorrelated-jitter backoff, transient-vs-fatal classification of
+/// [`JobError`].
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Retries allowed after the initial attempt.
     pub max_retries: u32,
-    /// First backoff, milliseconds; doubles per retry.
+    /// Backoff floor, milliseconds.
     pub backoff_base_ms: u64,
     /// Backoff ceiling, milliseconds.
     pub backoff_max_ms: u64,
+    /// Seed for the decorrelated jitter draws; two policies with different
+    /// seeds produce different (but individually deterministic) schedules,
+    /// which is what keeps concurrent tenants from retrying in lockstep.
+    pub jitter_seed: u64,
 }
 
 impl RetryPolicy {
@@ -92,6 +118,7 @@ impl RetryPolicy {
             max_retries: rc.max_retries,
             backoff_base_ms: rc.backoff_base_ms,
             backoff_max_ms: rc.backoff_max_ms,
+            jitter_seed: 0x5eed_b0ff,
         }
     }
 
@@ -102,15 +129,29 @@ impl RetryPolicy {
         err.is_transient() && !err.is_cancellation() && retry <= self.max_retries
     }
 
-    /// Backoff before the `retry`-th retry (1-based): `base * 2^(retry-1)`
-    /// capped at `backoff_max_ms`.
+    /// Backoff before the `retry`-th retry (1-based): decorrelated jitter
+    /// (`sleep = min(cap, uniform(base, 3 * prev_sleep))`), deterministic
+    /// in `(jitter_seed, retry)`. Pure doubling synchronizes concurrent
+    /// tenants' retries into storms; the jittered schedule keeps the same
+    /// expected growth (~2× per retry until the cap) while decorrelating
+    /// the instants.
     pub fn backoff(&self, retry: u32) -> Duration {
-        let factor = 1u64 << retry.saturating_sub(1).min(20);
-        Duration::from_millis(
-            self.backoff_base_ms
-                .saturating_mul(factor)
-                .min(self.backoff_max_ms),
-        )
+        let base = self.backoff_base_ms;
+        if base == 0 || retry == 0 {
+            return Duration::ZERO;
+        }
+        let cap = self.backoff_max_ms.max(base);
+        let mut sleep = base;
+        for i in 1..=retry.min(64) {
+            let span = sleep
+                .saturating_mul(3)
+                .saturating_sub(base)
+                .saturating_add(1);
+            sleep = base
+                .saturating_add(mix64(self.jitter_seed, u64::from(i)) % span)
+                .min(cap);
+        }
+        Duration::from_millis(sleep)
     }
 }
 
@@ -137,6 +178,7 @@ pub struct Recovered<T> {
 pub struct RecoveryDriver<'g> {
     graph: &'g Graph,
     config: Config,
+    retry_budget: Option<Arc<RetryBudget>>,
 }
 
 impl<'g> RecoveryDriver<'g> {
@@ -144,7 +186,21 @@ impl<'g> RecoveryDriver<'g> {
     /// cluster is built.
     pub fn new(graph: &'g Graph, config: Config) -> Result<Self, String> {
         config.validate()?;
-        Ok(RecoveryDriver { graph, config })
+        Ok(RecoveryDriver {
+            graph,
+            config,
+            retry_budget: None,
+        })
+    }
+
+    /// Shares a server-wide retry token bucket with this driver: every
+    /// retry first takes a token, and a dry bucket fails the job with
+    /// [`JobError::RetryBudgetExhausted`] instead of piling a retry storm
+    /// onto an already-degraded cluster. Without a budget retries are
+    /// gated only by `max_retries`.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_budget = Some(budget);
+        self
     }
 
     /// The (validated) configuration attempts start from.
@@ -162,7 +218,9 @@ impl<'g> RecoveryDriver<'g> {
         let recovery = self.config.recovery;
         let policy = RetryPolicy::from_config(&recovery);
         let mut config = self.config.clone();
-        let mut carry: Option<Arc<Checkpoint>> = None;
+        let mut carry: Vec<Arc<Checkpoint>> = Vec::new();
+        let mut flap = FlapDetector::new(config.machines, recovery.flap_threshold);
+        let mut quarantined: Option<u64> = None;
         let mut attempts = 0u32;
         let mut recoveries = 0u32;
         let mut stats = StatsSnapshot::default();
@@ -177,15 +235,59 @@ impl<'g> RecoveryDriver<'g> {
                 engine
                     .cluster()
                     .trace_driver_event(EventKind::RecoveryStart, (attempts - 1) as u64);
-                if let Some(ck) = &carry {
-                    // Corrupt checkpoints are fatal: a retry would only
-                    // replay the same bits.
-                    engine.restore_checkpoint(ck)?;
-                    iteration = ck.progress.iteration;
-                    algo.restore_scalars(&ck.progress.scalars);
+                if let Some(machine) = quarantined.take() {
+                    engine
+                        .cluster()
+                        .machine(0)
+                        .stats
+                        .machines_quarantined
+                        .fetch_add(1, Ordering::Relaxed);
+                    engine
+                        .cluster()
+                        .trace_driver_event(EventKind::Quarantine, machine);
                 }
-                // No checkpoint yet → restart from iteration 0; still a
-                // recovery (the degraded cluster replaces the dead one).
+                // Restore the newest ring entry that verifies; skip corrupt
+                // ones (injected storage faults keep the stale checksum, so
+                // this is where they finally surface). If nothing in the
+                // ring is restorable — or the ring is empty — the job cold-
+                // restarts from iteration 0; still a recovery (the rebuilt
+                // cluster replaces the dead one).
+                let mut restored = false;
+                let mut tried = 0u64;
+                for ck in &carry {
+                    tried += 1;
+                    match engine.restore_checkpoint(ck) {
+                        Ok(()) => {
+                            iteration = ck.progress.iteration;
+                            algo.restore_scalars(&ck.progress.scalars);
+                            restored = true;
+                            break;
+                        }
+                        Err(JobError::CheckpointCorrupt(_)) => {
+                            engine
+                                .cluster()
+                                .machine(0)
+                                .stats
+                                .checkpoint_fallbacks
+                                .fetch_add(1, Ordering::Relaxed);
+                            engine
+                                .cluster()
+                                .trace_driver_event(EventKind::CheckpointFallback, ck.seq);
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                if !restored {
+                    engine
+                        .cluster()
+                        .machine(0)
+                        .stats
+                        .cold_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    engine
+                        .cluster()
+                        .trace_driver_event(EventKind::ColdRestart, tried);
+                }
                 recoveries += 1;
                 engine
                     .cluster()
@@ -230,9 +332,12 @@ impl<'g> RecoveryDriver<'g> {
                     stats,
                 });
             };
-            // Salvage the last complete checkpoint, fold in the dead
+            // Salvage the retained checkpoint ring, fold in the dead
             // attempt's stats, then tear the engine down (joins threads).
-            carry = engine.last_checkpoint().or(carry);
+            let ring = engine.checkpoint_ring();
+            if !ring.is_empty() {
+                carry = ring;
+            }
             stats = stats + engine.cluster().total_stats();
             drop(engine);
             if !recovery.enabled {
@@ -248,20 +353,48 @@ impl<'g> RecoveryDriver<'g> {
                 }
                 return Err(err);
             }
-            if let JobError::MachineDown { .. } = err {
-                if config.machines <= 1 {
-                    return Err(err);
+            // Every retry spends one token of the (possibly server-wide,
+            // cross-session) budget; a dry bucket means the cluster is
+            // already saturated with recovery work, so amplifying it would
+            // turn one failure into an outage.
+            if let Some(budget) = &self.retry_budget {
+                if !budget.try_acquire() {
+                    return Err(JobError::RetryBudgetExhausted);
                 }
-                // Degrade to the survivor set. The next Engine::build
-                // re-runs edge partitioning and ghost selection over P−1
-                // machines.
-                config.machines -= 1;
             }
-            // The seeded crash/slow plan already fired; a fresh fabric
-            // would replay it at the same virtual time and kill the
-            // retry too. Message-level fault rates stay.
-            config.fault.crash = None;
-            config.fault.slow = None;
+            if let JobError::MachineDown { machine } = err {
+                if flap.record_trip(machine) {
+                    // Quarantined: degrade to the survivor set proactively.
+                    // The next Engine::build re-runs edge partitioning and
+                    // ghost selection over P−1 machines, and the seeded
+                    // crash/slow plan dies with the flapper.
+                    if config.machines <= 1 {
+                        return Err(err);
+                    }
+                    config.machines -= 1;
+                    quarantined = Some(u64::from(machine));
+                    config.fault.crash = None;
+                    config.fault.slow = None;
+                } else {
+                    // Below the flap threshold: the machine gets another
+                    // chance at full cluster size. A recurring crash plan
+                    // re-fires on the retry (that is what eventually trips
+                    // the quarantine); a one-shot plan already fired and is
+                    // cleared so the retry is not killed at the same
+                    // virtual instant.
+                    if !config.fault.crash_recurring {
+                        config.fault.crash = None;
+                    }
+                    config.fault.slow = None;
+                }
+            } else {
+                // Non-crash transient: keep the cluster shape, clear the
+                // one-shot plans exactly as before.
+                if !config.fault.crash_recurring {
+                    config.fault.crash = None;
+                }
+                config.fault.slow = None;
+            }
             std::thread::sleep(policy.backoff(retry));
         }
     }
@@ -291,17 +424,36 @@ mod tests {
     use pgxd_runtime::props::ReduceOp;
 
     #[test]
-    fn backoff_doubles_and_caps() {
+    fn backoff_jitters_within_bounds() {
         let p = RetryPolicy {
             max_retries: 5,
             backoff_base_ms: 10,
             backoff_max_ms: 50,
+            jitter_seed: 42,
         };
-        assert_eq!(p.backoff(1), Duration::from_millis(10));
-        assert_eq!(p.backoff(2), Duration::from_millis(20));
-        assert_eq!(p.backoff(3), Duration::from_millis(40));
-        assert_eq!(p.backoff(4), Duration::from_millis(50));
-        assert_eq!(p.backoff(30), Duration::from_millis(50));
+        // Every draw stays within [base, cap], deterministically.
+        for retry in 1..=30 {
+            let d = p.backoff(retry);
+            assert!(d >= Duration::from_millis(10), "retry {retry}: {d:?}");
+            assert!(d <= Duration::from_millis(50), "retry {retry}: {d:?}");
+            assert_eq!(d, p.backoff(retry), "same (seed, retry) ⇒ same delay");
+        }
+        // Different seeds decorrelate: the schedules are not identical.
+        let q = RetryPolicy {
+            jitter_seed: 43,
+            ..p
+        };
+        assert!(
+            (1..=30).any(|r| p.backoff(r) != q.backoff(r)),
+            "two seeds should not produce lockstep schedules"
+        );
+        // Jitter actually jitters: the schedule is not one constant value.
+        let first = p.backoff(1);
+        assert!(
+            (1..=30).any(|r| p.backoff(r) != first),
+            "schedule collapsed to a constant"
+        );
+        assert_eq!(p.backoff(0), Duration::ZERO);
     }
 
     #[test]
@@ -310,6 +462,7 @@ mod tests {
             max_retries: 2,
             backoff_base_ms: 1,
             backoff_max_ms: 1,
+            jitter_seed: 0,
         };
         let down = JobError::MachineDown { machine: 0 };
         assert!(p.should_retry(&down, 1));
@@ -325,6 +478,7 @@ mod tests {
             max_retries: 5,
             backoff_base_ms: 1,
             backoff_max_ms: 1,
+            jitter_seed: 0,
         };
         assert!(!p.should_retry(&JobError::Cancelled { job: 7 }, 1));
         assert!(!p.should_retry(&JobError::DeadlineExceeded { job: 7 }, 1));

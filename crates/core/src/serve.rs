@@ -46,10 +46,10 @@ use pgxd_runtime::telemetry::Telemetry;
 use std::sync::Arc;
 
 pub use pgxd_runtime::cancel::{CancelReason, CancelToken};
-pub use pgxd_runtime::config::ServeConfig;
+pub use pgxd_runtime::config::{ServeConfig, StorageFaultPlan};
 pub use pgxd_sched::{
     estimate_bytes, JobCtx, JobExec, JobHandle, JobMeta, JobOutcome, JobReport, JobServer, JobWire,
-    Lane, MemProfile, PhaseSpan, Scheduler, ServeEngine, Session,
+    Lane, MemProfile, PhaseSpan, RetryBudget, Scheduler, ServeEngine, Session,
 };
 
 impl ServeEngine for Engine {

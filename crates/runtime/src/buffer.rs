@@ -27,7 +27,7 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// One slot of a [`Ring`]. The `seq` tag encodes which "lap" of the ring
 /// the slot belongs to, which is what makes the scheme ABA-safe without
@@ -142,7 +142,14 @@ pub struct BufferPool {
     buffer_bytes: usize,
     /// Number of buffers the pool may hand out before reporting exhaustion.
     quota: usize,
-    outstanding: AtomicUsize,
+    /// Exact net quota accounting: +1 on every acquisition (including
+    /// over-quota fallback allocations), −1 on every release. Signed
+    /// because simulated machines recycle each other's payloads (a
+    /// response buffer acquired on the responder is released into the
+    /// requester's pool), so one pool can be a net donor while a peer is
+    /// a net creditor; summed over a quiescent cluster the counters
+    /// cancel to exactly the number of in-flight payload buffers — zero.
+    outstanding: AtomicI64,
     exhausted_events: AtomicU64,
 }
 
@@ -164,7 +171,7 @@ impl BufferPool {
             shard_mask: n - 1,
             buffer_bytes,
             quota,
-            outstanding: AtomicUsize::new(0),
+            outstanding: AtomicI64::new(0),
             exhausted_events: AtomicU64::new(0),
         }
     }
@@ -194,28 +201,29 @@ impl BufferPool {
     /// successful reservations.
     fn reserve(&self) -> bool {
         let prev = self.outstanding.fetch_add(1, Ordering::AcqRel);
-        if prev >= self.quota {
+        if prev >= self.quota as i64 {
             self.outstanding.fetch_sub(1, Ordering::AcqRel);
             return false;
         }
         true
     }
 
-    /// Releases one unit of quota without underflowing (buffers allocated
-    /// past the quota were never reserved but are still `release`d).
+    /// Records an over-quota fallback allocation: the buffer is physically
+    /// handed out, so the net accounting must see it even though no quota
+    /// reservation succeeded. Keeping every handed-out buffer in
+    /// `outstanding` is what makes the cluster-wide sum an exact leak
+    /// detector (and it also makes back-pressure honest: `try_acquire`
+    /// keeps failing until the overflow drains back below the quota).
+    fn reserve_over_quota(&self) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Releases one unit of quota. Deliberately allowed to go negative:
+    /// a pool that receives more recycled peer buffers than it handed out
+    /// is a net creditor, and clamping here would make the cluster-wide
+    /// sum drift away from the true in-flight count.
     fn unreserve(&self) {
-        let mut cur = self.outstanding.load(Ordering::Relaxed);
-        while cur > 0 {
-            match self.outstanding.compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(c) => cur = c,
-            }
-        }
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Pops a recycled buffer, trying the hinted shard first and stealing
@@ -264,6 +272,7 @@ impl BufferPool {
             Some(b) => b,
             None => {
                 self.exhausted_events.fetch_add(1, Ordering::Relaxed);
+                self.reserve_over_quota();
                 Vec::with_capacity(self.buffer_bytes)
             }
         }
@@ -281,6 +290,7 @@ impl BufferPool {
             }
         } else {
             self.exhausted_events.fetch_add(1, Ordering::Relaxed);
+            self.reserve_over_quota();
         }
         Vec::with_capacity(self.buffer_bytes)
     }
@@ -312,8 +322,13 @@ impl BufferPool {
         self.exhausted_events.load(Ordering::Relaxed)
     }
 
-    /// Buffers currently handed out (within quota accounting).
-    pub fn outstanding(&self) -> usize {
+    /// Net quota units held: buffers handed out by this pool minus
+    /// buffers released into it. Transiently exceeds the quota while
+    /// over-quota fallback allocations are live, and goes *negative* on
+    /// pools that net-receive peer-recycled payloads; summed over all
+    /// machines of a quiescent cluster it is exactly zero — the soak
+    /// harness leans on that to prove full quota reclamation.
+    pub fn outstanding(&self) -> i64 {
         self.outstanding.load(Ordering::Relaxed)
     }
 }
@@ -443,7 +458,7 @@ mod tests {
                             }
                             let outstanding = pool.outstanding();
                             assert!(
-                                outstanding <= QUOTA,
+                                outstanding <= QUOTA as i64,
                                 "quota exceeded: {outstanding} > {QUOTA}"
                             );
                             if buf.capacity() > 0 {

@@ -9,9 +9,13 @@
 //! needs no stop-the-world machinery of its own.
 //!
 //! Layout mirrors what a real deployment would persist per node: each
-//! machine owns a [`CheckpointStore`] holding its latest
-//! [`MachineCheckpoint`] — one [`PropShard`] (owned cells + ghost replicas,
-//! FNV-1a checksummed) per live property. The driver additionally keeps the
+//! machine owns a [`CheckpointStore`] holding a small *retention ring* of
+//! recent [`MachineCheckpoint`]s — one [`PropShard`] (owned cells + ghost
+//! replicas, FNV-1a checksummed) per live property. The store is also where
+//! storage faults live: a seeded [`StorageFaultPlan`] can lose, corrupt, or
+//! delay individual shard writes, and the driver finds out the same way a
+//! real deployment would — by reading back what the store durably holds and
+//! verifying checksums at restore time. The driver additionally keeps the
 //! assembled cluster-wide [`Checkpoint`], which bundles every machine's
 //! shards with the [`JobProgress`] (iteration index + algorithm scalars)
 //! needed to resume. Because partitions are contiguous vertex ranges, a
@@ -21,9 +25,12 @@
 //! [`Cluster::restore_checkpoint`](crate::cluster::Cluster::restore_checkpoint)
 //! redistributes it under the survivors' new partitioning.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::config::{StorageFaultKind, StorageFaultPlan};
+use crate::fault::mix;
 use crate::health::JobError;
 use crate::ids::MachineId;
 use crate::props::{PropId, TypeTag};
@@ -221,48 +228,177 @@ impl Checkpoint {
     }
 }
 
-/// One machine's durable checkpoint slot (the stand-in for a per-node
-/// local store in a real deployment). Holds only the latest complete
-/// snapshot — checkpointing is for resume, not time travel.
-#[derive(Debug, Default)]
+/// What happened to one [`CheckpointStore::save`] call once the storage
+/// fault dice were rolled. The caller (the cluster's checkpoint path) turns
+/// these into telemetry counters; the store itself stays a dumb device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SaveOutcome {
+    /// Durably written into the retention ring.
+    Stored,
+    /// Silently dropped — the write never reached the ring.
+    Lost,
+    /// Written, but with one bit flipped and the *stale* checksum kept, so
+    /// restore-time verification fails the shard.
+    Corrupted,
+    /// Parked in a one-deep write-behind slot; it commits to the ring when
+    /// the *next* save arrives (or never, if none does).
+    Delayed,
+}
+
+/// One machine's durable checkpoint device (the stand-in for a per-node
+/// local store in a real deployment). Keeps a small retention ring of the
+/// most recent snapshots — newest first, bounded by `retain` — so the
+/// recovery driver can fall back to an older sequence when the newest one
+/// turns out to be corrupt or incomplete.
+///
+/// A seeded [`StorageFaultPlan`] injects faults *inside* the store, at the
+/// point a real disk or object store would fail: saves can be lost,
+/// bit-flipped (keeping the stale checksum), or delayed into a write-behind
+/// slot. Fault decisions are a pure function of `(plan.seed, save counter)`,
+/// so a given configuration misbehaves identically on every run.
+#[derive(Debug)]
 pub struct CheckpointStore {
-    latest: Mutex<Option<(u64, Arc<MachineCheckpoint>)>>,
+    retain: usize,
+    plan: StorageFaultPlan,
+    state: Mutex<StoreState>,
     saved: AtomicU64,
     bytes: AtomicU64,
 }
 
+#[derive(Debug, Default)]
+struct StoreState {
+    /// Retained snapshots, newest at the front.
+    ring: VecDeque<(u64, Arc<MachineCheckpoint>)>,
+    /// Write-behind slot for a delayed save; commits at the next save.
+    pending: Option<(u64, Arc<MachineCheckpoint>)>,
+    /// Monotone save counter indexing the fault dice.
+    counter: u64,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
+}
+
 impl CheckpointStore {
+    /// A fault-free store retaining the two most recent snapshots.
     pub fn new() -> Self {
-        CheckpointStore::default()
+        CheckpointStore::with_plan(2, StorageFaultPlan::none())
     }
 
-    /// Replaces the stored snapshot with `mc` (sequence `seq`).
-    pub fn save(&self, seq: u64, mc: Arc<MachineCheckpoint>) {
+    /// A store retaining `retain` snapshots under the given fault plan.
+    pub fn with_plan(retain: usize, plan: StorageFaultPlan) -> Self {
+        CheckpointStore {
+            retain: retain.max(1),
+            plan,
+            state: Mutex::new(StoreState::default()),
+            saved: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Writes `mc` (sequence `seq`) through the fault plan and reports what
+    /// the storage layer actually did with it. Any delayed predecessor
+    /// commits to the ring first, so delayed data is stale-but-valid, never
+    /// torn.
+    pub fn save(&self, seq: u64, mc: Arc<MachineCheckpoint>) -> SaveOutcome {
         self.bytes.fetch_add(mc.bytes() as u64, Ordering::Relaxed);
         self.saved.fetch_add(1, Ordering::Relaxed);
-        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some((seq, mc));
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        // A delayed write-behind commits as soon as the next save arrives.
+        if let Some((pseq, pmc)) = st.pending.take() {
+            Self::commit(&mut st.ring, self.retain, pseq, pmc);
+        }
+        let n = st.counter;
+        st.counter += 1;
+        match self.plan.draw(n) {
+            StorageFaultKind::Lose => SaveOutcome::Lost,
+            StorageFaultKind::Corrupt => {
+                let tampered = Self::tamper(&mc, mix(self.plan.seed, n));
+                Self::commit(&mut st.ring, self.retain, seq, tampered);
+                SaveOutcome::Corrupted
+            }
+            StorageFaultKind::Delay => {
+                st.pending = Some((seq, mc));
+                SaveOutcome::Delayed
+            }
+            StorageFaultKind::Store => {
+                Self::commit(&mut st.ring, self.retain, seq, mc);
+                SaveOutcome::Stored
+            }
+        }
     }
 
-    /// The latest snapshot, if any, with its sequence number.
-    pub fn latest(&self) -> Option<(u64, Arc<MachineCheckpoint>)> {
-        self.latest
+    fn commit(
+        ring: &mut VecDeque<(u64, Arc<MachineCheckpoint>)>,
+        retain: usize,
+        seq: u64,
+        mc: Arc<MachineCheckpoint>,
+    ) {
+        ring.push_front((seq, mc));
+        ring.truncate(retain);
+    }
+
+    /// Flips one bit in the first non-empty owned region while keeping the
+    /// now-stale checksum, so the damage is invisible until a restore-time
+    /// [`PropShard::verify`].
+    fn tamper(mc: &Arc<MachineCheckpoint>, h: u64) -> Arc<MachineCheckpoint> {
+        let mut copy = (**mc).clone();
+        if let Some(shard) = copy.shards.iter_mut().find(|s| !s.owned.is_empty()) {
+            let word = ((h >> 30) as usize) % shard.owned.len();
+            let bit = (h >> 40) % 64;
+            shard.owned[word] ^= 1u64 << bit;
+        }
+        Arc::new(copy)
+    }
+
+    /// What the store durably holds for sequence `seq`. Lost and
+    /// still-delayed saves return `None`; a corrupted save returns the
+    /// tampered shards (detection is the reader's job, via checksums).
+    pub fn get(&self, seq: u64) -> Option<Arc<MachineCheckpoint>> {
+        self.state
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .clone()
+            .ring
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, mc)| mc.clone())
     }
 
-    /// Snapshots saved over the store's lifetime.
+    /// The newest retained snapshot, if any, with its sequence number.
+    pub fn latest(&self) -> Option<(u64, Arc<MachineCheckpoint>)> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .front()
+            .cloned()
+    }
+
+    /// Snapshots currently held in the retention ring.
+    pub fn retained(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .len()
+    }
+
+    /// Save attempts over the store's lifetime (including lost/delayed).
     pub fn saved(&self) -> u64 {
         self.saved.load(Ordering::Relaxed)
     }
 
-    /// Cumulative payload bytes saved.
+    /// Cumulative payload bytes offered to the store.
     pub fn bytes_saved(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
 
     pub fn clear(&self) {
-        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.ring.clear();
+        st.pending = None;
     }
 }
 
@@ -353,17 +489,21 @@ mod tests {
         assert!(c.global_bits(PropId(5)).is_err());
     }
 
+    fn small_mc() -> Arc<MachineCheckpoint> {
+        Arc::new(MachineCheckpoint {
+            machine: 0,
+            start: 0,
+            shards: vec![shard(0, vec![1, 2], vec![])],
+        })
+    }
+
     #[test]
     fn store_keeps_latest_and_counts() {
         let store = CheckpointStore::new();
         assert!(store.latest().is_none());
-        let mc = Arc::new(MachineCheckpoint {
-            machine: 0,
-            start: 0,
-            shards: vec![shard(0, vec![1, 2], vec![])],
-        });
-        store.save(1, mc.clone());
-        store.save(2, mc);
+        let mc = small_mc();
+        assert_eq!(store.save(1, mc.clone()), SaveOutcome::Stored);
+        assert_eq!(store.save(2, mc), SaveOutcome::Stored);
         let (seq, got) = store.latest().unwrap();
         assert_eq!(seq, 2);
         assert_eq!(got.machine, 0);
@@ -371,5 +511,68 @@ mod tests {
         assert_eq!(store.bytes_saved(), 2 * 16);
         store.clear();
         assert!(store.latest().is_none());
+    }
+
+    #[test]
+    fn ring_retains_bounded_history() {
+        let store = CheckpointStore::with_plan(2, StorageFaultPlan::none());
+        let mc = small_mc();
+        for seq in 1..=3 {
+            store.save(seq, mc.clone());
+        }
+        assert_eq!(store.retained(), 2);
+        assert_eq!(store.latest().unwrap().0, 3);
+        assert!(store.get(3).is_some());
+        assert!(store.get(2).is_some());
+        assert!(store.get(1).is_none(), "evicted by the retention bound");
+    }
+
+    #[test]
+    fn lost_save_never_lands() {
+        // lose rate 1000‰ ⇒ every save is lost regardless of seed.
+        let store = CheckpointStore::with_plan(2, StorageFaultPlan::faulty(7, 1000, 0, 0));
+        assert_eq!(store.save(1, small_mc()), SaveOutcome::Lost);
+        assert!(store.get(1).is_none());
+        assert!(store.latest().is_none());
+        assert_eq!(store.saved(), 1, "the attempt itself still counts");
+    }
+
+    #[test]
+    fn corrupted_save_lands_but_fails_verify() {
+        let store = CheckpointStore::with_plan(2, StorageFaultPlan::faulty(7, 0, 1000, 0));
+        assert_eq!(store.save(1, small_mc()), SaveOutcome::Corrupted);
+        let got = store.get(1).expect("corrupt data is still readable");
+        assert!(
+            !got.shards[0].verify(),
+            "tampered shard must keep its stale checksum"
+        );
+    }
+
+    #[test]
+    fn delayed_save_commits_on_next_write() {
+        let store = CheckpointStore::with_plan(3, StorageFaultPlan::faulty(7, 0, 0, 1000));
+        assert_eq!(store.save(1, small_mc()), SaveOutcome::Delayed);
+        assert!(store.get(1).is_none(), "still parked in the pending slot");
+        assert_eq!(store.save(2, small_mc()), SaveOutcome::Delayed);
+        let got = store.get(1).expect("committed by the following save");
+        assert!(got.shards[0].verify());
+        assert!(store.get(2).is_none());
+    }
+
+    #[test]
+    fn fault_dice_are_deterministic() {
+        let roll = |seed| {
+            let store =
+                CheckpointStore::with_plan(4, StorageFaultPlan::faulty(seed, 200, 200, 200));
+            (0..16)
+                .map(|s| store.save(s, small_mc()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(roll(42), roll(42));
+        assert_ne!(roll(42), roll(43), "different seeds, different weather");
+        assert!(
+            roll(42).iter().any(|o| *o != SaveOutcome::Stored),
+            "200\u{2030} per fault should trip at least once in 16 rolls"
+        );
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::barrier::CentralBarrier;
 use crate::checkpoint::{
-    Checkpoint, CheckpointStore, JobProgress, MachineCheckpoint, PropMeta, PropShard,
+    Checkpoint, CheckpointStore, JobProgress, MachineCheckpoint, PropMeta, PropShard, SaveOutcome,
 };
 use crate::config::Config;
 use crate::copier;
@@ -30,6 +30,7 @@ use crate::worker::{CommTuning, WorkerComm};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use parking_lot::{Condvar, Mutex};
 use pgxd_graph::{Graph, NodeId};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -82,10 +83,12 @@ pub struct Cluster {
     next_prop: u16,
     next_rmi: u16,
     dist_epoch: u64,
-    /// Per-machine durable checkpoint slots (index = machine id).
+    /// Per-machine durable checkpoint stores (index = machine id).
     stores: Vec<Arc<CheckpointStore>>,
-    /// The latest driver-assembled cluster checkpoint.
-    last_ckpt: Option<Arc<Checkpoint>>,
+    /// Driver-assembled cluster checkpoints that were *durably complete*
+    /// (every machine's shard readable back from its store), newest first,
+    /// bounded by `config.recovery.retain`.
+    ckpt_ring: VecDeque<Arc<Checkpoint>>,
     ckpt_seq: u64,
     /// Driver-supplied name of each phase run so far, indexed by
     /// `epoch - 1`; resolves trace events back to phase names at export.
@@ -232,6 +235,8 @@ impl Cluster {
             }
         }
 
+        let retain = config.recovery.retain;
+        let storage_plan = config.storage_fault;
         Ok(Cluster {
             machines,
             endpoints,
@@ -247,8 +252,10 @@ impl Cluster {
             next_prop: 0,
             next_rmi: 0,
             dist_epoch: 0,
-            stores: (0..p).map(|_| Arc::new(CheckpointStore::new())).collect(),
-            last_ckpt: None,
+            stores: (0..p)
+                .map(|_| Arc::new(CheckpointStore::with_plan(retain, storage_plan)))
+                .collect(),
+            ckpt_ring: VecDeque::new(),
             ckpt_seq: 0,
             phase_labels: Vec::new(),
             active_job: None,
@@ -428,20 +435,31 @@ impl Cluster {
         &self.stores[m]
     }
 
-    /// The latest driver-assembled checkpoint, if any. The recovery driver
+    /// The newest durably-complete checkpoint, if any. The recovery driver
     /// extracts this *before* dropping a failed engine — the checkpoint is
     /// plain copied memory, never a view into the dead cluster.
     pub fn last_checkpoint(&self) -> Option<Arc<Checkpoint>> {
-        self.last_ckpt.clone()
+        self.ckpt_ring.front().cloned()
+    }
+
+    /// The retained checkpoints, newest first. A corrupt newest entry is
+    /// only discovered at restore-time verification; the older entries are
+    /// what the recovery driver falls back to.
+    pub fn checkpoint_ring(&self) -> Vec<Arc<Checkpoint>> {
+        self.ckpt_ring.iter().cloned().collect()
     }
 
     /// Takes a barrier-consistent snapshot of every live property plus job
     /// progress. Legal only between `try_run_*` calls: the cluster is then
     /// quiescent (the pending-entry counter has drained to zero), so no
     /// in-flight read or write can straddle the copy — the trailing phase
-    /// barrier *is* the consistency point. Each machine's shard lands in
-    /// its own [`CheckpointStore`]; the assembled whole is also retained
-    /// for the driver.
+    /// barrier *is* the consistency point. Each machine's shard is written
+    /// through its [`CheckpointStore`] (where storage faults may lose,
+    /// corrupt, or delay it); the driver then assembles the cluster
+    /// checkpoint from what each store *durably holds* for this sequence —
+    /// a read-after-write — so a lost or still-delayed shard makes the
+    /// sequence incomplete and it never enters the retention ring, while a
+    /// corrupted shard does enter and is caught by restore-time checksums.
     pub fn take_checkpoint(
         &mut self,
         iteration: u64,
@@ -491,28 +509,65 @@ impl Cluster {
             m.stats.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
             m.stats.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
             m.telemetry.record_checkpoint_bytes(bytes);
-            self.stores[m.id as usize].save(seq, mc.clone());
+            match self.stores[m.id as usize].save(seq, mc.clone()) {
+                SaveOutcome::Stored => {}
+                SaveOutcome::Lost => {
+                    m.stats.ckpt_shards_lost.fetch_add(1, Ordering::Relaxed);
+                }
+                SaveOutcome::Corrupted => {
+                    m.stats
+                        .ckpt_shards_corrupted
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                SaveOutcome::Delayed => {
+                    m.stats.ckpt_shards_delayed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             shards_by_machine.push(mc);
         }
-        let ckpt = Arc::new(Checkpoint {
-            seq,
-            num_nodes: self.num_nodes(),
-            progress: JobProgress {
-                iteration,
-                phase_epoch: self.phase_labels.len() as u64,
-                scalars,
-            },
-            props: metas,
-            machines: shards_by_machine,
-        });
+        // Assemble the cluster checkpoint from what each store durably
+        // holds (read-after-write through the fault plan), not from the
+        // in-memory shards we just built.
+        let durable: Option<Vec<Arc<MachineCheckpoint>>> = self
+            .machines
+            .iter()
+            .map(|m| self.stores[m.id as usize].get(seq))
+            .collect();
+        let make_ckpt = |machines: Vec<Arc<MachineCheckpoint>>| {
+            Arc::new(Checkpoint {
+                seq,
+                num_nodes: self.num_nodes(),
+                progress: JobProgress {
+                    iteration,
+                    phase_epoch: self.phase_labels.len() as u64,
+                    scalars: scalars.clone(),
+                },
+                props: metas.clone(),
+                machines,
+            })
+        };
         if let Some(m0) = self.machines.first() {
             m0.telemetry
                 .record_checkpoint_ns(t0.elapsed().as_nanos() as u64);
             m0.telemetry
                 .trace(0, EventKind::CheckpointTaken, total_bytes);
         }
-        self.last_ckpt = Some(ckpt.clone());
-        Ok(ckpt)
+        match durable {
+            Some(machines) => {
+                // Durably complete (possibly with silently corrupted shards
+                // — restore-time checksums are the detector): retain it.
+                let ckpt = make_ckpt(machines);
+                self.ckpt_ring.push_front(ckpt.clone());
+                self.ckpt_ring.truncate(self.config.recovery.retain.max(1));
+                Ok(ckpt)
+            }
+            None => {
+                // A shard was lost or is still write-behind: this sequence
+                // is not restorable, so it never enters the ring. Hand the
+                // caller the in-memory assembly for inspection only.
+                Ok(make_ckpt(shards_by_machine))
+            }
+        }
     }
 
     /// Restores property state from `ckpt`, verifying every shard checksum

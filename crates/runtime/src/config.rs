@@ -128,6 +128,11 @@ pub struct FaultPlan {
     pub delay_sends: u64,
     /// Optional machine crash (permanent partition).
     pub crash: Option<CrashPlan>,
+    /// When true, the crash plan re-fires on every recovery attempt (a
+    /// *flapping* machine) until the recovery driver quarantines it; when
+    /// false (default) the crash is one-shot and cleared on retry, as a
+    /// transient partition would be.
+    pub crash_recurring: bool,
     /// Optional machine slowdown.
     pub slow: Option<SlowPlan>,
 }
@@ -144,6 +149,7 @@ impl FaultPlan {
             delay_per_mille: 0,
             delay_sends: 64,
             crash: None,
+            crash_recurring: false,
             slow: None,
         }
     }
@@ -185,6 +191,99 @@ impl FaultPlan {
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan::none()
+    }
+}
+
+/// Deterministic fault-injection schedule for *checkpoint storage*,
+/// applied inside [`CheckpointStore::save`](crate::checkpoint::CheckpointStore).
+///
+/// Where [`FaultPlan`] breaks the wire, this breaks the durable layer
+/// underneath recovery: a shard write can be **lost** (the store never
+/// records it), **corrupted** (a word is flipped after the checksum was
+/// computed, so verification fails at restore time), or **delayed** (the
+/// shard becomes durable only when the *next* save lands, like a lagging
+/// flush). Every decision is a pure function of `seed` and the store's
+/// monotonic save counter, so a plan replays identically run after run.
+/// Rates are per-mille (‰).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    /// Seed for the per-save fault dice.
+    pub seed: u64,
+    /// Probability (‰) that a shard save is silently lost.
+    pub lose_per_mille: u16,
+    /// Probability (‰) that a stored shard is corrupted (one word flipped
+    /// after checksumming — caught by `verify()` at restore).
+    pub corrupt_per_mille: u16,
+    /// Probability (‰) that a shard save becomes durable only at the next
+    /// save on the same store.
+    pub delay_per_mille: u16,
+}
+
+impl StorageFaultPlan {
+    /// The inert plan: storage is perfectly durable.
+    pub const fn none() -> Self {
+        StorageFaultPlan {
+            seed: 0,
+            lose_per_mille: 0,
+            corrupt_per_mille: 0,
+            delay_per_mille: 0,
+        }
+    }
+
+    /// A plan with explicit lose / corrupt / delay rates in ‰.
+    pub const fn faulty(seed: u64, lose: u16, corrupt: u16, delay: u16) -> Self {
+        StorageFaultPlan {
+            seed,
+            lose_per_mille: lose,
+            corrupt_per_mille: corrupt,
+            delay_per_mille: delay,
+        }
+    }
+
+    /// Whether any storage fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.lose_per_mille > 0 || self.corrupt_per_mille > 0 || self.delay_per_mille > 0
+    }
+
+    /// What the seeded dice decide for the `counter`-th save on a store.
+    /// This is a pure function of `(seed, counter)` — `CheckpointStore`
+    /// consults exactly this, so tests and harnesses can precompute a
+    /// plan's entire fault schedule (e.g. pick a seed whose corruption
+    /// pattern guarantees a ring-fallback restore) instead of hoping a
+    /// rate fires.
+    pub fn draw(&self, counter: u64) -> StorageFaultKind {
+        let h = crate::fault::mix(self.seed, counter);
+        if self.lose_per_mille > 0 && (h % 1000) < u64::from(self.lose_per_mille) {
+            StorageFaultKind::Lose
+        } else if self.corrupt_per_mille > 0
+            && ((h >> 10) % 1000) < u64::from(self.corrupt_per_mille)
+        {
+            StorageFaultKind::Corrupt
+        } else if self.delay_per_mille > 0 && ((h >> 20) % 1000) < u64::from(self.delay_per_mille) {
+            StorageFaultKind::Delay
+        } else {
+            StorageFaultKind::Store
+        }
+    }
+}
+
+/// Dice outcome for one shard save under a [`StorageFaultPlan`] — see
+/// [`StorageFaultPlan::draw`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// The save lands durably and verifiably.
+    Store,
+    /// The save is silently dropped.
+    Lose,
+    /// The save lands with one flipped bit and a stale checksum.
+    Corrupt,
+    /// The save becomes durable only at the next save on the same store.
+    Delay,
+}
+
+impl Default for StorageFaultPlan {
+    fn default() -> Self {
+        StorageFaultPlan::none()
     }
 }
 
@@ -257,6 +356,15 @@ pub struct RecoveryConfig {
     pub backoff_base_ms: u64,
     /// Ceiling on the backed-off retry delay, milliseconds.
     pub backoff_max_ms: u64,
+    /// Checkpoints retained per store (a small ring, newest first): when
+    /// the latest snapshot fails verification the driver falls back to an
+    /// older ring entry before resorting to a cold restart.
+    pub retain: usize,
+    /// Watchdog trips by one machine before the recovery driver
+    /// quarantines it and proactively degrades to a P−1 restore. `1`
+    /// reproduces the pre-quarantine behavior: the first trip already
+    /// drops the machine.
+    pub flap_threshold: u32,
 }
 
 impl RecoveryConfig {
@@ -267,6 +375,8 @@ impl RecoveryConfig {
             max_retries: 3,
             backoff_base_ms: 10,
             backoff_max_ms: 200,
+            retain: 2,
+            flap_threshold: 1,
         }
     }
 
@@ -344,6 +454,25 @@ pub struct ServeConfig {
     /// completed); a queued job whose session is at the cap is skipped —
     /// not dropped — until a slot frees up.
     pub session_cap: usize,
+    /// Brownout shed threshold as queue occupancy in ‰ of `queue_depth`:
+    /// when total queued jobs cross it, batch-lane submits are rejected
+    /// with `JobError::Overloaded` until occupancy falls back below the
+    /// reopen threshold. `0` disables brownout.
+    pub brownout_shed_per_mille: u16,
+    /// Brownout reopen threshold (‰ of `queue_depth`); must be below the
+    /// shed threshold so the gate has hysteresis and re-opens cleanly
+    /// instead of flapping at the boundary.
+    pub brownout_reopen_per_mille: u16,
+    /// Retry-after hint carried by `JobError::Overloaded` rejections,
+    /// milliseconds.
+    pub brownout_retry_after_ms: u64,
+    /// Server-wide retry-budget capacity (token bucket shared across all
+    /// sessions): concurrent tenants draw retry tokens from one pool so a
+    /// degraded cluster cannot be retry-stormed. `0` disables the budget
+    /// (unlimited retries).
+    pub retry_budget_tokens: u32,
+    /// One retry token is refilled every this-many milliseconds.
+    pub retry_budget_refill_ms: u64,
 }
 
 impl ServeConfig {
@@ -354,6 +483,11 @@ impl ServeConfig {
             lane_weights: [3, 1],
             default_deadline_ms: 0,
             session_cap: 16,
+            brownout_shed_per_mille: 0,
+            brownout_reopen_per_mille: 0,
+            brownout_retry_after_ms: 50,
+            retry_budget_tokens: 0,
+            retry_budget_refill_ms: 100,
         }
     }
 }
@@ -444,6 +578,8 @@ pub struct Config {
     pub telemetry: TelemetryConfig,
     /// Deterministic fault-injection schedule (inert by default).
     pub fault: FaultPlan,
+    /// Deterministic checkpoint-storage fault schedule (inert by default).
+    pub storage_fault: StorageFaultPlan,
     /// Reliable-delivery protocol (off by default).
     pub reliability: ReliabilityConfig,
     /// Checkpoint/restore and automatic retry (off by default).
@@ -490,6 +626,7 @@ impl Config {
             net: NetConfig::null(),
             telemetry: TelemetryConfig::off(),
             fault: FaultPlan::none(),
+            storage_fault: StorageFaultPlan::none(),
             reliability: ReliabilityConfig::off(),
             recovery: RecoveryConfig::off(),
             pool_shards: 2,
@@ -517,6 +654,7 @@ impl Config {
             net: NetConfig::null(),
             telemetry: TelemetryConfig::off(),
             fault: FaultPlan::none(),
+            storage_fault: StorageFaultPlan::none(),
             reliability: ReliabilityConfig::off(),
             recovery: RecoveryConfig::off(),
             pool_shards: 4,
@@ -532,6 +670,16 @@ impl Config {
         self.fault = plan;
         if plan.is_active() {
             self.reliability.enabled = true;
+        }
+        self
+    }
+
+    /// Installs a storage fault plan and switches recovery on — only the
+    /// recovery driver can route around bad checkpoint storage.
+    pub fn with_storage_fault(mut self, plan: StorageFaultPlan) -> Self {
+        self.storage_fault = plan;
+        if plan.is_active() {
+            self.recovery.enabled = true;
         }
         self
     }
@@ -587,8 +735,37 @@ impl Config {
                     .into(),
             );
         }
+        for (name, rate) in [
+            ("fault.drop_per_mille", self.fault.drop_per_mille),
+            ("fault.dup_per_mille", self.fault.dup_per_mille),
+            ("fault.reorder_per_mille", self.fault.reorder_per_mille),
+            ("fault.delay_per_mille", self.fault.delay_per_mille),
+            (
+                "storage_fault.lose_per_mille",
+                self.storage_fault.lose_per_mille,
+            ),
+            (
+                "storage_fault.corrupt_per_mille",
+                self.storage_fault.corrupt_per_mille,
+            ),
+            (
+                "storage_fault.delay_per_mille",
+                self.storage_fault.delay_per_mille,
+            ),
+        ] {
+            if rate > 1000 {
+                return Err(format!("{name} is a per-mille rate and must be <= 1000"));
+            }
+        }
         if self.fault.reorder_per_mille > 0 && self.fault.reorder_depth == 0 {
             return Err("fault.reorder_depth must be >= 1 when reordering".into());
+        }
+        if self.storage_fault.is_active() && !self.recovery.enabled {
+            return Err(
+                "an active StorageFaultPlan requires recovery.enabled (only the \
+                 recovery driver can fall back past a damaged checkpoint)"
+                    .into(),
+            );
         }
         if let Some(c) = self.fault.crash {
             if (c.machine as usize) >= self.machines {
@@ -621,6 +798,22 @@ impl Config {
         if self.serve.session_cap == 0 {
             return Err("serve.session_cap must be >= 1".into());
         }
+        if self.serve.brownout_shed_per_mille > 0 {
+            let s = &self.serve;
+            if s.brownout_shed_per_mille > 1000 {
+                return Err("serve.brownout_shed_per_mille must be <= 1000".into());
+            }
+            if s.brownout_reopen_per_mille >= s.brownout_shed_per_mille {
+                return Err(
+                    "serve.brownout_reopen_per_mille must be < brownout_shed_per_mille \
+                     (the gate needs hysteresis to re-open cleanly)"
+                        .into(),
+                );
+            }
+        }
+        if self.serve.retry_budget_tokens > 0 && self.serve.retry_budget_refill_ms == 0 {
+            return Err("serve.retry_budget_refill_ms must be >= 1 when budgeted".into());
+        }
         if self.recovery.enabled {
             let rc = &self.recovery;
             if rc.checkpoint_every == 0 {
@@ -631,6 +824,12 @@ impl Config {
             }
             if rc.backoff_max_ms < rc.backoff_base_ms {
                 return Err("recovery backoff_max_ms must be >= backoff_base_ms".into());
+            }
+            if rc.retain == 0 {
+                return Err("recovery.retain must be >= 1 when enabled".into());
+            }
+            if rc.flap_threshold == 0 {
+                return Err("recovery.flap_threshold must be >= 1 when enabled".into());
             }
         }
         Ok(())
@@ -738,6 +937,16 @@ impl ConfigBuilder {
         self
     }
 
+    /// Checkpoint-storage fault schedule; an active plan auto-enables
+    /// recovery (only the recovery driver can route around bad storage).
+    pub fn storage_fault(mut self, plan: StorageFaultPlan) -> Self {
+        self.config.storage_fault = plan;
+        if plan.is_active() {
+            self.config.recovery.enabled = true;
+        }
+        self
+    }
+
     /// Reliable-delivery protocol knobs.
     pub fn reliability(mut self, r: ReliabilityConfig) -> Self {
         self.config.reliability = r;
@@ -761,6 +970,21 @@ impl ConfigBuilder {
     pub fn max_retries(mut self, retries: u32) -> Self {
         self.config.recovery.enabled = true;
         self.config.recovery.max_retries = retries;
+        self
+    }
+
+    /// Checkpoints retained per store (fallback ring depth); enables
+    /// recovery.
+    pub fn checkpoint_retain(mut self, n: usize) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.retain = n;
+        self
+    }
+
+    /// Watchdog trips before a machine is quarantined; enables recovery.
+    pub fn flap_threshold(mut self, trips: u32) -> Self {
+        self.config.recovery.enabled = true;
+        self.config.recovery.flap_threshold = trips;
         self
     }
 
@@ -819,6 +1043,22 @@ impl ConfigBuilder {
     /// Default per-job deadline in milliseconds (`0` = none).
     pub fn default_deadline_ms(mut self, ms: u64) -> Self {
         self.config.serve.default_deadline_ms = ms;
+        self
+    }
+
+    /// Brownout thresholds as queue occupancy in ‰ of `queue_depth`
+    /// (`shed` closes the batch lane, `reopen` re-opens it; `shed = 0`
+    /// disables brownout).
+    pub fn brownout(mut self, shed_per_mille: u16, reopen_per_mille: u16) -> Self {
+        self.config.serve.brownout_shed_per_mille = shed_per_mille;
+        self.config.serve.brownout_reopen_per_mille = reopen_per_mille;
+        self
+    }
+
+    /// Server-wide retry-budget token bucket (`tokens = 0` disables it).
+    pub fn retry_budget(mut self, tokens: u32, refill_ms: u64) -> Self {
+        self.config.serve.retry_budget_tokens = tokens;
+        self.config.serve.retry_budget_refill_ms = refill_ms;
         self
     }
 
@@ -1040,5 +1280,82 @@ mod tests {
         assert!(!FaultPlan::none().is_active());
         assert!(FaultPlan::lossy(3, 1, 0, 0).is_active());
         assert!(FaultPlan::crash(0, 10).is_active());
+    }
+
+    #[test]
+    fn per_mille_rates_capped_at_1000() {
+        // Wire plan: each rate field individually rejected above 1000‰.
+        let mut c = Config::test(2).with_fault(FaultPlan::lossy(1, 1001, 0, 0));
+        assert!(c.validate().unwrap_err().contains("per-mille"));
+        c.fault = FaultPlan::lossy(1, 0, 1001, 0);
+        assert!(c.validate().is_err());
+        c.fault = FaultPlan::lossy(1, 0, 0, 1001);
+        assert!(c.validate().is_err());
+        c.fault = FaultPlan::lossy(1, 1000, 1000, 1000);
+        assert!(c.validate().is_ok(), "1000‰ (always) is a legal rate");
+        // Storage plan: same cap.
+        let mut c = Config::test(2);
+        c.recovery = RecoveryConfig::on();
+        c.storage_fault = StorageFaultPlan::faulty(9, 1001, 0, 0);
+        assert!(c.validate().unwrap_err().contains("per-mille"));
+        c.storage_fault = StorageFaultPlan::faulty(9, 0, 2000, 0);
+        assert!(c.validate().is_err());
+        c.storage_fault = StorageFaultPlan::faulty(9, 100, 100, 100);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn active_storage_fault_requires_recovery() {
+        let mut c = Config::test(2);
+        c.storage_fault = StorageFaultPlan::faulty(5, 100, 0, 0);
+        assert!(c.validate().unwrap_err().contains("recovery"));
+        c.recovery = RecoveryConfig::on();
+        assert!(c.validate().is_ok());
+        // The builder setter auto-enables recovery.
+        let c = Config::builder()
+            .storage_fault(StorageFaultPlan::faulty(5, 0, 100, 0))
+            .build()
+            .expect("storage_fault() auto-enables recovery");
+        assert!(c.recovery.enabled);
+        assert!(!StorageFaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn retention_and_flap_knobs_validated() {
+        let mut c = Config::test(2);
+        c.recovery = RecoveryConfig::on();
+        c.recovery.retain = 0;
+        assert!(c.validate().is_err());
+        c.recovery = RecoveryConfig::on();
+        c.recovery.flap_threshold = 0;
+        assert!(c.validate().is_err());
+        let c = Config::builder()
+            .checkpoint_retain(3)
+            .flap_threshold(2)
+            .build()
+            .expect("valid retention config");
+        assert!(c.recovery.enabled);
+        assert_eq!(c.recovery.retain, 3);
+        assert_eq!(c.recovery.flap_threshold, 2);
+    }
+
+    #[test]
+    fn brownout_and_retry_budget_validated() {
+        let c = Config::builder()
+            .brownout(750, 250)
+            .retry_budget(4, 100)
+            .build()
+            .expect("valid brownout config");
+        assert_eq!(c.serve.brownout_shed_per_mille, 750);
+        assert_eq!(c.serve.brownout_reopen_per_mille, 250);
+        assert_eq!(c.serve.retry_budget_tokens, 4);
+        // No hysteresis (reopen >= shed) is rejected.
+        assert!(Config::builder().brownout(500, 500).build().is_err());
+        assert!(Config::builder().brownout(1500, 100).build().is_err());
+        assert!(Config::builder().retry_budget(4, 0).build().is_err());
+        // Defaults stay inert.
+        let d = ServeConfig::default_const();
+        assert_eq!(d.brownout_shed_per_mille, 0);
+        assert_eq!(d.retry_budget_tokens, 0);
     }
 }

@@ -104,6 +104,7 @@ pub fn copier_loop(m: Arc<MachineState>) {
                 send_ack(&m, env.src, REQUEST_LANE, env.seq);
                 if !m.reliability.accept_request(env.src, env.seq) {
                     m.stats.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                    m.send_pool.release(env.payload);
                     continue;
                 }
             }
@@ -152,6 +153,7 @@ pub fn process_request(
                 seq: 0,
                 payload,
             });
+            m.send_pool.release(env.payload);
         }
         MsgKind::Write => {
             let n = mut_entry_count(&env.payload);
@@ -161,6 +163,12 @@ pub fn process_request(
                 col.reduce_bits_atomic(offset as usize, op, bits);
             }
             m.pending.fetch_sub(n as i64, Ordering::AcqRel);
+            // One-way payloads are recycled into the *receiver's* pool
+            // (same rationale as Ping below): traffic is symmetric enough
+            // that pools stay balanced, and every pool-acquired buffer is
+            // released exactly once, which keeps the cluster-wide
+            // `outstanding` sum an exact in-flight count.
+            m.send_pool.release(env.payload);
         }
         MsgKind::GhostSync => {
             // offset field = global ghost ordinal; value is stored into
@@ -173,6 +181,7 @@ pub fn process_request(
                 col.store_bits(base + ordinal as usize, bits);
             }
             m.pending.fetch_sub(n as i64, Ordering::AcqRel);
+            m.send_pool.release(env.payload);
         }
         MsgKind::GhostReduce => {
             // offset field = owner-local vertex offset; reduce the partial
@@ -184,6 +193,7 @@ pub fn process_request(
                 col.reduce_bits_atomic(offset as usize, op, bits);
             }
             m.pending.fetch_sub(n as i64, Ordering::AcqRel);
+            m.send_pool.release(env.payload);
         }
         MsgKind::Rmi => {
             let mut payload = m.send_pool.acquire_or_alloc();
@@ -201,6 +211,7 @@ pub fn process_request(
                 seq: 0,
                 payload,
             });
+            m.send_pool.release(env.payload);
         }
         MsgKind::BarrierArrive => {
             // Coordinator only (machine 0): when the last machine arrives,

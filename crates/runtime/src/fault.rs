@@ -58,8 +58,11 @@ pub struct FaultInjector {
 }
 
 /// splitmix64: independent 64-bit hash per (seed, event) pair.
+///
+/// Shared with the storage fault injector in [`crate::checkpoint`] so both
+/// layers draw from the same deterministic dice family.
 #[inline]
-fn mix(seed: u64, n: u64) -> u64 {
+pub(crate) fn mix(seed: u64, n: u64) -> u64 {
     let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

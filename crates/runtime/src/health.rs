@@ -80,15 +80,34 @@ pub enum JobError {
         /// The expired job's id.
         job: u64,
     },
+    /// The server shed this submit to protect the interactive lane: queue
+    /// occupancy crossed the brownout threshold. Transient — retry after
+    /// the hinted delay.
+    Overloaded {
+        /// Suggested client backoff before resubmitting, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server-wide retry budget (token bucket shared by every
+    /// session) is exhausted: retrying now would join a retry storm
+    /// against an already-degraded cluster, so the failure is surfaced
+    /// instead.
+    RetryBudgetExhausted,
 }
 
 impl JobError {
-    /// Whether the recovery driver may retry after this failure. Machine
-    /// loss is the transient class — the whole point of degraded-mode
-    /// recovery; protocol violations and corrupt checkpoints are
-    /// deterministic and would only fail again.
+    /// Whether the recovery driver may retry after this failure. The
+    /// transient class is machine loss (the whole point of degraded-mode
+    /// recovery) plus the serve layer's load rejections — `QueueFull` and
+    /// `Overloaded` clear on their own once pressure drains, so a backed-
+    /// off retry is the right client response. Protocol violations and
+    /// corrupt checkpoints are deterministic and would only fail again;
+    /// `AdmissionDenied` is a sizing judgment that no retry changes; and a
+    /// spent retry budget is *the* signal to stop retrying.
     pub fn is_transient(&self) -> bool {
-        matches!(self, JobError::MachineDown { .. })
+        matches!(
+            self,
+            JobError::MachineDown { .. } | JobError::QueueFull { .. } | JobError::Overloaded { .. }
+        )
     }
 
     /// Whether this failure is a cancellation (explicit cancel or missed
@@ -138,6 +157,15 @@ impl fmt::Display for JobError {
             }
             JobError::DeadlineExceeded { job } => {
                 write!(f, "job {job} exceeded its deadline")
+            }
+            JobError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "server overloaded: batch lane shed, retry after {retry_after_ms} ms"
+                )
+            }
+            JobError::RetryBudgetExhausted => {
+                write!(f, "server-wide retry budget exhausted; not retrying")
             }
         }
     }
@@ -258,6 +286,152 @@ impl ClusterHealth {
     }
 }
 
+/// Server-wide retry budget: a token bucket shared (behind an `Arc`) by
+/// every session and recovery driver of one server, so concurrent tenants
+/// cannot amplify a degraded cluster's failure into a retry storm. Each
+/// retry attempt must first take a token; when the bucket is dry the
+/// caller surfaces [`JobError::RetryBudgetExhausted`] instead of retrying.
+/// Tokens refill at a fixed rate up to the configured capacity.
+///
+/// A capacity of `0` means *unbudgeted*: [`RetryBudget::try_acquire`]
+/// always succeeds and nothing is counted.
+#[derive(Debug)]
+pub struct RetryBudget {
+    capacity: u32,
+    refill_ms: u64,
+    state: Mutex<BudgetState>,
+    exhausted: AtomicU64,
+}
+
+#[derive(Debug)]
+struct BudgetState {
+    tokens: u32,
+    last_refill: Instant,
+}
+
+impl RetryBudget {
+    /// A bucket holding `capacity` tokens, refilling one token every
+    /// `refill_ms` milliseconds. `capacity = 0` disables budgeting.
+    pub fn new(capacity: u32, refill_ms: u64) -> Self {
+        RetryBudget {
+            capacity,
+            refill_ms: refill_ms.max(1),
+            state: Mutex::new(BudgetState {
+                tokens: capacity,
+                last_refill: Instant::now(),
+            }),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// An unbudgeted bucket: every acquire succeeds.
+    pub fn unlimited() -> Self {
+        RetryBudget::new(0, 1)
+    }
+
+    /// Takes one retry token. Returns `false` (and counts an exhaustion)
+    /// when the bucket is dry; the caller must then fail with
+    /// [`JobError::RetryBudgetExhausted`] rather than retry.
+    pub fn try_acquire(&self) -> bool {
+        if self.capacity == 0 {
+            return true;
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let elapsed_ms = st.last_refill.elapsed().as_millis() as u64;
+        let refills = elapsed_ms / self.refill_ms;
+        if refills > 0 {
+            st.tokens = st
+                .tokens
+                .saturating_add(refills.min(self.capacity as u64) as u32)
+                .min(self.capacity);
+            st.last_refill = Instant::now();
+        }
+        if st.tokens > 0 {
+            st.tokens -= 1;
+            true
+        } else {
+            self.exhausted.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Tokens currently available (refills applied lazily, so this is a
+    /// lower bound between acquires).
+    pub fn tokens(&self) -> u32 {
+        if self.capacity == 0 {
+            return u32::MAX;
+        }
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).tokens
+    }
+
+    /// How many acquires were refused because the bucket was dry.
+    pub fn exhausted_events(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+}
+
+/// Flap detector: counts watchdog trips per machine across recovery
+/// attempts and quarantines a machine once it trips `threshold` times.
+/// The recovery driver consults it on every `MachineDown`: below the
+/// threshold the machine gets another chance at full cluster size; at the
+/// threshold it is quarantined and the driver proactively degrades to a
+/// P−1 restore instead of letting the flapper crash the next attempt too.
+///
+/// `threshold = 1` reproduces the pre-quarantine behavior exactly — the
+/// first trip already drops the machine.
+#[derive(Debug)]
+pub struct FlapDetector {
+    threshold: u32,
+    trips: Vec<u32>,
+    quarantined: Vec<bool>,
+}
+
+impl FlapDetector {
+    /// Detector over `machines` machines quarantining at `threshold`
+    /// trips (clamped to ≥ 1).
+    pub fn new(machines: usize, threshold: u32) -> Self {
+        FlapDetector {
+            threshold: threshold.max(1),
+            trips: vec![0; machines],
+            quarantined: vec![false; machines],
+        }
+    }
+
+    /// Records one watchdog trip against `machine`. Returns `true` when
+    /// this trip quarantines it (its trip count reached the threshold).
+    pub fn record_trip(&mut self, machine: MachineId) -> bool {
+        let m = machine as usize;
+        if m >= self.trips.len() || self.quarantined[m] {
+            return false;
+        }
+        self.trips[m] += 1;
+        if self.trips[m] >= self.threshold {
+            self.quarantined[m] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `machine` has been quarantined.
+    pub fn is_quarantined(&self, machine: MachineId) -> bool {
+        self.quarantined
+            .get(machine as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Trips recorded against `machine` so far.
+    pub fn trips(&self, machine: MachineId) -> u32 {
+        self.trips.get(machine as usize).copied().unwrap_or(0)
+    }
+
+    /// Machines quarantined so far.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +506,10 @@ mod tests {
         let e = JobError::DeadlineExceeded { job: 9 };
         assert!(e.to_string().contains("job 9"));
         assert!(e.to_string().contains("deadline"));
+        let e = JobError::Overloaded { retry_after_ms: 40 };
+        assert!(e.to_string().contains("40 ms"));
+        let e = JobError::RetryBudgetExhausted;
+        assert!(e.to_string().contains("retry budget"));
     }
 
     #[test]
@@ -348,6 +526,70 @@ mod tests {
         // `?` with Box<dyn Error> works and the chain reaches the cause.
         let cause = e.source().expect("has source");
         assert!(cause.to_string().contains("machine 1"));
+    }
+
+    /// Pins the serve-layer retry classification: load rejections
+    /// (`QueueFull`, `Overloaded`) clear on their own and are retryable
+    /// with backoff; `AdmissionDenied` is a sizing judgment no retry
+    /// changes; `RetryBudgetExhausted` is the signal to *stop* retrying.
+    #[test]
+    fn serve_layer_classification() {
+        assert!(JobError::QueueFull {
+            queued: 8,
+            depth: 8
+        }
+        .is_transient());
+        assert!(JobError::Overloaded { retry_after_ms: 50 }.is_transient());
+        assert!(!JobError::AdmissionDenied {
+            estimated_bytes: 2,
+            budget_bytes: 1
+        }
+        .is_transient());
+        assert!(!JobError::RetryBudgetExhausted.is_transient());
+        assert!(!JobError::Overloaded { retry_after_ms: 50 }.is_cancellation());
+        assert!(!JobError::RetryBudgetExhausted.is_cancellation());
+    }
+
+    #[test]
+    fn retry_budget_exhausts_and_refills() {
+        let b = RetryBudget::new(2, 10_000); // refill far in the future
+        assert!(b.try_acquire());
+        assert!(b.try_acquire());
+        assert!(!b.try_acquire(), "third acquire must find the bucket dry");
+        assert!(!b.try_acquire());
+        assert_eq!(b.exhausted_events(), 2);
+        assert_eq!(b.tokens(), 0);
+        // A fast-refilling bucket recovers.
+        let b = RetryBudget::new(1, 1);
+        assert!(b.try_acquire());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(b.try_acquire(), "token refilled after the interval");
+        // Capacity 0 = unbudgeted.
+        let b = RetryBudget::unlimited();
+        for _ in 0..100 {
+            assert!(b.try_acquire());
+        }
+        assert_eq!(b.exhausted_events(), 0);
+    }
+
+    #[test]
+    fn flap_detector_quarantines_at_threshold() {
+        let mut f = FlapDetector::new(4, 2);
+        assert!(!f.record_trip(1), "first trip is below the threshold");
+        assert!(!f.is_quarantined(1));
+        assert!(f.record_trip(1), "second trip quarantines");
+        assert!(f.is_quarantined(1));
+        assert_eq!(f.trips(1), 2);
+        // Further trips on a quarantined machine are no-ops.
+        assert!(!f.record_trip(1));
+        assert_eq!(f.trips(1), 2);
+        assert_eq!(f.quarantined_count(), 1);
+        // Threshold 1 = legacy behavior: first trip quarantines.
+        let mut f = FlapDetector::new(2, 1);
+        assert!(f.record_trip(0));
+        assert!(f.is_quarantined(0));
+        // Out-of-range machines are ignored.
+        assert!(!f.record_trip(9));
     }
 
     #[test]

@@ -67,6 +67,28 @@ pub struct MachineStats {
     pub jobs_cancelled: AtomicU64,
     /// Jobs that missed their deadline (queued or mid-run).
     pub jobs_deadline_missed: AtomicU64,
+    /// Checkpoint shard saves lost by injected storage faults.
+    pub ckpt_shards_lost: AtomicU64,
+    /// Checkpoint shard saves corrupted by injected storage faults.
+    pub ckpt_shards_corrupted: AtomicU64,
+    /// Checkpoint shard saves delayed into the store's write-behind slot.
+    pub ckpt_shards_delayed: AtomicU64,
+    /// Restores that fell back past a corrupt/incomplete checkpoint to an
+    /// older retained ring entry.
+    pub checkpoint_fallbacks: AtomicU64,
+    /// Recoveries that found no restorable checkpoint and restarted the job
+    /// from iteration zero.
+    pub cold_restarts: AtomicU64,
+    /// Machines quarantined by the flap detector after repeated watchdog
+    /// trips.
+    pub machines_quarantined: AtomicU64,
+    /// Retries refused because the server-wide retry budget was dry.
+    pub retry_budget_exhausted: AtomicU64,
+    /// Times the brownout gate closed the batch lane under overload.
+    pub brownout_sheds: AtomicU64,
+    /// Times the brownout gate re-opened the batch lane after occupancy
+    /// fell below the hysteresis threshold.
+    pub brownout_reopens: AtomicU64,
 }
 
 /// A point-in-time copy of [`MachineStats`], subtractable.
@@ -95,6 +117,15 @@ pub struct StatsSnapshot {
     pub jobs_rejected: u64,
     pub jobs_cancelled: u64,
     pub jobs_deadline_missed: u64,
+    pub ckpt_shards_lost: u64,
+    pub ckpt_shards_corrupted: u64,
+    pub ckpt_shards_delayed: u64,
+    pub checkpoint_fallbacks: u64,
+    pub cold_restarts: u64,
+    pub machines_quarantined: u64,
+    pub retry_budget_exhausted: u64,
+    pub brownout_sheds: u64,
+    pub brownout_reopens: u64,
 }
 
 impl MachineStats {
@@ -124,6 +155,15 @@ impl MachineStats {
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             jobs_deadline_missed: self.jobs_deadline_missed.load(Ordering::Relaxed),
+            ckpt_shards_lost: self.ckpt_shards_lost.load(Ordering::Relaxed),
+            ckpt_shards_corrupted: self.ckpt_shards_corrupted.load(Ordering::Relaxed),
+            ckpt_shards_delayed: self.ckpt_shards_delayed.load(Ordering::Relaxed),
+            checkpoint_fallbacks: self.checkpoint_fallbacks.load(Ordering::Relaxed),
+            cold_restarts: self.cold_restarts.load(Ordering::Relaxed),
+            machines_quarantined: self.machines_quarantined.load(Ordering::Relaxed),
+            retry_budget_exhausted: self.retry_budget_exhausted.load(Ordering::Relaxed),
+            brownout_sheds: self.brownout_sheds.load(Ordering::Relaxed),
+            brownout_reopens: self.brownout_reopens.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,6 +195,15 @@ impl std::ops::Sub for StatsSnapshot {
             jobs_rejected: self.jobs_rejected - rhs.jobs_rejected,
             jobs_cancelled: self.jobs_cancelled - rhs.jobs_cancelled,
             jobs_deadline_missed: self.jobs_deadline_missed - rhs.jobs_deadline_missed,
+            ckpt_shards_lost: self.ckpt_shards_lost - rhs.ckpt_shards_lost,
+            ckpt_shards_corrupted: self.ckpt_shards_corrupted - rhs.ckpt_shards_corrupted,
+            ckpt_shards_delayed: self.ckpt_shards_delayed - rhs.ckpt_shards_delayed,
+            checkpoint_fallbacks: self.checkpoint_fallbacks - rhs.checkpoint_fallbacks,
+            cold_restarts: self.cold_restarts - rhs.cold_restarts,
+            machines_quarantined: self.machines_quarantined - rhs.machines_quarantined,
+            retry_budget_exhausted: self.retry_budget_exhausted - rhs.retry_budget_exhausted,
+            brownout_sheds: self.brownout_sheds - rhs.brownout_sheds,
+            brownout_reopens: self.brownout_reopens - rhs.brownout_reopens,
         }
     }
 }
@@ -186,6 +235,15 @@ impl std::ops::Add for StatsSnapshot {
             jobs_rejected: self.jobs_rejected + rhs.jobs_rejected,
             jobs_cancelled: self.jobs_cancelled + rhs.jobs_cancelled,
             jobs_deadline_missed: self.jobs_deadline_missed + rhs.jobs_deadline_missed,
+            ckpt_shards_lost: self.ckpt_shards_lost + rhs.ckpt_shards_lost,
+            ckpt_shards_corrupted: self.ckpt_shards_corrupted + rhs.ckpt_shards_corrupted,
+            ckpt_shards_delayed: self.ckpt_shards_delayed + rhs.ckpt_shards_delayed,
+            checkpoint_fallbacks: self.checkpoint_fallbacks + rhs.checkpoint_fallbacks,
+            cold_restarts: self.cold_restarts + rhs.cold_restarts,
+            machines_quarantined: self.machines_quarantined + rhs.machines_quarantined,
+            retry_budget_exhausted: self.retry_budget_exhausted + rhs.retry_budget_exhausted,
+            brownout_sheds: self.brownout_sheds + rhs.brownout_sheds,
+            brownout_reopens: self.brownout_reopens + rhs.brownout_reopens,
         }
     }
 }

@@ -455,6 +455,15 @@ pub fn stats_json(s: &StatsSnapshot) -> Value {
         ("jobs_rejected", s.jobs_rejected.into()),
         ("jobs_cancelled", s.jobs_cancelled.into()),
         ("jobs_deadline_missed", s.jobs_deadline_missed.into()),
+        ("ckpt_shards_lost", s.ckpt_shards_lost.into()),
+        ("ckpt_shards_corrupted", s.ckpt_shards_corrupted.into()),
+        ("ckpt_shards_delayed", s.ckpt_shards_delayed.into()),
+        ("checkpoint_fallbacks", s.checkpoint_fallbacks.into()),
+        ("cold_restarts", s.cold_restarts.into()),
+        ("machines_quarantined", s.machines_quarantined.into()),
+        ("retry_budget_exhausted", s.retry_budget_exhausted.into()),
+        ("brownout_sheds", s.brownout_sheds.into()),
+        ("brownout_reopens", s.brownout_reopens.into()),
     ])
 }
 
@@ -702,7 +711,10 @@ pub fn chrome_trace_with_jobs(
                     }
                     EventKind::CheckpointTaken
                     | EventKind::RecoveryStart
-                    | EventKind::RecoveryDone => {
+                    | EventKind::RecoveryDone
+                    | EventKind::CheckpointFallback
+                    | EventKind::ColdRestart
+                    | EventKind::Quarantine => {
                         fields.push(("name", e.kind.name().into()));
                         fields.push(("cat", "recovery".into()));
                         fields.push(("ph", "i".into()));
@@ -711,7 +723,9 @@ pub fn chrome_trace_with_jobs(
                     EventKind::JobEnqueue
                     | EventKind::JobDispatch
                     | EventKind::JobCancel
-                    | EventKind::JobDone => {
+                    | EventKind::JobDone
+                    | EventKind::BrownoutShed
+                    | EventKind::BrownoutReopen => {
                         fields.push(("name", e.kind.name().into()));
                         fields.push(("cat", "serve".into()));
                         fields.push(("ph", "i".into()));
@@ -730,6 +744,10 @@ pub fn chrome_trace_with_jobs(
                     EventKind::CheckpointTaken => Some("bytes"),
                     EventKind::RecoveryStart => Some("attempt"),
                     EventKind::RecoveryDone => Some("iteration"),
+                    EventKind::CheckpointFallback => Some("seq"),
+                    EventKind::ColdRestart => Some("tried"),
+                    EventKind::Quarantine => Some("machine"),
+                    EventKind::BrownoutShed | EventKind::BrownoutReopen => Some("occupancy"),
                     EventKind::JobEnqueue
                     | EventKind::JobDispatch
                     | EventKind::JobCancel

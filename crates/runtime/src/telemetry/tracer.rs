@@ -67,6 +67,21 @@ pub enum EventKind {
     /// A dispatched job finished and released the cluster (successfully
     /// or with an error). `arg` = the job id.
     JobDone = 18,
+    /// A restore skipped a corrupt or incomplete checkpoint and fell back
+    /// to an older retained ring entry. `arg` = the sequence skipped.
+    CheckpointFallback = 19,
+    /// No retained checkpoint was restorable; the job restarted from
+    /// iteration zero. `arg` = checkpoints tried before giving up.
+    ColdRestart = 20,
+    /// The flap detector quarantined a repeatedly-tripping machine and the
+    /// driver degraded proactively. `arg` = the machine id.
+    Quarantine = 21,
+    /// The brownout gate closed the batch lane under overload.
+    /// `arg` = queue occupancy at the shed decision.
+    BrownoutShed = 22,
+    /// The brownout gate re-opened the batch lane after occupancy fell
+    /// below the hysteresis threshold. `arg` = occupancy at re-open.
+    BrownoutReopen = 23,
 }
 
 impl EventKind {
@@ -91,6 +106,11 @@ impl EventKind {
             EventKind::JobDispatch => "job_dispatch",
             EventKind::JobCancel => "job_cancel",
             EventKind::JobDone => "job_done",
+            EventKind::CheckpointFallback => "checkpoint_fallback",
+            EventKind::ColdRestart => "cold_restart",
+            EventKind::Quarantine => "quarantine",
+            EventKind::BrownoutShed => "brownout_shed",
+            EventKind::BrownoutReopen => "brownout_reopen",
         }
     }
 
@@ -115,6 +135,11 @@ impl EventKind {
             16 => EventKind::JobDispatch,
             17 => EventKind::JobCancel,
             18 => EventKind::JobDone,
+            19 => EventKind::CheckpointFallback,
+            20 => EventKind::ColdRestart,
+            21 => EventKind::Quarantine,
+            22 => EventKind::BrownoutShed,
+            23 => EventKind::BrownoutReopen,
             _ => return None,
         })
     }

@@ -7,7 +7,7 @@
 use pgxd_graph::generate;
 use pgxd_runtime::checkpoint::MachineCheckpoint;
 use pgxd_runtime::cluster::Cluster;
-use pgxd_runtime::config::Config;
+use pgxd_runtime::config::{Config, StorageFaultKind, StorageFaultPlan};
 use pgxd_runtime::props::PropId;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -138,6 +138,79 @@ proptest! {
         prop_assert!(c.restore_checkpoint(&forged).is_err());
         // The pristine checkpoint still restores fine afterwards.
         c.restore_checkpoint(&ckpt).unwrap();
+    }
+
+    /// The storage-fault fallback contract, for arbitrary corruption
+    /// schedules: a checkpoint whose shards were tampered by the seeded
+    /// `StorageFaultPlan` is never restorable — `verify()` rejects it and
+    /// `restore_checkpoint` leaves the cluster on an error — and the
+    /// recovery driver's newest→oldest ring walk therefore lands on
+    /// exactly the newest *clean* retained checkpoint, whose contents
+    /// come back bit-identical.
+    #[test]
+    fn tampered_ring_entries_are_never_restored(
+        seed in any::<u64>(),
+        corrupt_pm in 100u16..900,
+    ) {
+        const TAKEN: u64 = 5;
+        const RETAIN: usize = 3;
+        let plan = StorageFaultPlan::faulty(seed, 0, corrupt_pm, 0);
+        let g = generate::rmat(6, 8, generate::RmatParams::skewed(), 91);
+        let cfg = Config::builder()
+            .machines(3)
+            .workers(1)
+            .copiers(1)
+            .ghost_threshold(Some(2))
+            .storage_fault(plan)
+            .checkpoint_retain(RETAIN)
+            .build()
+            .expect("config");
+        let mut c = Cluster::load(&g, cfg).expect("cluster");
+        let a = c.add_prop("a", 0i64);
+
+        // Take TAKEN checkpoints with distinct contents, remembering each
+        // sequence's owned global column. Every store shares the plan and
+        // advances its counter once per save, so checkpoint seq `s` is
+        // corrupt on every machine or none — decided by `draw(s - 1)`.
+        let mut globals = vec![Vec::new()];
+        for s in 1..=TAKEN {
+            scribble(&c, &[a], seed ^ s);
+            globals.push(c.gather::<i64>(a));
+            c.take_checkpoint(s, vec![]).unwrap();
+        }
+        let ring = c.checkpoint_ring(); // newest → oldest
+        prop_assert_eq!(ring.len(), RETAIN);
+
+        scribble(&c, &[a], !seed); // clobber live state
+        let mut restored_seq = None;
+        for ckpt in &ring {
+            let corrupt =
+                plan.draw(ckpt.seq - 1) == StorageFaultKind::Corrupt;
+            prop_assert_eq!(ckpt.verify().is_err(), corrupt);
+            if corrupt {
+                // Tampered: the driver must skip it, and even a direct
+                // restore attempt fails instead of loading garbage.
+                prop_assert!(c.restore_checkpoint(ckpt).is_err());
+            } else if restored_seq.is_none() {
+                c.restore_checkpoint(ckpt).unwrap();
+                restored_seq = Some(ckpt.seq);
+            }
+        }
+        if let Some(seq) = restored_seq {
+            prop_assert_eq!(
+                c.gather::<i64>(a),
+                globals[seq as usize].clone(),
+                "fallback landed on seq {} but contents differ", seq
+            );
+        } else {
+            // Every retained entry tampered: the cold-restart path. The
+            // cluster must still be usable for a fresh attempt.
+            scribble(&c, &[a], seed ^ 1);
+            prop_assert_eq!(c.gather::<i64>(a), globals[1].clone());
+        }
+        if (0..TAKEN).any(|n| plan.draw(n) == StorageFaultKind::Corrupt) {
+            prop_assert!(c.total_stats().ckpt_shards_corrupted > 0);
+        }
     }
 }
 

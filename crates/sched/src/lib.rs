@@ -38,6 +38,7 @@ pub use scheduler::{JobMeta, Lane, Scheduler};
 pub use server::{JobHandle, JobReport, JobServer, Session};
 
 pub use pgxd_runtime::cancel::{CancelReason, CancelToken};
+pub use pgxd_runtime::health::RetryBudget;
 pub use pgxd_runtime::jobctx::{JobCtx, JobExec, JobOutcome, JobWire, PhaseSpan};
 
 use pgxd_runtime::props::PropId;

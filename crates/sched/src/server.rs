@@ -23,6 +23,20 @@
 //! counts against it: an expired job is failed with
 //! [`JobError::DeadlineExceeded`] at dispatch if it never started, or
 //! cooperatively mid-run if it did.
+//!
+//! **Brownout.** When queue occupancy crosses the configured shed
+//! threshold, batch-lane submissions are refused with
+//! [`JobError::Overloaded`] (carrying a retry-after hint) until
+//! occupancy drains below the lower reopen threshold — hysteresis keeps
+//! the gate from flapping at the boundary. The interactive lane stays
+//! live throughout: brownout protects latency under pressure, it does
+//! not replace the hard queue bound ([`JobError::QueueFull`] still
+//! backstops both lanes).
+//!
+//! **Retry budget.** The server owns one [`RetryBudget`] token bucket,
+//! shared by every session and handed (via [`JobServer::retry_budget`])
+//! to recovery drivers, so concurrent tenants cannot amplify a degraded
+//! cluster's failure into a retry storm.
 
 use crate::admission::estimate_bytes;
 use crate::scheduler::{JobMeta, Lane, Scheduler};
@@ -30,7 +44,7 @@ use crate::ServeEngine;
 use parking_lot::{Condvar, Mutex};
 use pgxd_runtime::cancel::{CancelReason, CancelToken};
 use pgxd_runtime::config::ServeConfig;
-use pgxd_runtime::health::JobError;
+use pgxd_runtime::health::{JobError, RetryBudget};
 use pgxd_runtime::jobctx::{JobCtx, JobExec, JobOutcome, PhaseSpan};
 use pgxd_runtime::props::PropId;
 use pgxd_runtime::telemetry::{EventKind, Telemetry};
@@ -136,6 +150,9 @@ struct State<E> {
     retired_sessions: Vec<u64>,
     next_job: u64,
     shutdown: bool,
+    /// Brownout gate: set when occupancy crossed the shed threshold,
+    /// cleared once it drains below the reopen threshold.
+    browned_out: bool,
 }
 
 struct Shared<E> {
@@ -147,6 +164,8 @@ struct Shared<E> {
     /// lifetime, snapshotted so submit-time admission checks need no
     /// engine access.
     base_profile: crate::MemProfile,
+    /// Server-wide retry token bucket (capacity 0 = unbudgeted).
+    retry_budget: Arc<RetryBudget>,
 }
 
 impl<E> Shared<E> {
@@ -339,6 +358,38 @@ impl<E: ServeEngine> Session<E> {
         if st.shutdown {
             return Err(JobError::Protocol("job server shut down".into()));
         }
+        // Overload brownout: track queue occupancy against the shed /
+        // reopen thresholds (hysteresis), and while the gate is closed
+        // refuse batch work with a retry-after hint. Interactive
+        // submissions still update the gate — they are how a batch-only
+        // lull gets observed — but are never shed themselves.
+        let shed_pm = shared.config.brownout_shed_per_mille;
+        if shed_pm > 0 {
+            let occupancy = st.sched.queued();
+            let depth = shared.config.queue_depth;
+            let shed_at = (depth * usize::from(shed_pm) / 1000).max(1);
+            let reopen_at = depth * usize::from(shared.config.brownout_reopen_per_mille) / 1000;
+            let stats = shared.telemetry.stats();
+            if !st.browned_out && occupancy >= shed_at {
+                st.browned_out = true;
+                stats.brownout_sheds.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .telemetry
+                    .trace(0, EventKind::BrownoutShed, occupancy as u64);
+            } else if st.browned_out && occupancy <= reopen_at {
+                st.browned_out = false;
+                stats.brownout_reopens.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .telemetry
+                    .trace(0, EventKind::BrownoutReopen, occupancy as u64);
+            }
+            if st.browned_out && lane == Lane::Batch {
+                stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(JobError::Overloaded {
+                    retry_after_ms: shared.config.brownout_retry_after_ms,
+                });
+            }
+        }
         st.next_job += 1;
         let id = st.next_job;
         let token = CancelToken::for_job(id);
@@ -436,8 +487,13 @@ impl<E: ServeEngine> JobServer<E> {
                 retired_sessions: Vec::new(),
                 next_job: 0,
                 shutdown: false,
+                browned_out: false,
             }),
             cv: Condvar::new(),
+            retry_budget: Arc::new(RetryBudget::new(
+                config.retry_budget_tokens,
+                config.retry_budget_refill_ms,
+            )),
             config,
             telemetry,
             base_profile,
@@ -470,6 +526,32 @@ impl<E: ServeEngine> JobServer<E> {
     /// engines) — job counters and the queue-wait histogram live here.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.shared.telemetry
+    }
+
+    /// The server-wide retry budget. Hand clones to recovery drivers
+    /// (`RecoveryDriver::with_retry_budget`) so their retries draw from
+    /// the same token pool as every session's; with
+    /// `retry_budget_tokens = 0` the bucket is unbudgeted and every
+    /// acquire succeeds.
+    pub fn retry_budget(&self) -> Arc<RetryBudget> {
+        Arc::clone(&self.shared.retry_budget)
+    }
+
+    /// Takes one token from the server-wide retry budget on behalf of a
+    /// client about to resubmit a shed or failed job. A dry bucket
+    /// returns `false`, bumps the `retry_budget_exhausted` telemetry
+    /// counter, and the client must surface
+    /// [`JobError::RetryBudgetExhausted`] instead of retrying.
+    pub fn try_retry(&self) -> bool {
+        let ok = self.shared.retry_budget.try_acquire();
+        if !ok {
+            self.shared
+                .telemetry
+                .stats()
+                .retry_budget_exhausted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        ok
     }
 
     /// Stops accepting work, fails still-queued jobs with
@@ -952,6 +1034,92 @@ mod tests {
         blocker.join().unwrap();
         drop(session);
         server.shutdown();
+    }
+
+    #[test]
+    fn brownout_sheds_batch_lane_with_hysteresis() {
+        let mut cfg = config();
+        cfg.queue_depth = 4;
+        cfg.brownout_shed_per_mille = 500; // shed at 2 queued
+        cfg.brownout_reopen_per_mille = 250; // reopen at ≤ 1 queued
+        cfg.brownout_retry_after_ms = 40;
+        let server = JobServer::start(MockEngine::new(), cfg);
+        let session = server.session("s");
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let blocker = session
+            .submit(Lane::Batch, 0, move |_: &mut MockEngine, _| {
+                started_tx.send(()).ok();
+                block_rx.recv().ok();
+                Ok(())
+            })
+            .unwrap();
+        started_rx.recv().unwrap();
+        // Fill to the shed threshold while the dispatcher is held.
+        let q1 = session
+            .submit(Lane::Batch, 0, |_: &mut MockEngine, _| Ok(()))
+            .unwrap();
+        let q2 = session
+            .submit(Lane::Batch, 0, |_: &mut MockEngine, _| Ok(()))
+            .unwrap();
+        // Occupancy 2 ≥ shed threshold: gate closes, batch is shed with
+        // the configured hint...
+        let err = session
+            .submit(Lane::Batch, 0, |_: &mut MockEngine, _| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, JobError::Overloaded { retry_after_ms: 40 }));
+        assert!(err.is_transient(), "Overloaded must invite a retry");
+        // ...and stays closed for batch while occupancy holds...
+        assert!(matches!(
+            session
+                .submit(Lane::Batch, 0, |_: &mut MockEngine, _| Ok(()))
+                .unwrap_err(),
+            JobError::Overloaded { .. }
+        ));
+        // ...but the interactive lane is still live.
+        let live = session
+            .submit(Lane::Interactive, 0, |_: &mut MockEngine, _| Ok(42u32))
+            .unwrap();
+        block_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        q1.join().unwrap();
+        q2.join().unwrap();
+        assert_eq!(live.join().unwrap(), 42);
+        // Queue drained below the reopen threshold: batch flows again.
+        session
+            .submit(Lane::Batch, 0, |_: &mut MockEngine, _| Ok(()))
+            .unwrap()
+            .join()
+            .unwrap();
+        let t = Arc::clone(server.telemetry());
+        drop(session);
+        drop(server);
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.brownout_sheds, 1, "one shed transition");
+        assert_eq!(snap.brownout_reopens, 1, "one reopen transition");
+        assert_eq!(snap.jobs_rejected, 2, "both shed submissions counted");
+    }
+
+    #[test]
+    fn retry_budget_is_server_wide_and_counts_exhaustion() {
+        let mut cfg = config();
+        cfg.retry_budget_tokens = 1;
+        cfg.retry_budget_refill_ms = 60_000; // effectively no refill here
+        let server = JobServer::start(MockEngine::new(), cfg);
+        let budget = server.retry_budget();
+        assert!(server.try_retry(), "first token available");
+        assert!(!server.try_retry(), "bucket dry");
+        assert_eq!(budget.exhausted_events(), 1);
+        // Every accessor call hands out the same bucket.
+        assert!(!budget.try_acquire());
+        assert_eq!(budget.exhausted_events(), 2);
+        let t = Arc::clone(server.telemetry());
+        server.shutdown();
+        assert_eq!(
+            t.stats().snapshot().retry_budget_exhausted,
+            1,
+            "server-mediated exhaustion is counted in telemetry"
+        );
     }
 
     #[test]

@@ -45,6 +45,15 @@ echo "== serve smoke (job server acceptance: sessions, lanes, admission) =="
 # structured Cancelled/DeadlineExceeded/AdmissionDenied, columns freed).
 cargo run --release -p pgxd-bench --bin repro -- serve
 
+echo "== soak smoke (whole-stack chaos: brownout, budgets, quarantine, storage faults) =="
+# Seeded mixed-job stream across sessions under combined fabric+storage
+# faults; asserts internally (one terminal outcome per job, columns and
+# buffer-pool quota reclaimed, results within 1e-12 of fault-free, ring
+# fallback past corrupted checkpoints, quarantine + degraded restore).
+# The harness carries its own wall-clock bound; the hard timeout is the
+# backstop so a hang can never wedge CI.
+timeout 300 cargo run --release -p pgxd-bench --bin repro -- soak --quick
+
 echo "== instrumentation compiles out (cargo check -p pgxd --no-default-features) =="
 # The telemetry feature gates every instrument behind no-op twins; this
 # guards the uninstrumented build (and its API surface) from rotting.

@@ -65,6 +65,41 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The worst non-lossy schedule the fabric can produce: EVERY reliable
+    /// envelope duplicated and EVERY envelope reordered (both rates at
+    /// 1000‰), simultaneously. The dedup/ack windows must map the flood
+    /// onto exactly-once delivery — bit-identical results — for any seed.
+    #[test]
+    fn max_rate_dup_reorder_is_exactly_once(seed in any::<u64>()) {
+        let g = generate::rmat(7, 6, generate::RmatParams::skewed(), 77);
+
+        let mut clean = engine_with(FaultPlan::none(), &g);
+        let baseline = try_hopdist(&mut clean, 0).unwrap();
+
+        let mut chaotic = engine_with(FaultPlan::lossy(seed, 0, 1000, 1000), &g);
+        let r = try_hopdist(&mut chaotic, 0).unwrap();
+        prop_assert_eq!(&baseline.hops, &r.hops);
+        prop_assert_eq!(baseline.iterations, r.iterations);
+
+        let injected = chaotic.cluster().fabric().fault_counters().unwrap_or_default();
+        prop_assert!(
+            injected.duplicated_reliable > 0,
+            "a 1000‰ dup rate injected no duplicates"
+        );
+        let stats = chaotic.cluster().total_stats();
+        prop_assert!(
+            stats.dup_suppressed >= injected.duplicated_reliable,
+            "every injected duplicate must hit a dedup window \
+             ({} injected, {} suppressed)",
+            injected.duplicated_reliable,
+            stats.dup_suppressed
+        );
+    }
+}
+
 /// Kill one machine of four mid-iteration: the run must fail — not hang —
 /// with a structured `MachineDown`, within the watchdog deadline, and the
 /// engine must still tear down (joining all threads) afterwards.
